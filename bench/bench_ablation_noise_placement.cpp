@@ -1,0 +1,98 @@
+// §IV.B ablation: where the annealing noise lives matters.
+//   * sram-weight (this work): spatial variation becomes temporal noise;
+//   * sram-spin ([4]-style): spatially fixed spin errors — deterministic,
+//     poorly converging dynamics;
+//   * lfsr: conventional digital SA at noise-equivalent temperature;
+//   * none: greedy descent.
+#include <cstdio>
+
+#include "anneal/clustered_annealer.hpp"
+#include "bench_common.hpp"
+#include "heuristics/reference.hpp"
+#include "tsp/generator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct ModeOutcome {
+  cim::util::RunningStats ratio;
+  double uphill_fraction = 0.0;  ///< accepted swaps that were truly uphill
+};
+
+ModeOutcome run_mode(const cim::tsp::Instance& inst,
+                     cim::anneal::NoiseMode mode, long long reference,
+                     std::size_t seeds) {
+  ModeOutcome outcome;
+  std::size_t uphill = 0;
+  std::size_t accepted = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    cim::anneal::AnnealerConfig config;
+    config.clustering.p = 3;
+    config.noise = mode;
+    config.seed = seed;
+    const auto result = cim::anneal::ClusteredAnnealer(config).solve(inst);
+    outcome.ratio.add(static_cast<double>(result.length) /
+                      static_cast<double>(reference));
+    for (const auto& level : result.levels) {
+      uphill += level.uphill_accepted;
+      accepted += level.swaps_accepted;
+    }
+  }
+  outcome.uphill_fraction =
+      accepted ? static_cast<double>(uphill) / static_cast<double>(accepted)
+               : 0.0;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using cim::util::Table;
+  cim::bench::print_header(
+      "§IV.B ablation — noise placement (weights vs spins vs LFSR)",
+      "paper §IV.B: spatial spin noise ([4]) fails; weight noise anneals");
+
+  const std::size_t seeds = cim::bench::full_scale() ? 10 : 5;
+  const std::vector<std::string> datasets =
+      cim::bench::full_scale()
+          ? std::vector<std::string>{"rl1304", "pcb1173", "geo1500"}
+          : std::vector<std::string>{"rl1304", "pcb1173"};
+
+  Table table({"dataset", "noise source", "mean ratio", "best", "worst",
+               "uphill acc."});
+  for (const auto& name : datasets) {
+    const auto inst = cim::tsp::make_paper_instance(name);
+    const auto reference = cim::heuristics::compute_reference(inst);
+    for (const auto mode :
+         {cim::anneal::NoiseMode::kSramWeight,
+          cim::anneal::NoiseMode::kSramSpin, cim::anneal::NoiseMode::kLfsr,
+          cim::anneal::NoiseMode::kNone}) {
+      const auto outcome = run_mode(inst, mode, reference.length, seeds);
+      table.add_row({name, cim::anneal::noise_mode_name(mode),
+                     Table::num(outcome.ratio.mean(), 3),
+                     Table::num(outcome.ratio.min(), 3),
+                     Table::num(outcome.ratio.max(), 3),
+                     Table::percent(outcome.uphill_fraction, 1)});
+    }
+    table.add_separator();
+  }
+  table.add_footnote(
+      "'uphill acc.' = accepted swaps with truly positive energy delta: "
+      "the annealing signature. Greedy (none) must show 0%; weight noise "
+      "and LFSR explore; spin noise accepts a fixed biased set");
+  table.print();
+
+  // The determinism failure mode of [4]: identical restarts.
+  const auto inst = cim::tsp::make_paper_instance("rl1304");
+  cim::anneal::AnnealerConfig config;
+  config.noise = cim::anneal::NoiseMode::kSramSpin;
+  config.seed = 42;
+  const auto a = cim::anneal::ClusteredAnnealer(config).solve(inst);
+  const auto b = cim::anneal::ClusteredAnnealer(config).solve(inst);
+  std::printf(
+      "\nsram-spin restart determinism (the [4] failure): two identical "
+      "runs produced %s tours (length %lld vs %lld)\n",
+      a.tour == b.tour ? "IDENTICAL" : "different", a.length, b.length);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Default runs are sized to finish in seconds; set
+// CIMANNEAL_FULL=1 to run the paper's full instance list (up to
+// pla85900).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/args.hpp"
+
+namespace cim::bench {
+
+/// True when the full paper-scale experiment list is requested.
+inline bool full_scale() { return util::Args::env_flag("CIMANNEAL_FULL"); }
+
+/// Quality-evaluation datasets (Fig. 7(a), Table I scale).
+inline std::vector<std::string> quality_datasets() {
+  if (full_scale()) {
+    return {"pcb3038", "rl5915",   "rl11849",
+            "usa13509", "d18512", "pla33810"};
+  }
+  return {"pcb3038", "rl5915"};
+}
+
+/// PPA-evaluation datasets (Fig. 7(b)–(d), up to pla85900).
+inline std::vector<std::string> ppa_datasets() {
+  return {"pcb3038",  "rl5915", "rl11849", "usa13509",
+          "d18512", "pla33810", "pla85900"};
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  if (!full_scale()) {
+    std::printf(
+        "note: default (reduced) run — set CIMANNEAL_FULL=1 for the "
+        "paper's full instance list\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace cim::bench

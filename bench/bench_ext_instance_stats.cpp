@@ -1,0 +1,51 @@
+// Extension bench: spatial statistics of the synthetic instance mimics —
+// the evidence behind DESIGN.md's substitution table. Each TSPLIB family
+// should land in its own region of (clustering, grid-alignment) space,
+// matching the property the clustered annealer is sensitive to.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "tsp/generator.hpp"
+#include "tsp/instance_stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using cim::util::Table;
+  cim::bench::print_header(
+      "Extension — synthetic instance family statistics",
+      "DESIGN.md substitution: mimics must reproduce each family's "
+      "spatial signature");
+
+  const std::vector<std::string> names =
+      cim::bench::full_scale()
+          ? std::vector<std::string>{"pcb3038", "rl5915", "usa13509",
+                                     "pla33810", "uniform5000"}
+          : std::vector<std::string>{"pcb1173", "rl1304", "geo1500",
+                                     "pla1500", "uniform1500"};
+
+  Table table({"instance", "N", "NN ratio", "NN coeff. of var.",
+               "axis alignment", "signature"});
+  table.set_title(
+      "NN ratio: <1 clustered, ~1 uniform, >1 regular; axis alignment: "
+      "grid structure");
+  for (const auto& name : names) {
+    const auto inst = cim::tsp::make_paper_instance(name);
+    const auto stats = cim::tsp::compute_stats(inst);
+    const char* signature = "uniform";
+    if (stats.axis_alignment > 0.3) {
+      signature = "grid/rows (pcb/pla)";
+    } else if (stats.nn_ratio < 0.85) {
+      signature = "clustered (rl/usa/d)";
+    }
+    table.add_row(
+        {name, Table::integer(static_cast<long long>(inst.size())),
+         Table::num(stats.nn_ratio, 2), Table::num(stats.nn_cv, 2),
+         Table::percent(stats.axis_alignment, 1), signature});
+  }
+  table.add_footnote(
+      "pcb/pla families: high axis alignment (drill grids, pad rows); "
+      "rl/usa/geo: low NN ratio + high variation (heavy clustering); "
+      "uniform: NN ratio ~ 1");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Extension bench: Max-Cut on the noisy digital-CIM substrate — the
+// problem class of every Table III competitor, run on this design's
+// machinery. Demonstrates (a) the same noisy-SRAM entropy source anneals
+// a second COP family and (b) the chromatic-parallel cycle advantage on
+// sparse graphs.
+#include <cstdio>
+
+#include "anneal/maxcut_annealer.hpp"
+#include "anneal/tempering.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using cim::util::Table;
+  cim::bench::print_header(
+      "Extension — Max-Cut on the noisy-CIM substrate",
+      "executable counterpart of Table III's problem class (STATICA/"
+      "CIM-Spin/Amorphica solve Max-Cut)");
+
+  struct Case {
+    const char* label;
+    cim::ising::MaxCutProblem problem;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ring1024 (2-colourable)",
+                   cim::ising::ring_maxcut(1024)});
+  cases.push_back({"G(512, 1%) w<=3",
+                   cim::ising::random_maxcut(512, 0.01, 1, 3)});
+  cases.push_back({"K64 +-1 (STATICA-style dense)",
+                   cim::ising::complete_maxcut(64, 2)});
+  if (cim::bench::full_scale()) {
+    cases.push_back({"K512 +-1 (STATICA scale)",
+                     cim::ising::complete_maxcut(512, 3)});
+    cases.push_back({"G(2000, 0.3%) w<=5",
+                     cim::ising::random_maxcut(2000, 0.003, 4, 5)});
+  }
+
+  Table table({"graph", "spins", "edges", "colors", "cut (cim)",
+               "cut (PT)", "cut (greedy x8)", "cim/greedy", "hw cycles"});
+  for (const auto& c : cases) {
+    cim::anneal::MaxCutConfig config;
+    config.record_trace = true;
+    const auto result = cim::anneal::MaxCutAnnealer(config).solve(c.problem);
+
+    // Parallel-tempering comparison ([20]-style, software ladder from the
+    // same SRAM noise model) on tractable sizes.
+    long long pt_cut = -1;
+    if (c.problem.size() <= 512) {
+      cim::anneal::TemperingConfig pt;
+      pt.sweeps = 150;
+      pt_cut = cim::anneal::ParallelTempering(pt).solve_maxcut(c.problem);
+    }
+
+    long long greedy = 0;
+    for (std::uint64_t restart = 0; restart < 8; ++restart) {
+      greedy = std::max(greedy,
+                        cim::ising::greedy_maxcut(c.problem, restart));
+    }
+    table.add_row(
+        {c.label, Table::integer(static_cast<long long>(c.problem.size())),
+         Table::integer(static_cast<long long>(c.problem.edge_count())),
+         Table::integer(static_cast<long long>(result.color_count)),
+         Table::integer(result.best_cut),
+         pt_cut >= 0 ? Table::integer(pt_cut) : "n/a",
+         Table::integer(greedy),
+         Table::num(static_cast<double>(result.best_cut) /
+                        static_cast<double>(greedy),
+                    3),
+         Table::sci(static_cast<double>(result.update_cycles), 2)});
+  }
+  table.add_footnote(
+      "ring optimum = n (even); chromatic classes stay small on sparse "
+      "graphs, so a sweep costs O(colors) cycles, not O(n)");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Extension bench: annealing-schedule design space (§IV.B/§V choices).
+// Sweeps iteration budget, write-back period and the V_DD ramp span, and
+// reports quality against hardware time — the trade-off behind the
+// paper's "400 iterations, 40 mV every 50" operating point.
+#include <cstdio>
+
+#include "anneal/clustered_annealer.hpp"
+#include "bench_common.hpp"
+#include "heuristics/reference.hpp"
+#include "ppa/report.hpp"
+#include "tsp/generator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+struct ScheduleCase {
+  const char* label;
+  std::size_t iterations;
+  std::size_t per_step;
+  double vdd_start;
+  double vdd_step;
+};
+
+}  // namespace
+
+int main() {
+  using cim::util::Table;
+  cim::bench::print_header(
+      "Extension — annealing schedule design space",
+      "ablates the paper's §V operating point (400 iters, V_DD 300->580mV "
+      "in 40mV/50-iter steps, 6 noisy LSBs)");
+
+  const std::string name =
+      cim::bench::full_scale() ? "pcb3038" : "pcb1173";
+  const auto inst = cim::tsp::make_paper_instance(name);
+  const auto reference = cim::heuristics::compute_reference(inst);
+  const std::size_t seeds = 3;
+
+  const std::vector<ScheduleCase> cases{
+      {"paper (400 it, 50/step)", 400, 50, 0.30, 0.04},
+      {"short (100 it, 13/step)", 100, 13, 0.30, 0.04},
+      {"long (800 it, 100/step)", 800, 100, 0.30, 0.04},
+      {"no ramp (flat 300 mV)", 400, 50, 0.30, 0.00},
+      {"cold start (flat 580 mV)", 400, 50, 0.58, 0.00},
+      {"fast ramp (400 it, 25/step)", 400, 25, 0.30, 0.04},
+  };
+
+  Table table({"schedule", "mean ratio", "uphill acc.", "hw time",
+               "iterations"});
+  table.set_title(name + " — schedule sweep (mean of " +
+                  std::to_string(seeds) + " seeds)");
+  for (const auto& c : cases) {
+    cim::util::RunningStats ratio;
+    std::size_t uphill = 0;
+    std::size_t accepted = 0;
+    double hw_time = 0.0;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      cim::anneal::AnnealerConfig config;
+      config.clustering.p = 3;
+      config.seed = seed;
+      config.schedule.total_iterations = c.iterations;
+      config.schedule.iterations_per_step = c.per_step;
+      config.schedule.vdd_start = c.vdd_start;
+      config.schedule.vdd_step = c.vdd_step;
+      const auto result =
+          cim::anneal::ClusteredAnnealer(config).solve(inst);
+      ratio.add(static_cast<double>(result.length) /
+                static_cast<double>(reference.length));
+      for (const auto& level : result.levels) {
+        uphill += level.uphill_accepted;
+        accepted += level.swaps_accepted;
+      }
+      if (seed == 1) {
+        cim::ppa::DesignPoint point;
+        point.instance_name = name;
+        point.n_cities = inst.size();
+        point.p = 3;
+        point.schedule = config.schedule;
+        hw_time = cim::ppa::measured_report(point, result)
+                      .latency.total_s();
+      }
+    }
+    table.add_row(
+        {c.label, Table::num(ratio.mean(), 3),
+         Table::percent(accepted ? static_cast<double>(uphill) /
+                                       static_cast<double>(accepted)
+                                 : 0.0,
+                        1),
+         cim::util::format_seconds(hw_time),
+         Table::integer(static_cast<long long>(c.iterations))});
+  }
+  table.add_footnote(
+      "expected: flat-low-V_DD never converges cleanly (noise persists); "
+      "flat-nominal is greedy; the ramp balances exploration and "
+      "convergence at moderate hardware time");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 2(b) made executable: system energy converging towards the ground
+// state, with annealing noise letting the system escape local minima that
+// trap pure greedy descent. Prints the level-0 convergence series for the
+// noisy design and the greedy baseline, plus the escape statistics.
+#include <cstdio>
+
+#include "anneal/clustered_annealer.hpp"
+#include "bench_common.hpp"
+#include "tsp/generator.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using cim::util::Table;
+  cim::bench::print_header(
+      "Fig. 2(b) — convergence towards the ground state",
+      "paper Fig. 2(b): annealing escapes local minima on the way to the "
+      "energy minimum");
+
+  const std::string name =
+      cim::bench::full_scale() ? "rl5915" : "rl1304";
+  const auto inst = cim::tsp::make_paper_instance(name);
+
+  const auto run = [&](cim::anneal::NoiseMode mode) {
+    cim::anneal::AnnealerConfig config;
+    config.clustering.p = 3;
+    config.noise = mode;
+    config.record_trace = true;
+    config.seed = 4;
+    return cim::anneal::ClusteredAnnealer(config).solve(inst);
+  };
+
+  const auto noisy = run(cim::anneal::NoiseMode::kSramWeight);
+  const auto greedy = run(cim::anneal::NoiseMode::kNone);
+
+  Table table({"iteration", "energy (sram-weight)", "energy (greedy)"});
+  table.set_title(name + " — level-0 ring length per iteration");
+  cim::util::CsvWriter csv({"iteration", "noisy", "greedy"});
+  for (std::size_t i = 0; i < noisy.trace.size(); ++i) {
+    csv.add_row({Table::integer(static_cast<long long>(i)),
+                 Table::num(noisy.trace[i], 0),
+                 Table::num(greedy.trace[i], 0)});
+    if (i % 25 == 0 || i + 1 == noisy.trace.size()) {
+      table.add_row({Table::integer(static_cast<long long>(i)),
+                     Table::num(noisy.trace[i], 0),
+                     Table::num(greedy.trace[i], 0)});
+    }
+  }
+  table.add_footnote("full series exported to fig2_convergence.csv");
+  table.print();
+  csv.save("fig2_convergence.csv");
+
+  // Escape statistics: uphill acceptances by level (annealing signature).
+  std::size_t noisy_uphill = 0;
+  std::size_t greedy_uphill = 0;
+  for (const auto& level : noisy.levels) noisy_uphill += level.uphill_accepted;
+  for (const auto& level : greedy.levels) {
+    greedy_uphill += level.uphill_accepted;
+  }
+  std::printf(
+      "\nuphill escapes: %zu (sram-weight) vs %zu (greedy); final length "
+      "%lld vs %lld\n",
+      noisy_uphill, greedy_uphill, noisy.length, greedy.length);
+  return 0;
+}

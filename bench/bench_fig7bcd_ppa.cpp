@@ -1,0 +1,94 @@
+// Fig. 7(b)–(d): chip area, latency and dynamic energy (with read/write
+// breakdown) vs. dataset and p_max. Defaults use the analytic depth
+// estimate (instant); CIMANNEAL_FULL=1 builds the real hierarchies for
+// measured depths.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/hierarchy.hpp"
+#include "ppa/report.hpp"
+#include "tsp/generator.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using cim::util::Table;
+  using namespace cim::util;
+  cim::bench::print_header(
+      "Fig. 7(b)-(d) — chip area, latency, dynamic energy",
+      "paper Fig. 7(b)-(d): area tracks capacity; p_max=2 smallest but "
+      "slowest (deepest hierarchy); write share is small");
+
+  Table table({"dataset", "N", "p_max", "capacity", "chip area",
+               "latency (read)", "latency (write)", "energy (read)",
+               "energy (write)", "avg power"});
+  cim::util::CsvWriter csv({"dataset", "n", "pmax", "capacity_bits",
+                            "area_um2", "lat_read_s", "lat_write_s",
+                            "e_read_j", "e_write_j", "power_w"});
+
+  for (const auto& name : cim::bench::ppa_datasets()) {
+    // Size from the instance registry without generating coordinates
+    // unless we need the real hierarchy.
+    std::size_t n = 0;
+    std::optional<cim::tsp::Instance> inst;
+    if (cim::bench::full_scale()) {
+      inst = cim::tsp::make_paper_instance(name);
+      n = inst->size();
+    } else {
+      // Parse the trailing number of the canonical names.
+      std::size_t digits = name.size();
+      while (digits > 0 && std::isdigit(static_cast<unsigned char>(
+                               name[digits - 1]))) {
+        --digits;
+      }
+      n = std::stoull(name.substr(digits));
+    }
+
+    for (std::uint32_t p = 2; p <= 4; ++p) {
+      cim::ppa::DesignPoint point;
+      point.instance_name = name;
+      point.n_cities = n;
+      point.p = p;
+
+      std::optional<std::size_t> depth;
+      if (inst) {
+        cim::cluster::Options copt;
+        copt.strategy = cim::cluster::Strategy::kSemiFlexible;
+        copt.p = p;
+        const cim::cluster::Hierarchy h(*inst, copt);
+        depth = h.depth();
+      }
+      const auto report = cim::ppa::analytic_report(point, depth);
+      table.add_row(
+          {name, Table::integer(static_cast<long long>(n)),
+           Table::integer(p),
+           format_bits(static_cast<double>(report.layout.capacity_bits)),
+           format_area_um2(report.chip_area_um2),
+           format_seconds(report.latency.read_compute_s),
+           format_seconds(report.latency.write_s),
+           format_joules(report.energy.read_compute_j),
+           format_joules(report.energy.write_j),
+           format_watts(report.average_power_w)});
+      csv.add_row({name, Table::integer(static_cast<long long>(n)),
+                   Table::integer(p),
+                   Table::sci(static_cast<double>(
+                                  report.layout.capacity_bits),
+                              4),
+                   Table::sci(report.chip_area_um2, 4),
+                   Table::sci(report.latency.read_compute_s, 4),
+                   Table::sci(report.latency.write_s, 4),
+                   Table::sci(report.energy.read_compute_j, 4),
+                   Table::sci(report.energy.write_j, 4),
+                   Table::sci(report.average_power_w, 4)});
+    }
+    table.add_separator();
+  }
+  table.add_footnote(
+      "paper anchors: pla85900 @ p_max=3 -> 46.4 Mb, 43.7 mm^2, 433 mW; "
+      "rl5934-class problems anneal in ~44 us");
+  table.add_footnote("series exported to fig7bcd_ppa.csv");
+  table.print();
+  csv.save("fig7bcd_ppa.csv");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// google-benchmark micro-kernels: the hot operations of the functional
+// simulator (window MACs on both backends, write-back with noise
+// injection, adder-tree reduction, swap evaluation) and the supporting
+// geometry (kd-tree queries).
+#include <benchmark/benchmark.h>
+
+#include "cim/adder_tree.hpp"
+#include "cim/storage.hpp"
+#include "cim/window.hpp"
+#include "geo/kdtree.hpp"
+#include "ising/pbm.hpp"
+#include "noise/sram_model.hpp"
+#include "tsp/generator.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> random_image(std::uint32_t rows,
+                                       std::uint32_t cols,
+                                       std::uint64_t seed) {
+  cim::util::Rng rng(seed);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(rows) * cols);
+  for (auto& w : image) w = static_cast<std::uint8_t>(rng.below(256));
+  return image;
+}
+
+void BM_WindowMacFast(benchmark::State& state) {
+  const auto p = static_cast<std::uint32_t>(state.range(0));
+  const cim::hw::WindowShape shape = cim::hw::WindowShape::hardware(p);
+  auto storage =
+      cim::hw::make_fast_storage(shape.rows(), shape.cols(), nullptr, 0);
+  storage->write(random_image(shape.rows(), shape.cols(), 1));
+  std::vector<std::uint8_t> input(shape.rows(), 0);
+  for (std::uint32_t i = 0; i < p; ++i) input[i * p + i % p] = 1;
+  std::uint32_t col = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage->mac(col, input));
+    col = (col + 1) % shape.cols();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WindowMacFast)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_WindowMacBitLevel(benchmark::State& state) {
+  const auto p = static_cast<std::uint32_t>(state.range(0));
+  const cim::hw::WindowShape shape = cim::hw::WindowShape::hardware(p);
+  auto storage = cim::hw::make_bit_level_storage(shape.rows(), shape.cols(),
+                                                 nullptr, 0);
+  storage->write(random_image(shape.rows(), shape.cols(), 2));
+  std::vector<std::uint8_t> input(shape.rows(), 1);
+  std::uint32_t col = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage->mac(col, input));
+    col = (col + 1) % shape.cols();
+  }
+}
+BENCHMARK(BM_WindowMacBitLevel)->Arg(3);
+
+void BM_WriteBackNoisy(benchmark::State& state) {
+  const cim::hw::WindowShape shape = cim::hw::WindowShape::hardware(3);
+  static const cim::noise::SramCellModel model;
+  auto storage =
+      cim::hw::make_fast_storage(shape.rows(), shape.cols(), &model, 0);
+  storage->write(random_image(shape.rows(), shape.cols(), 3));
+  cim::noise::SchedulePhase phase;
+  phase.vdd = 0.30;
+  phase.noisy_lsbs = 6;
+  for (auto _ : state) {
+    storage->write_back(phase);
+    ++phase.epoch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          shape.weights());
+}
+BENCHMARK(BM_WriteBackNoisy);
+
+void BM_AdderTreeReduce(benchmark::State& state) {
+  const auto fan_in = static_cast<std::uint32_t>(state.range(0));
+  cim::hw::AdderTree tree(fan_in);
+  std::vector<std::uint8_t> products(fan_in, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.reduce(products));
+  }
+}
+BENCHMARK(BM_AdderTreeReduce)->Arg(8)->Arg(15)->Arg(24);
+
+void BM_PseudoReadDecision(benchmark::State& state) {
+  static const cim::noise::SramCellModel model;
+  std::uint64_t cell = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.settled_value(cell++, 3, 0.34, true));
+  }
+}
+BENCHMARK(BM_PseudoReadDecision);
+
+void BM_PbmSwapDelta(benchmark::State& state) {
+  static const auto inst = cim::tsp::generate_uniform(1000, 7);
+  cim::ising::PbmState pbm(inst, cim::tsp::Tour::identity(1000));
+  cim::util::Rng rng(1);
+  for (auto _ : state) {
+    const auto i = static_cast<std::size_t>(rng.below(1000));
+    const auto j = static_cast<std::size_t>(rng.below(1000));
+    benchmark::DoNotOptimize(pbm.swap_delta(i, j));
+  }
+}
+BENCHMARK(BM_PbmSwapDelta);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  const auto inst = cim::tsp::generate_uniform(
+      static_cast<std::size_t>(state.range(0)), 9);
+  const cim::geo::KdTree tree(inst.coords());
+  cim::util::Rng rng(2);
+  for (auto _ : state) {
+    const cim::geo::Point q{rng.uniform(0.0, 10000.0),
+                            rng.uniform(0.0, 10000.0)};
+    benchmark::DoNotOptimize(tree.nearest(q));
+  }
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

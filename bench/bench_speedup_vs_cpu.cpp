@@ -1,0 +1,83 @@
+// §VI convergence-speed claim: the annealer reaches a near-optimal tour
+// in tens of microseconds of (modelled) hardware time, versus Concorde's
+// cited 22 h / 7 d / 155 d exact solves — a >10⁹ speedup at <25% quality
+// overhead. Also compares against Neuro-Ising's published rl5934 numbers
+// and a live CPU simulated-annealing baseline.
+#include <cstdio>
+
+#include "anneal/clustered_annealer.hpp"
+#include "bench_common.hpp"
+#include "heuristics/construct.hpp"
+#include "heuristics/reference.hpp"
+#include "heuristics/sa_baseline.hpp"
+#include "ppa/report.hpp"
+#include "tsp/best_known.hpp"
+#include "tsp/generator.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using cim::util::Table;
+  using namespace cim::util;
+  cim::bench::print_header(
+      "§VI — convergence speedup vs CPU baselines",
+      "paper §VI: 1e9-1e11x speedup vs Concorde with <25% overhead; "
+      "rl5934 annealed in 44 us vs Neuro-Ising's ~8 s at ratio 1.7");
+
+  const std::vector<std::string> datasets =
+      cim::bench::full_scale()
+          ? std::vector<std::string>{"pcb3038", "rl5934", "rl11849"}
+          : std::vector<std::string>{"pcb3038", "rl5934"};
+
+  Table table({"dataset", "anneal time (hw)", "optimal ratio",
+               "Concorde (cited)", "speedup", "CPU-SA (live)",
+               "CPU-SA ratio"});
+  for (const auto& name : datasets) {
+    const auto inst = cim::tsp::make_paper_instance(name);
+    const auto reference = cim::heuristics::compute_reference(inst);
+
+    // Our annealer: solution quality from the functional sim, hardware
+    // time from the measured-cycle PPA model.
+    cim::anneal::AnnealerConfig config;
+    config.clustering.p = 3;
+    config.seed = 3;
+    const auto result = cim::anneal::ClusteredAnnealer(config).solve(inst);
+    cim::ppa::DesignPoint point;
+    point.instance_name = name;
+    point.n_cities = inst.size();
+    point.p = 3;
+    const auto report = cim::ppa::measured_report(point, result);
+    const double anneal_s = report.latency.total_s();
+    const double ratio = static_cast<double>(result.length) /
+                         static_cast<double>(reference.length);
+
+    // Live CPU simulated-annealing baseline (same move class, software).
+    const cim::util::Timer timer;
+    cim::heuristics::SaOptions sa;
+    sa.sweeps = 150;
+    const auto initial = cim::heuristics::nearest_neighbor(inst);
+    const auto sa_result =
+        cim::heuristics::simulated_annealing(inst, initial, sa);
+    const double sa_seconds = timer.seconds();
+    const double sa_ratio = static_cast<double>(sa_result.final_length) /
+                            static_cast<double>(reference.length);
+
+    const auto concorde = cim::tsp::concorde_runtime_seconds(name);
+    table.add_row(
+        {name, format_seconds(anneal_s), Table::num(ratio, 3),
+         concorde ? format_seconds(*concorde) : "n/a",
+         concorde ? format_factor(*concorde / anneal_s) : "n/a",
+         format_seconds(sa_seconds), Table::num(sa_ratio, 3)});
+  }
+  table.add_footnote(
+      "Concorde runtimes are the paper's citation [13] (exact solves); "
+      "speedup compares hardware time-to-approximate-solution against "
+      "exact-solve time, as the paper does");
+  table.add_footnote(
+      "Neuro-Ising (paper §VI): rl5934 at ratio ~1.7 in ~8 s of Ising "
+      "annealing — our hardware time above is ~1e5x faster at better "
+      "ratio");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Design-space exploration: sweep the cluster strategy and p_max on one
+// instance and print the quality / capacity / latency / energy trade-off —
+// the workflow an architect would run before freezing the hardware
+// configuration (paper §V.A).
+//
+//   ./design_space --instance rl5915 --seeds 3
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "tsp/generator.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+struct SweepPoint {
+  const char* label;
+  cim::cluster::Strategy strategy;
+  std::uint32_t p;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cim::util::Args args(argc, argv);
+    const std::string name = args.get_or("instance", "pcb3038");
+    const auto seeds =
+        static_cast<std::uint64_t>(args.get_int("seeds", 2));
+
+    const auto instance = cim::tsp::make_paper_instance(name);
+    std::printf("design-space exploration on %s (%zu cities), %llu seeds\n",
+                name.c_str(), instance.size(),
+                static_cast<unsigned long long>(seeds));
+
+    const std::vector<SweepPoint> sweep{
+        {"unlimited (sw only)", cim::cluster::Strategy::kUnlimited, 3},
+        {"fixed p=2", cim::cluster::Strategy::kFixed, 2},
+        {"fixed p=3", cim::cluster::Strategy::kFixed, 3},
+        {"fixed p=4", cim::cluster::Strategy::kFixed, 4},
+        {"semi-flex p_max=2", cim::cluster::Strategy::kSemiFlexible, 2},
+        {"semi-flex p_max=3", cim::cluster::Strategy::kSemiFlexible, 3},
+        {"semi-flex p_max=4", cim::cluster::Strategy::kSemiFlexible, 4},
+    };
+
+    cim::util::Table table({"configuration", "mean ratio", "capacity",
+                            "chip area", "anneal time", "energy",
+                            "depth"});
+    table.set_title("quality vs hardware cost");
+    for (const auto& point : sweep) {
+      cim::util::RunningStats ratio;
+      std::optional<cim::ppa::PpaReport> ppa;
+      std::size_t depth = 0;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        cim::core::SolverConfig config;
+        config.strategy = point.strategy;
+        config.p_max = point.p;
+        config.seed = seed;
+        const auto outcome = cim::core::CimSolver(config).solve(instance);
+        if (outcome.optimal_ratio) ratio.add(*outcome.optimal_ratio);
+        if (seed == 1) {
+          ppa = outcome.ppa;
+          depth = outcome.anneal.hierarchy_depth;
+        }
+      }
+      const bool hw = point.strategy != cim::cluster::Strategy::kUnlimited;
+      table.add_row(
+          {point.label, cim::util::Table::num(ratio.mean(), 3),
+           hw && ppa ? cim::util::format_bits(static_cast<double>(
+                           ppa->layout.capacity_bits))
+                     : "n/a",
+           hw && ppa ? cim::util::format_area_um2(ppa->chip_area_um2)
+                     : "n/a",
+           ppa ? cim::util::format_seconds(ppa->latency.total_s()) : "n/a",
+           ppa ? cim::util::format_joules(ppa->energy.total_j()) : "n/a",
+           std::to_string(depth)});
+    }
+    table.add_footnote(
+        "paper recommendation: semi-flex p_max=3 — close-to-best quality "
+        "at moderate cost (Table I, Fig. 7)");
+    table.print();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,79 @@
+// Quickstart: solve one TSP instance with the digital-CIM clustered
+// annealer and print the solution quality and the hardware projection.
+//
+//   ./quickstart                       # default: pcb3038 mimic, p_max=3
+//   ./quickstart --instance rl5915 --p 4 --seed 7
+//   CIMANNEAL_TSPLIB_DIR=/data/tsplib ./quickstart --instance pcb3038
+#include <cstdio>
+#include <exception>
+
+#include "core/report.hpp"
+#include "core/solver.hpp"
+#include "tsp/generator.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const cim::util::Args args(argc, argv);
+    const std::string name = args.get_or("instance", "pcb3038");
+    cim::core::SolverConfig config;
+    config.p_max = static_cast<std::uint32_t>(args.get_int("p", 3));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    std::printf("Loading instance %s ...\n", name.c_str());
+    const cim::tsp::Instance instance = cim::tsp::make_paper_instance(name);
+    std::printf("  %zu cities (%s)\n", instance.size(),
+                instance.comment().c_str());
+
+    const cim::core::CimSolver solver(config);
+    std::printf("Solving with p_max=%u, %s noise ...\n", config.p_max,
+                cim::anneal::noise_mode_name(config.noise));
+    const auto outcome = solver.solve(instance);
+
+    cim::util::Table table({"metric", "value"});
+    table.set_title("cimanneal quickstart: " + name);
+    table.add_row({"tour length", std::to_string(outcome.tour_length)});
+    if (outcome.reference_length) {
+      table.add_row({"reference length",
+                     std::to_string(*outcome.reference_length)});
+    }
+    if (outcome.optimal_ratio) {
+      table.add_row({"optimal ratio",
+                     cim::util::Table::num(*outcome.optimal_ratio, 3)});
+    }
+    table.add_row({"hierarchy depth",
+                   std::to_string(outcome.anneal.hierarchy_depth)});
+    table.add_row({"swap attempts",
+                   std::to_string(outcome.anneal.hw.swap_attempts)});
+    table.add_row({"host solve time",
+                   cim::util::format_seconds(outcome.solve_wall_seconds)});
+    if (outcome.ppa) {
+      const auto& ppa = *outcome.ppa;
+      table.add_separator();
+      table.add_row({"SRAM capacity",
+                     cim::util::format_bits(
+                         static_cast<double>(ppa.layout.capacity_bits))});
+      table.add_row({"chip area",
+                     cim::util::format_area_um2(ppa.chip_area_um2)});
+      table.add_row({"annealing time",
+                     cim::util::format_seconds(ppa.latency.total_s())});
+      table.add_row({"energy-to-solution",
+                     cim::util::format_joules(ppa.energy.total_j())});
+      table.add_row({"average power",
+                     cim::util::format_watts(ppa.average_power_w)});
+    }
+    table.print();
+
+    // Machine-readable report on request: --json report.json
+    if (const auto path = args.get("json"); path && !path->empty()) {
+      cim::core::outcome_to_json(outcome, name).save(*path);
+      std::printf("JSON report written to %s\n", path->c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

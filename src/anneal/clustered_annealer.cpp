@@ -1,0 +1,511 @@
+#include "anneal/clustered_annealer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "anneal/top_ring.hpp"
+#include "cim/window.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/random.hpp"
+
+namespace cim::anneal {
+
+namespace {
+
+using cluster::Hierarchy;
+using noise::SchedulePhase;
+
+/// One ring position during a level solve: a cluster, its members, its
+/// compact weight window and its current member order.
+struct Slot {
+  std::vector<std::uint32_t> members;  ///< item ids one level below
+  std::vector<geo::Point> points;      ///< member representative positions
+  std::vector<std::uint32_t> perm;     ///< perm[order] = local member index
+  std::unique_ptr<hw::WeightStorage> storage;
+  hw::WindowShape shape;
+  std::uint32_t prev = 0;
+  std::uint32_t next = 0;
+  std::uint8_t color = 0;
+  std::uint64_t spin_cell_base = 0;  ///< register-cell ids for kSramSpin
+
+  std::uint32_t p() const { return static_cast<std::uint32_t>(members.size()); }
+};
+
+/// Solves the member order of every cluster at one hierarchy level.
+class LevelSolver {
+ public:
+  LevelSolver(const AnnealerConfig& config, const tsp::Instance& instance,
+              const Hierarchy& hierarchy, std::size_t level,
+              const std::vector<std::uint32_t>& ring,
+              const noise::SramCellModel& cell_model,
+              const noise::AnnealSchedule& schedule, util::Rng& rng,
+              std::uint64_t epoch_base)
+      : config_(config),
+        instance_(instance),
+        hierarchy_(hierarchy),
+        level_(level),
+        cell_model_(cell_model),
+        schedule_(schedule),
+        rng_(rng),
+        epoch_base_(epoch_base) {
+    build_slots(ring);
+    build_windows();
+  }
+
+  LevelStats run(HardwareActivity& hw, std::vector<double>* trace);
+
+  /// Expanded ring: member item ids in final visiting order.
+  std::vector<std::uint32_t> expanded_ring() const;
+
+  /// Level metric: cyclic length over the expanded member sequence using
+  /// exact (unquantised) distances.
+  double exact_ring_length() const;
+
+ private:
+  void build_slots(const std::vector<std::uint32_t>& ring);
+  void build_windows();
+
+  geo::Point item_point(std::uint32_t item) const {
+    if (level_ == 0) return instance_.coord(item);
+    return hierarchy_.level(level_ - 1).clusters[item].centroid;
+  }
+
+  /// Exact member-to-member distance (TSPLIB integer metric at level 0,
+  /// centroid Euclidean above).
+  double exact_distance(const geo::Point& a, const geo::Point& b,
+                        std::uint32_t item_a, std::uint32_t item_b) const {
+    if (level_ == 0) {
+      return static_cast<double>(
+          instance_.distance(item_a, item_b));
+    }
+    return geo::euclidean(a, b);
+  }
+
+  std::uint8_t quantise(double d) const {
+    if (scale_ <= 0.0) return 0;
+    const double q = std::round(d * scale_);
+    const double max_code =
+        static_cast<double>((1U << config_.weight_bits) - 1U);
+    return static_cast<std::uint8_t>(std::clamp(q, 0.0, max_code));
+  }
+
+  /// Builds the input bit-vector of `slot` from the current permutations.
+  void assemble_input(const Slot& slot, std::vector<std::uint8_t>& input,
+                      const SchedulePhase& phase) const;
+
+  bool attempt_swap(Slot& slot, const SchedulePhase& phase,
+                    LevelStats& stats, HardwareActivity& hw);
+
+  /// Exact (noise-free, unquantised) energy delta of the swap (i, j) that
+  /// has already been applied to slot.perm.
+  double exact_swap_delta_applied(Slot& slot, std::uint32_t i,
+                                  std::uint32_t j) const;
+
+  const AnnealerConfig& config_;
+  const tsp::Instance& instance_;
+  const Hierarchy& hierarchy_;
+  std::size_t level_;
+  const noise::SramCellModel& cell_model_;
+  const noise::AnnealSchedule& schedule_;
+  util::Rng& rng_;
+  std::uint64_t epoch_base_;
+
+  std::vector<Slot> slots_;
+  std::uint8_t color_count_ = 1;
+  double scale_ = 0.0;  ///< quantisation: weight = distance * scale_
+  mutable std::vector<std::uint8_t> input_scratch_;
+};
+
+void LevelSolver::build_slots(const std::vector<std::uint32_t>& ring) {
+  CIM_ASSERT(!ring.empty());
+  const auto& clusters = hierarchy_.level(level_).clusters;
+  slots_.resize(ring.size());
+  std::uint64_t spin_base = 0;
+  for (std::size_t r = 0; r < ring.size(); ++r) {
+    Slot& slot = slots_[r];
+    const cluster::Cluster& c = clusters[ring[r]];
+    slot.members = c.members;
+    slot.points.reserve(slot.members.size());
+    for (const std::uint32_t item : slot.members) {
+      slot.points.push_back(item_point(item));
+    }
+    slot.perm.resize(slot.members.size());
+    for (std::uint32_t i = 0; i < slot.perm.size(); ++i) slot.perm[i] = i;
+    slot.prev = static_cast<std::uint32_t>((r + ring.size() - 1) %
+                                           ring.size());
+    slot.next = static_cast<std::uint32_t>((r + 1) % ring.size());
+    slot.spin_cell_base = 0x8000000000000000ULL | (spin_base << 8);
+    spin_base += 1;
+  }
+  // Chromatic colouring of the ring: alternate parity; an odd ring (of
+  // length > 1) gives its last slot a third colour so no two adjacent
+  // slots share a colour.
+  color_count_ = 1;
+  if (slots_.size() > 1) {
+    color_count_ = 2;
+    for (std::size_t r = 0; r < slots_.size(); ++r) {
+      slots_[r].color = static_cast<std::uint8_t>(r % 2);
+    }
+    if (slots_.size() % 2 == 1) {
+      slots_.back().color = 2;
+      color_count_ = 3;
+    }
+  }
+}
+
+void LevelSolver::build_windows() {
+  // Quantisation scale from the largest distance any window stores.
+  double dmax = 0.0;
+  for (const Slot& slot : slots_) {
+    const Slot& prev = slots_[slot.prev];
+    const Slot& next = slots_[slot.next];
+    for (std::size_t a = 0; a < slot.points.size(); ++a) {
+      for (std::size_t b = a + 1; b < slot.points.size(); ++b) {
+        dmax = std::max(dmax,
+                        exact_distance(slot.points[a], slot.points[b],
+                                       slot.members[a], slot.members[b]));
+      }
+      for (std::size_t j = 0; j < prev.points.size(); ++j) {
+        dmax = std::max(dmax,
+                        exact_distance(prev.points[j], slot.points[a],
+                                       prev.members[j], slot.members[a]));
+      }
+      for (std::size_t j = 0; j < next.points.size(); ++j) {
+        dmax = std::max(dmax,
+                        exact_distance(next.points[j], slot.points[a],
+                                       next.members[j], slot.members[a]));
+      }
+    }
+  }
+  // Full-scale code of the configured precision maps to the largest
+  // window distance.
+  const double max_code =
+      static_cast<double>((1U << config_.weight_bits) - 1U);
+  scale_ = dmax > 0.0 ? max_code / dmax : 0.0;
+
+  // Weight noise only exists in the SRAM-weight mode; the other modes run
+  // on clean weights (spin noise / LFSR randomness enter elsewhere).
+  const noise::SramCellModel* weight_model =
+      config_.noise == NoiseMode::kSramWeight ? &cell_model_ : nullptr;
+
+  std::uint64_t cell_base = 0;
+  for (Slot& slot : slots_) {
+    slot.shape = hw::WindowShape{slot.p(), slots_[slot.prev].p(),
+                                 slots_[slot.next].p()};
+    hw::WindowBuilder builder(slot.shape);
+    for (std::uint32_t a = 0; a < slot.p(); ++a) {
+      for (std::uint32_t b = a + 1; b < slot.p(); ++b) {
+        builder.set_own_distance(
+            a, b,
+            quantise(exact_distance(slot.points[a], slot.points[b],
+                                    slot.members[a], slot.members[b])));
+      }
+      const Slot& prev = slots_[slot.prev];
+      for (std::uint32_t j = 0; j < slot.shape.p_prev; ++j) {
+        builder.set_prev_distance(
+            j, a,
+            quantise(exact_distance(prev.points[j], slot.points[a],
+                                    prev.members[j], slot.members[a])));
+      }
+      const Slot& next = slots_[slot.next];
+      for (std::uint32_t j = 0; j < slot.shape.p_next; ++j) {
+        builder.set_next_distance(
+            j, a,
+            quantise(exact_distance(next.points[j], slot.points[a],
+                                    next.members[j], slot.members[a])));
+      }
+    }
+    const auto image = builder.build();
+    if (config_.backend == BackendKind::kFast) {
+      slot.storage = hw::make_fast_storage(slot.shape.rows(),
+                                           slot.shape.cols(), weight_model,
+                                           cell_base, config_.weight_bits);
+    } else {
+      slot.storage = hw::make_bit_level_storage(
+          slot.shape.rows(), slot.shape.cols(), weight_model, cell_base,
+          config_.weight_bits);
+    }
+    slot.storage->write(image);
+    cell_base += static_cast<std::uint64_t>(slot.shape.weights()) *
+                 config_.weight_bits;
+  }
+}
+
+void LevelSolver::assemble_input(const Slot& slot,
+                                 std::vector<std::uint8_t>& input,
+                                 const SchedulePhase& phase) const {
+  input.assign(slot.shape.rows(), 0);
+  const std::uint32_t p = slot.p();
+  for (std::uint32_t i = 0; i < p; ++i) {
+    input[i * p + slot.perm[i]] = 1;
+  }
+  const Slot& prev = slots_[slot.prev];
+  const Slot& next = slots_[slot.next];
+  input[slot.shape.own_rows() + prev.perm.back()] = 1;
+  input[slot.shape.own_rows() + slot.shape.p_prev + next.perm.front()] = 1;
+
+  if (config_.noise == NoiseMode::kSramSpin) {
+    // [4]-style: the spin registers themselves are the noisy cells; the
+    // error pattern is spatial (fixed per epoch), so repeated reads of the
+    // same state give the same corrupted state.
+    for (std::uint32_t r = 0; r < input.size(); ++r) {
+      const bool bit = input[r] != 0;
+      const bool noisy = filter_spin_bit(cell_model_,
+                                         slot.spin_cell_base + r, phase, bit);
+      input[r] = noisy ? 1 : 0;
+    }
+  }
+}
+
+bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
+                               LevelStats& stats, HardwareActivity& hw) {
+  const std::uint32_t p = slot.p();
+  if (p < 2) return false;
+  ++stats.swaps_attempted;
+  ++hw.swap_attempts;
+
+  std::uint32_t i = static_cast<std::uint32_t>(rng_.below(p));
+  std::uint32_t j = static_cast<std::uint32_t>(rng_.below(p - 1));
+  if (j >= i) ++j;
+  if (i > j) std::swap(i, j);
+
+  const std::uint32_t k = slot.perm[i];
+  const std::uint32_t l = slot.perm[j];
+  auto& input = input_scratch_;
+
+  // Two MACs with the pre-swap spin state (Fig. 5(a), cycles 1–2).
+  assemble_input(slot, input, phase);
+  const std::int64_t before =
+      slot.storage->mac(i * p + k, input) + slot.storage->mac(j * p + l, input);
+
+  // Apply the swap, two MACs with the post-swap state (cycles 3–4).
+  std::swap(slot.perm[i], slot.perm[j]);
+  assemble_input(slot, input, phase);
+  const std::int64_t after =
+      slot.storage->mac(i * p + l, input) + slot.storage->mac(j * p + k, input);
+
+  // Dataflow accounting: the boundary spins cross the array edge once per
+  // update, and the input register realigns by one window.
+  const auto parity = (slot.color % 2) == 0 ? hw::UpdateParity::kSolid
+                                            : hw::UpdateParity::kDash;
+  hw.dataflow.record_edge_transfer(parity, p);
+  hw.dataflow.record_input_shift(p);
+
+  const std::int64_t delta = after - before;
+  bool accept = false;
+  switch (config_.noise) {
+    case NoiseMode::kSramWeight:
+    case NoiseMode::kSramSpin:
+    case NoiseMode::kNone:
+      accept = delta < 0;
+      break;
+    case NoiseMode::kLfsr: {
+      const double temperature = equivalent_temperature(cell_model_, phase);
+      accept = delta < 0 ||
+               (temperature > 0.0 &&
+                rng_.uniform() <
+                    std::exp(-static_cast<double>(delta) / temperature));
+      break;
+    }
+  }
+  if (!accept) {
+    std::swap(slot.perm[i], slot.perm[j]);  // revert
+    return false;
+  }
+  ++stats.swaps_accepted;
+  if (exact_swap_delta_applied(slot, i, j) > 1e-9) {
+    ++stats.uphill_accepted;
+  }
+  return true;
+}
+
+double LevelSolver::exact_swap_delta_applied(Slot& slot, std::uint32_t i,
+                                             std::uint32_t j) const {
+  // The swap is already applied to slot.perm; evaluate the exact energy
+  // difference it produced: local energies of the swapped orders after
+  // minus before (the noise-free counterpart of the 4-MAC comparison).
+  const auto local = [&](std::uint32_t order, std::uint32_t member) {
+    const Slot& prev = slots_[slot.prev];
+    const Slot& next = slots_[slot.next];
+    double acc = 0.0;
+    const geo::Point pt = slot.points[member];
+    const std::uint32_t item = slot.members[member];
+    if (order == 0) {
+      const std::uint32_t b = prev.perm.back();
+      acc += exact_distance(prev.points[b], pt, prev.members[b], item);
+    } else {
+      const std::uint32_t m = slot.perm[order - 1];
+      if (m != member) {
+        acc += exact_distance(slot.points[m], pt, slot.members[m], item);
+      }
+    }
+    if (order + 1 == slot.p()) {
+      const std::uint32_t b = next.perm.front();
+      acc += exact_distance(next.points[b], pt, next.members[b], item);
+    } else {
+      const std::uint32_t m = slot.perm[order + 1];
+      if (m != member) {
+        acc += exact_distance(slot.points[m], pt, slot.members[m], item);
+      }
+    }
+    return acc;
+  };
+
+  const double after = local(i, slot.perm[i]) + local(j, slot.perm[j]);
+  // Temporarily revert to evaluate the pre-swap energies.
+  std::swap(slot.perm[i], slot.perm[j]);
+  const double before = local(i, slot.perm[i]) + local(j, slot.perm[j]);
+  std::swap(slot.perm[i], slot.perm[j]);
+  return after - before;
+}
+
+LevelStats LevelSolver::run(HardwareActivity& hw,
+                            std::vector<double>* trace) {
+  LevelStats stats;
+  stats.level = level_;
+  stats.clusters = slots_.size();
+  stats.iterations = schedule_.total_iterations();
+
+  const std::uint32_t max_rows = [&] {
+    std::uint32_t m = 0;
+    for (const Slot& s : slots_) m = std::max(m, s.shape.rows());
+    return m;
+  }();
+
+  for (std::size_t iter = 0; iter < schedule_.total_iterations(); ++iter) {
+    SchedulePhase phase = schedule_.at(iter);
+    phase.epoch += epoch_base_;
+
+    if (phase.write_back) {
+      for (Slot& slot : slots_) slot.storage->write_back(phase);
+      // All arrays refresh in parallel; rows within an array are written
+      // sequentially.
+      hw.writeback_cycles += max_rows;
+      stats.update_cycles += max_rows;
+    }
+
+    if (config_.chromatic_parallel) {
+      // All slots of one colour update in the same 4 MAC cycles: their
+      // ring neighbours hold other colours, so the frozen-neighbour reads
+      // are race-free (chromatic Gibbs sampling).
+      for (std::uint8_t color = 0; color < color_count_; ++color) {
+        for (Slot& slot : slots_) {
+          if (slot.color == color) attempt_swap(slot, phase, stats, hw);
+        }
+        hw.update_cycles += 4;
+        stats.update_cycles += 4;
+      }
+    } else {
+      // Sequential Gibbs baseline: one cluster at a time.
+      for (Slot& slot : slots_) {
+        attempt_swap(slot, phase, stats, hw);
+        hw.update_cycles += 4;
+        stats.update_cycles += 4;
+      }
+    }
+
+    if (trace) trace->push_back(exact_ring_length());
+  }
+
+  stats.ring_length_after = exact_ring_length();
+  for (const Slot& slot : slots_) {
+    hw.storage += slot.storage->counters();
+  }
+  return stats;
+}
+
+std::vector<std::uint32_t> LevelSolver::expanded_ring() const {
+  std::vector<std::uint32_t> out;
+  for (const Slot& slot : slots_) {
+    for (std::uint32_t i = 0; i < slot.p(); ++i) {
+      out.push_back(slot.members[slot.perm[i]]);
+    }
+  }
+  return out;
+}
+
+double LevelSolver::exact_ring_length() const {
+  // Walk the expanded member sequence with exact distances.
+  double total = 0.0;
+  geo::Point prev_pt{};
+  std::uint32_t prev_item = 0;
+  bool have_prev = false;
+  geo::Point first_pt{};
+  std::uint32_t first_item = 0;
+  for (const Slot& slot : slots_) {
+    for (std::uint32_t i = 0; i < slot.p(); ++i) {
+      const std::uint32_t local = slot.perm[i];
+      const geo::Point pt = slot.points[local];
+      const std::uint32_t item = slot.members[local];
+      if (have_prev) {
+        total += exact_distance(prev_pt, pt, prev_item, item);
+      } else {
+        first_pt = pt;
+        first_item = item;
+        have_prev = true;
+      }
+      prev_pt = pt;
+      prev_item = item;
+    }
+  }
+  if (have_prev) {
+    total += exact_distance(prev_pt, first_pt, prev_item, first_item);
+  }
+  return total;
+}
+
+}  // namespace
+
+ClusteredAnnealer::ClusteredAnnealer(AnnealerConfig config)
+    : config_(std::move(config)) {
+  CIM_REQUIRE(config_.weight_bits >= 1 && config_.weight_bits <= 8,
+              "weight precision must be 1..8 bits");
+}
+
+AnnealResult ClusteredAnnealer::solve(const tsp::Instance& instance) const {
+  const Hierarchy hierarchy(instance, config_.clustering);
+
+  AnnealResult result;
+  result.hierarchy_depth = hierarchy.depth();
+  result.max_cluster_size = hierarchy.max_cluster_size();
+
+  const noise::SramCellModel cell_model(
+      config_.sram, util::hash_combine(config_.seed, 0xCE11));
+  const noise::AnnealSchedule schedule(config_.schedule);
+  util::Rng rng(util::hash_combine(config_.seed, 0xA22EA1));
+
+  // Order the top level's super-clusters into a ring.
+  const std::size_t top = hierarchy.depth() - 1;
+  std::vector<geo::Point> top_centroids;
+  top_centroids.reserve(hierarchy.top().clusters.size());
+  for (const cluster::Cluster& c : hierarchy.top().clusters) {
+    top_centroids.push_back(c.centroid);
+  }
+  std::vector<std::uint32_t> ring = order_top_ring(top_centroids);
+
+  // Hierarchical annealing: descend level-by-level. The same physical
+  // arrays are rewritten per level, so cell ids restart at 0 while the
+  // write-back epoch keeps increasing (temporal decorrelation across
+  // levels on the same spatial variation).
+  std::uint64_t epoch_base = 0;
+  for (std::size_t k = top + 1; k-- > 0;) {
+    LevelSolver solver(config_, instance, hierarchy, k, ring, cell_model,
+                       schedule, rng, epoch_base);
+    std::vector<double>* trace =
+        (config_.record_trace && k == 0) ? &result.trace : nullptr;
+    result.levels.push_back(solver.run(result.hw, trace));
+    ring = solver.expanded_ring();
+    epoch_base += schedule.epochs();
+  }
+
+  std::vector<tsp::CityId> order(ring.begin(), ring.end());
+  result.tour = tsp::Tour(std::move(order));
+  CIM_ASSERT_MSG(result.tour.is_valid(instance.size()),
+                 "annealer produced an invalid tour");
+  result.length = result.tour.length(instance);
+  return result;
+}
+
+}  // namespace cim::anneal

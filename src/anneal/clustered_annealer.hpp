@@ -1,0 +1,101 @@
+// The clustered digital-CIM Ising annealer (§III + §IV + §V).
+//
+// Pipeline per solve:
+//   1. hierarchical clustering of the instance (cluster::Hierarchy);
+//   2. the top level's super-clusters are ordered into a ring;
+//   3. hierarchical annealing descends level-by-level: at each level every
+//      cluster owns one compact weight window (Fig. 3(c)) holding the
+//      8-bit quantised distances between its members and the boundary
+//      members of its ring neighbours; the cluster's member order is
+//      annealed with PBM order swaps whose energies are the window-column
+//      MACs (Fig. 5(a): two MACs before the swap, two after, compare);
+//   4. weights are periodically written back while the pseudo-read supply
+//      rises and the noisy-LSB count falls (noise::AnnealSchedule), so the
+//      SRAM-induced weight noise anneals away;
+//   5. ring-non-adjacent clusters update in parallel (chromatic Gibbs):
+//      odd and even ring positions alternate cycles — an odd-length ring
+//      needs a third phase for its last cluster;
+//   6. after level 0 the member ring *is* the city tour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anneal/noise_source.hpp"
+#include "cluster/hierarchy.hpp"
+#include "cim/dataflow.hpp"
+#include "cim/storage.hpp"
+#include "noise/schedule.hpp"
+#include "noise/sram_model.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace cim::anneal {
+
+enum class BackendKind { kFast, kBitLevel };
+
+struct AnnealerConfig {
+  cluster::Options clustering;
+  noise::AnnealSchedule::Params schedule;
+  noise::SramNoiseParams sram;
+  NoiseMode noise = NoiseMode::kSramWeight;
+  BackendKind backend = BackendKind::kFast;
+  bool chromatic_parallel = true;  ///< false → sequential Gibbs (ablation)
+  std::uint32_t weight_bits = 8;
+  std::uint64_t seed = 1;
+  /// Record the level-0 ring length after every iteration (costly; for
+  /// convergence studies on small instances).
+  bool record_trace = false;
+};
+
+/// Per-level outcome.
+struct LevelStats {
+  std::size_t level = 0;         ///< hierarchy level index (depth-1 = top)
+  std::size_t clusters = 0;
+  std::size_t iterations = 0;
+  std::size_t swaps_attempted = 0;
+  std::size_t swaps_accepted = 0;
+  /// Accepted swaps whose *exact* (noise-free, unquantised) energy delta
+  /// was positive — uphill moves, only reachable through noise. The
+  /// annealing-vs-greedy observable of §IV.B.
+  std::size_t uphill_accepted = 0;
+  std::size_t update_cycles = 0;  ///< hardware cycles (MAC + write-back)
+  double ring_length_after = 0.0; ///< expanded ring length (level metric)
+};
+
+/// Aggregated hardware activity for the PPA models.
+struct HardwareActivity {
+  hw::StorageCounters storage;
+  hw::DataflowTracker dataflow;
+  std::uint64_t update_cycles = 0;
+  std::uint64_t writeback_cycles = 0;
+  std::uint64_t swap_attempts = 0;
+};
+
+struct AnnealResult {
+  tsp::Tour tour;
+  long long length = 0;            ///< TSPLIB length of the final tour
+  std::vector<LevelStats> levels;  ///< top level first
+  HardwareActivity hw;
+  std::vector<double> trace;       ///< optional per-iteration level-0 length
+  std::size_t hierarchy_depth = 0;
+  std::size_t max_cluster_size = 0;
+};
+
+class ClusteredAnnealer {
+ public:
+  explicit ClusteredAnnealer(AnnealerConfig config);
+
+  const AnnealerConfig& config() const { return config_; }
+
+  /// Solves the instance end-to-end. Thread-compatible: one solve per
+  /// annealer instance at a time.
+  AnnealResult solve(const tsp::Instance& instance) const;
+
+ private:
+  AnnealerConfig config_;
+};
+
+}  // namespace cim::anneal

@@ -1,0 +1,65 @@
+#include "anneal/ensemble.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::anneal {
+
+long long EnsembleResult::worst_length() const {
+  CIM_ASSERT(!replica_lengths.empty());
+  return *std::max_element(replica_lengths.begin(), replica_lengths.end());
+}
+
+double EnsembleResult::mean_length() const {
+  CIM_ASSERT(!replica_lengths.empty());
+  double acc = 0.0;
+  for (const long long len : replica_lengths) {
+    acc += static_cast<double>(len);
+  }
+  return acc / static_cast<double>(replica_lengths.size());
+}
+
+ReplicaEnsemble::ReplicaEnsemble(EnsembleConfig config)
+    : config_(std::move(config)) {
+  CIM_REQUIRE(config_.replicas >= 1, "ensemble needs at least one replica");
+}
+
+EnsembleResult ReplicaEnsemble::solve(const tsp::Instance& instance) const {
+  std::vector<AnnealResult> results(config_.replicas);
+
+  const auto run_replica = [&](std::size_t r) {
+    AnnealerConfig config = config_.base;
+    // Independent annealing randomness and noise pattern per replica
+    // (each replica is a distinct physical array region); the clustering
+    // stays shared, as the hierarchy would be computed once.
+    config.seed = util::hash_combine(config_.base.seed, 0xE5E + r);
+    results[r] = ClusteredAnnealer(config).solve(instance);
+  };
+
+  if (config_.use_threads && config_.replicas > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(config_.replicas);
+    for (std::size_t r = 0; r < config_.replicas; ++r) {
+      workers.emplace_back(run_replica, r);
+    }
+    for (auto& w : workers) w.join();
+  } else {
+    for (std::size_t r = 0; r < config_.replicas; ++r) run_replica(r);
+  }
+
+  EnsembleResult ensemble;
+  ensemble.replica_lengths.reserve(config_.replicas);
+  std::size_t best = 0;
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    ensemble.replica_lengths.push_back(results[r].length);
+    if (results[r].length < results[best].length) best = r;
+  }
+  ensemble.best_replica = best;
+  ensemble.best = std::move(results[best]);
+  return ensemble;
+}
+
+}  // namespace cim::anneal

@@ -1,0 +1,48 @@
+#include "anneal/noise_source.hpp"
+
+#include <cmath>
+
+namespace cim::anneal {
+
+const char* noise_mode_name(NoiseMode mode) {
+  switch (mode) {
+    case NoiseMode::kSramWeight:
+      return "sram-weight";
+    case NoiseMode::kSramSpin:
+      return "sram-spin";
+    case NoiseMode::kLfsr:
+      return "lfsr";
+    case NoiseMode::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+double weight_noise_sigma(const noise::SramCellModel& model,
+                          const noise::SchedulePhase& phase) {
+  if (phase.noisy_lsbs == 0) return 0.0;
+  const double rate = model.expected_error_rate(phase.vdd);
+  double var = 0.0;
+  for (unsigned b = 0; b < phase.noisy_lsbs; ++b) {
+    const double magnitude = static_cast<double>(1U << b);
+    var += magnitude * magnitude * rate * (1.0 - rate);
+  }
+  return std::sqrt(var);
+}
+
+double equivalent_temperature(const noise::SramCellModel& model,
+                              const noise::SchedulePhase& phase) {
+  // A swap compares (2 MACs) − (2 MACs); each local energy reads ~2
+  // relevant weights, so ~8 independently corrupted weights contribute.
+  const double sigma_w = weight_noise_sigma(model, phase);
+  return std::sqrt(8.0) * sigma_w;
+}
+
+bool filter_spin_bit(const noise::SramCellModel& model,
+                     std::uint64_t spin_cell_id,
+                     const noise::SchedulePhase& phase, bool bit) {
+  if (phase.noisy_lsbs == 0) return bit;
+  return model.settled_value(spin_cell_id, phase.epoch, phase.vdd, bit);
+}
+
+}  // namespace cim::anneal

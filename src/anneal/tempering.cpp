@@ -1,0 +1,108 @@
+#include "anneal/tempering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anneal/noise_source.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::anneal {
+
+ParallelTempering::ParallelTempering(TemperingConfig config)
+    : config_(std::move(config)) {
+  CIM_REQUIRE(config_.replicas >= 2, "tempering needs at least 2 replicas");
+  CIM_REQUIRE(config_.sweeps >= 1, "tempering needs at least one sweep");
+  CIM_REQUIRE(config_.exchange_interval >= 1,
+              "exchange interval must be positive");
+  CIM_REQUIRE(config_.t_cold_factor > 0.0 &&
+                  config_.t_cold_factor < config_.t_hot_factor,
+              "temperature ladder must satisfy 0 < cold < hot");
+}
+
+TemperingResult ParallelTempering::solve(
+    const ising::IsingModel& model) const {
+  const std::size_t n = model.size();
+  util::Rng rng(util::hash_combine(config_.seed, 0x9E47));
+
+  // Temperature ladder anchored to the SRAM noise of the hot phase.
+  const noise::SramCellModel cell_model(
+      config_.sram, util::hash_combine(config_.seed, 0x7E47));
+  const noise::AnnealSchedule schedule(config_.schedule);
+  const double t_base =
+      std::max(equivalent_temperature(cell_model, schedule.at(0)), 1e-6);
+
+  TemperingResult result;
+  const std::size_t r_count = config_.replicas;
+  result.temperatures.resize(r_count);
+  const double hot = config_.t_hot_factor * t_base;
+  const double cold = config_.t_cold_factor * t_base;
+  const double decay =
+      std::pow(cold / hot, 1.0 / static_cast<double>(r_count - 1));
+  for (std::size_t r = 0; r < r_count; ++r) {
+    result.temperatures[r] =
+        hot * std::pow(decay, static_cast<double>(r));
+  }
+
+  // Replica states and energies.
+  std::vector<std::vector<ising::Spin>> states(r_count);
+  std::vector<double> energies(r_count);
+  for (std::size_t r = 0; r < r_count; ++r) {
+    states[r] = ising::random_spins(n, rng);
+    energies[r] = model.hamiltonian(states[r]);
+  }
+  result.best_spins = states.back();
+  result.best_energy = energies.back();
+
+  for (std::size_t sweep = 0; sweep < config_.sweeps; ++sweep) {
+    for (std::size_t r = 0; r < r_count; ++r) {
+      // Metropolis sweep; track the energy incrementally.
+      for (std::size_t step = 0; step < n; ++step) {
+        const auto i = static_cast<ising::SpinIndex>(rng.below(n));
+        const double delta = model.flip_delta(states[r], i);
+        const bool accept =
+            delta <= 0.0 ||
+            rng.uniform() < std::exp(-delta / result.temperatures[r]);
+        if (accept) {
+          states[r][i] = static_cast<ising::Spin>(-states[r][i]);
+          energies[r] += delta;
+        }
+      }
+      if (energies[r] < result.best_energy) {
+        result.best_energy = energies[r];
+        result.best_spins = states[r];
+      }
+    }
+
+    if (sweep % config_.exchange_interval == 0) {
+      // Alternate even/odd adjacent pairs like a brick wall.
+      const std::size_t start = (sweep / config_.exchange_interval) % 2;
+      for (std::size_t r = start; r + 1 < r_count; r += 2) {
+        ++result.exchanges_attempted;
+        const double beta_i = 1.0 / result.temperatures[r];
+        const double beta_j = 1.0 / result.temperatures[r + 1];
+        const double log_p =
+            (beta_j - beta_i) * (energies[r + 1] - energies[r]);
+        if (log_p >= 0.0 || rng.uniform() < std::exp(log_p)) {
+          std::swap(states[r], states[r + 1]);
+          std::swap(energies[r], energies[r + 1]);
+          ++result.exchanges_accepted;
+        }
+      }
+    }
+  }
+
+  result.final_energies = energies;
+  return result;
+}
+
+long long ParallelTempering::solve_maxcut(
+    const ising::MaxCutProblem& problem, TemperingResult* details) const {
+  const ising::IsingModel model = problem.to_ising();
+  TemperingResult result = solve(model);
+  const long long cut = problem.cut_value(result.best_spins);
+  if (details) *details = std::move(result);
+  return cut;
+}
+
+}  // namespace cim::anneal

@@ -1,0 +1,93 @@
+#include "anneal/top_ring.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace cim::anneal {
+
+double ring_length(const std::vector<geo::Point>& centroids,
+                   const std::vector<std::uint32_t>& ring) {
+  CIM_ASSERT(ring.size() == centroids.size());
+  if (ring.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    total += geo::euclidean(centroids[ring[i]],
+                            centroids[ring[(i + 1) % ring.size()]]);
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> order_top_ring(
+    const std::vector<geo::Point>& centroids) {
+  const std::size_t n = centroids.size();
+  std::vector<std::uint32_t> ring(n);
+  std::iota(ring.begin(), ring.end(), 0U);
+  if (n <= 3) return ring;  // every order is the same cycle
+
+  if (n <= 7) {
+    // Exhaustive: fix element 0, permute the rest.
+    std::vector<std::uint32_t> perm(ring.begin() + 1, ring.end());
+    std::sort(perm.begin(), perm.end());
+    std::vector<std::uint32_t> best = ring;
+    double best_len = std::numeric_limits<double>::infinity();
+    do {
+      std::vector<std::uint32_t> candidate{0};
+      candidate.insert(candidate.end(), perm.begin(), perm.end());
+      const double len = ring_length(centroids, candidate);
+      if (len < best_len) {
+        best_len = len;
+        best = candidate;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+  }
+
+  // Nearest neighbour construction + exhaustive 2-opt passes.
+  std::vector<char> used(n, 0);
+  ring.clear();
+  ring.push_back(0);
+  used[0] = 1;
+  while (ring.size() < n) {
+    const geo::Point from = centroids[ring.back()];
+    double best_d = std::numeric_limits<double>::infinity();
+    std::uint32_t best_i = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double d = geo::squared_distance(from, centroids[i]);
+      if (d < best_d) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    ring.push_back(best_i);
+    used[best_i] = 1;
+  }
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::size_t jn = (j + 1) % n;
+        if (jn == i) continue;
+        const geo::Point a = centroids[ring[i]];
+        const geo::Point a1 = centroids[ring[i + 1]];
+        const geo::Point b = centroids[ring[j]];
+        const geo::Point b1 = centroids[ring[jn]];
+        const double delta = geo::euclidean(a, b) + geo::euclidean(a1, b1) -
+                             geo::euclidean(a, a1) - geo::euclidean(b, b1);
+        if (delta < -1e-12) {
+          std::reverse(ring.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       ring.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          improved = true;
+        }
+      }
+    }
+  }
+  return ring;
+}
+
+}  // namespace cim::anneal

@@ -1,0 +1,22 @@
+// Top-of-hierarchy ring ordering: the hierarchical annealing (Fig. 4)
+// starts by ordering the few super-clusters of the top level into a cycle.
+// With top_size ≤ 7 the optimal cyclic order is found by enumeration;
+// larger tops fall back to nearest-neighbour + 2-opt on the centroids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace cim::anneal {
+
+/// Returns indices 0..n-1 ordered into a short cycle over `centroids`.
+std::vector<std::uint32_t> order_top_ring(
+    const std::vector<geo::Point>& centroids);
+
+/// Cycle length of `ring` over `centroids` (Euclidean).
+double ring_length(const std::vector<geo::Point>& centroids,
+                   const std::vector<std::uint32_t>& ring);
+
+}  // namespace cim::anneal

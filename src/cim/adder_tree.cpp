@@ -1,0 +1,57 @@
+#include "cim/adder_tree.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cim::hw {
+
+AdderTree::AdderTree(std::uint32_t fan_in) : fan_in_(fan_in) {
+  CIM_REQUIRE(fan_in >= 1, "adder tree needs at least one input");
+  depth_ = 0;
+  std::uint32_t width = fan_in_;
+  adders_ = 0;
+  while (width > 1) {
+    adders_ += width / 2;
+    width = (width + 1) / 2;
+    ++depth_;
+  }
+}
+
+std::uint32_t AdderTree::reduce(std::span<const std::uint8_t> products) {
+  CIM_ASSERT(products.size() == fan_in_);
+  // Model the pairwise reduction levels explicitly (equivalent to a plain
+  // sum, but mirrors the hardware structure and exercises the counters).
+  std::vector<std::uint32_t> level(products.begin(), products.end());
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(level[i] + level[i + 1]);
+      ++adder_ops_;
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  ++reductions_;
+  return level.empty() ? 0U : level.front();
+}
+
+std::uint64_t AdderTree::shift_and_add(std::span<const std::uint8_t> planes,
+                                       std::uint32_t bits) {
+  CIM_ASSERT(planes.size() == static_cast<std::size_t>(bits) * fan_in_);
+  std::uint64_t acc = 0;
+  for (std::uint32_t b = 0; b < bits; ++b) {
+    const std::uint32_t plane_sum =
+        reduce(planes.subspan(static_cast<std::size_t>(b) * fan_in_, fan_in_));
+    acc += static_cast<std::uint64_t>(plane_sum) << b;
+  }
+  return acc;
+}
+
+void AdderTree::reset_counters() {
+  reductions_ = 0;
+  adder_ops_ = 0;
+}
+
+}  // namespace cim::hw

@@ -1,0 +1,54 @@
+// Digital CIM adder tree (§II.B, Fig. 5(a)).
+//
+// A digital CIM column does not accumulate analog current: each 14T cell's
+// NOR gate produces a 1-bit product (input ∧ weight-bit) and a binary adder
+// tree sums the products of one column section. Eight bit-planes are then
+// combined by shift-and-add. Because the tree is a digital reduction, it
+// can sum *a section* of a column — the property that makes the paper's
+// compact window relocation legal where analog CIM would sum the whole
+// column and produce wrong energies.
+//
+// This model is functionally exact and also reports the adder-op count and
+// tree depth used by the PPA energy/latency models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cim::hw {
+
+class AdderTree {
+ public:
+  /// A tree sized for `fan_in` one-bit products.
+  explicit AdderTree(std::uint32_t fan_in);
+
+  std::uint32_t fan_in() const { return fan_in_; }
+  /// Tree depth in adder stages (ceil(log2(fan_in))).
+  std::uint32_t depth() const { return depth_; }
+  /// Total 1-bit full-adder equivalents in one reduction.
+  std::uint64_t adders_per_reduction() const { return adders_; }
+
+  /// Sums one bit-plane of products. `products` must have fan_in entries,
+  /// each 0 or 1. Counts one reduction.
+  std::uint32_t reduce(std::span<const std::uint8_t> products);
+
+  /// Full multi-bit MAC: for each weight bit-plane b (LSB first),
+  /// reduce(products of plane b) << b, accumulated. `planes` is
+  /// bit-major: planes[b * fan_in + r]. Counts `bits` reductions plus the
+  /// shift-and-add.
+  std::uint64_t shift_and_add(std::span<const std::uint8_t> planes,
+                              std::uint32_t bits);
+
+  std::uint64_t reductions() const { return reductions_; }
+  std::uint64_t total_adder_ops() const { return adder_ops_; }
+  void reset_counters();
+
+ private:
+  std::uint32_t fan_in_;
+  std::uint32_t depth_;
+  std::uint64_t adders_;
+  std::uint64_t reductions_ = 0;
+  std::uint64_t adder_ops_ = 0;
+};
+
+}  // namespace cim::hw

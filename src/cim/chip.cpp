@@ -1,0 +1,35 @@
+#include "cim/chip.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cim::hw {
+
+ChipLayout plan_chip(const ChipConfig& config) {
+  CIM_REQUIRE(config.n_cities >= 1, "chip needs a problem size");
+  CIM_REQUIRE(config.p >= 1, "chip needs p >= 1");
+
+  const double n = static_cast<double>(config.n_cities);
+  const double p = static_cast<double>(config.p);
+  const double weights_per_window = (p * p + 2.0 * p) * p * p;
+
+  ChipLayout layout;
+  // Window count per the paper:
+  //   fixed:         N/p clusters;
+  //   semi-flexible: 2N/(1+p_max) clusters, each provisioned at p_max.
+  const double windows = config.strategy == SizingStrategy::kFixed
+                             ? n / p
+                             : 2.0 * n / (1.0 + p);
+  layout.windows = static_cast<std::size_t>(std::ceil(windows));
+  layout.weights = static_cast<std::size_t>(
+      std::ceil(windows * weights_per_window));
+  layout.capacity_bits = layout.weights * config.array.weight_bits;
+
+  const std::size_t per_array = static_cast<std::size_t>(
+      config.array.window_rows) * config.array.window_cols;
+  layout.arrays = (layout.windows + per_array - 1) / per_array;
+  return layout;
+}
+
+}  // namespace cim::hw

@@ -1,0 +1,40 @@
+// Chip-level organisation: how many compact windows a problem needs, how
+// they pack into physical arrays, and the resulting SRAM capacity. These
+// are the formulas verified against Table I and the 46.4 Mb headline
+// (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "cim/array.hpp"
+
+namespace cim::hw {
+
+enum class SizingStrategy {
+  kFixed,         ///< every cluster holds exactly p elements
+  kSemiFlexible,  ///< sizes 1..p_max, mean (1+p_max)/2, redundant columns
+};
+
+struct ChipConfig {
+  std::size_t n_cities = 0;
+  std::uint32_t p = 3;  ///< p (fixed) or p_max (semi-flexible)
+  SizingStrategy strategy = SizingStrategy::kSemiFlexible;
+  ArrayGeometry array;  ///< array.p_max is overwritten with `p`
+};
+
+struct ChipLayout {
+  std::size_t windows = 0;        ///< compact weight windows (= clusters)
+  std::size_t arrays = 0;         ///< physical arrays (windows / per-array)
+  std::size_t weights = 0;        ///< total stored weights
+  std::size_t capacity_bits = 0;  ///< weights × precision
+  double capacity_bytes() const {
+    return static_cast<double>(capacity_bits) / 8.0;
+  }
+};
+
+/// Lays out the bottom clustering level (which dominates: upper levels are
+/// re-mapped onto the same arrays level-by-level, so the chip is sized for
+/// the leaf level).
+ChipLayout plan_chip(const ChipConfig& config);
+
+}  // namespace cim::hw

@@ -1,0 +1,29 @@
+#include "cim/dataflow.hpp"
+
+namespace cim::hw {
+
+void DataflowTracker::record_input_shift(std::uint32_t bits_shifted) {
+  ++shift_events_;
+  bits_shifted_ += bits_shifted;
+}
+
+void DataflowTracker::record_edge_transfer(UpdateParity parity,
+                                           std::uint32_t p_bits) {
+  if (parity == UpdateParity::kSolid) {
+    ++downstream_;
+  } else {
+    ++upstream_;
+  }
+  edge_bits_ += p_bits;
+}
+
+DataflowTracker& DataflowTracker::operator+=(const DataflowTracker& other) {
+  shift_events_ += other.shift_events_;
+  bits_shifted_ += other.bits_shifted_;
+  downstream_ += other.downstream_;
+  upstream_ += other.upstream_;
+  edge_bits_ += other.edge_bits_;
+  return *this;
+}
+
+}  // namespace cim::hw

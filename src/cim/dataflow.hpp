@@ -1,0 +1,47 @@
+// Intra-/inter-array dataflow accounting (§III.B, Fig. 5(e)).
+//
+// The recurrent HNN update keeps spin state in the input registers: inside
+// an array the register is shifted up to realign with the relocated
+// windows when alternating between odd ("solid") and even ("dash") cluster
+// updates; between arrays only the p boundary spin bits cross the edge —
+// downstream for solid updates, upstream for dash updates. This tracker
+// counts those events so the PPA model can charge them, and provides the
+// check used in tests that nothing but edge data ever moves between
+// arrays.
+#pragma once
+
+#include <cstdint>
+
+namespace cim::hw {
+
+enum class UpdateParity : std::uint8_t {
+  kSolid = 0,  ///< odd cluster columns
+  kDash = 1,   ///< even cluster columns
+};
+
+class DataflowTracker {
+ public:
+  /// Register realignment when the update parity toggles.
+  void record_input_shift(std::uint32_t bits_shifted);
+
+  /// Boundary transfer of `p` bits between ring-adjacent clusters.
+  /// Direction follows the parity: solid → downstream, dash → upstream.
+  void record_edge_transfer(UpdateParity parity, std::uint32_t p_bits);
+
+  std::uint64_t input_shift_events() const { return shift_events_; }
+  std::uint64_t input_bits_shifted() const { return bits_shifted_; }
+  std::uint64_t downstream_transfers() const { return downstream_; }
+  std::uint64_t upstream_transfers() const { return upstream_; }
+  std::uint64_t edge_bits_transferred() const { return edge_bits_; }
+
+  DataflowTracker& operator+=(const DataflowTracker& other);
+
+ private:
+  std::uint64_t shift_events_ = 0;
+  std::uint64_t bits_shifted_ = 0;
+  std::uint64_t downstream_ = 0;
+  std::uint64_t upstream_ = 0;
+  std::uint64_t edge_bits_ = 0;
+};
+
+}  // namespace cim::hw

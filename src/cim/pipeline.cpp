@@ -1,0 +1,69 @@
+#include "cim/pipeline.hpp"
+
+#include "cim/adder_tree.hpp"
+#include "util/error.hpp"
+
+namespace cim::hw {
+
+const char* stage_name(StageKind kind) {
+  switch (kind) {
+    case StageKind::kInputFetch:
+      return "IF";
+    case StageKind::kPseudoReadNor:
+      return "RD";
+    case StageKind::kAdderTree:
+      return "AT";
+    case StageKind::kShiftAdd:
+      return "SA";
+    case StageKind::kCompare:
+      return "CMP";
+  }
+  return "?";
+}
+
+PipelineModel::PipelineModel(WindowShape shape, std::uint32_t weight_bits)
+    : shape_(shape), weight_bits_(weight_bits) {
+  CIM_REQUIRE(weight_bits_ >= 1, "pipeline needs at least 1 weight bit");
+  stages_.push_back({StageKind::kInputFetch, 1, "input select/shift"});
+  stages_.push_back({StageKind::kPseudoReadNor, 1, "pseudo-read + NOR"});
+  const AdderTree tree(shape_.rows());
+  for (std::uint32_t level = 0; level < tree.depth(); ++level) {
+    stages_.push_back({StageKind::kAdderTree, 1,
+                       "adder tree level " + std::to_string(level)});
+  }
+  stages_.push_back({StageKind::kShiftAdd, 1, "shift-and-add"});
+  stages_.push_back({StageKind::kCompare, 1, "energy compare"});
+}
+
+std::uint64_t PipelineModel::mac_latency() const {
+  // Compare is not part of a lone MAC; every other stage is.
+  return static_cast<std::uint64_t>(stages_.size()) - 1;
+}
+
+std::uint64_t PipelineModel::update_latency() const {
+  // 4 MACs issue back-to-back; the final compare follows the last MAC's
+  // shift-and-add.
+  return 3 + mac_latency() + 1;
+}
+
+UpdateTimeline PipelineModel::trace_update() const {
+  UpdateTimeline timeline;
+  for (std::uint32_t mac = 0; mac < 4; ++mac) {
+    std::uint64_t cycle = mac;  // issue slot (fully pipelined)
+    for (const PipelineStage& stage : stages_) {
+      if (stage.kind == StageKind::kCompare) continue;
+      timeline.events.push_back({cycle, mac, stage.kind});
+      cycle += stage.cycles;
+    }
+    // Energy comparisons happen after MAC 1 (before-energy complete) and
+    // MAC 3 (after-energy complete; accept decision).
+    if (mac == 1 || mac == 3) {
+      timeline.events.push_back({cycle, mac, StageKind::kCompare});
+      cycle += 1;
+    }
+    timeline.total_cycles = std::max(timeline.total_cycles, cycle);
+  }
+  return timeline;
+}
+
+}  // namespace cim::hw

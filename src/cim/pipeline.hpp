@@ -1,0 +1,75 @@
+// Microarchitectural pipeline model of one swap update (Fig. 5(a)).
+//
+// The aggregate timing model charges 4 cycles per update (one per MAC at
+// issue rate 1/cycle); this model exposes the stage structure underneath:
+//
+//   IF  — input register select / shift-up realignment
+//   RD  — pseudo-read: word-line assert, NOR product evaluation
+//   AT… — adder-tree reduction, one stage per tree level
+//   SA  — shift-and-add across the 8 bit planes (pipelined per plane)
+//   CMP — energy comparison / accept decision (after the 2nd and 4th MAC)
+//
+// All stages are pipelined, so back-to-back MACs issue every cycle; a
+// single update's *latency* is 4 issue slots plus the pipeline fill.
+// The model emits a cycle-by-cycle trace for inspection and is checked
+// against the aggregate model's throughput numbers in the tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cim/window.hpp"
+
+namespace cim::hw {
+
+enum class StageKind : std::uint8_t {
+  kInputFetch,
+  kPseudoReadNor,
+  kAdderTree,
+  kShiftAdd,
+  kCompare,
+};
+
+const char* stage_name(StageKind kind);
+
+struct PipelineStage {
+  StageKind kind;
+  std::uint32_t cycles = 1;  ///< occupancy per MAC (1: fully pipelined)
+  std::string label;
+};
+
+struct UpdateTimeline {
+  struct Event {
+    std::uint64_t cycle;
+    std::uint32_t mac_index;  ///< 0..3 within the swap update
+    StageKind stage;
+  };
+  std::vector<Event> events;
+  std::uint64_t total_cycles = 0;  ///< last event cycle + 1
+};
+
+class PipelineModel {
+ public:
+  explicit PipelineModel(WindowShape shape, std::uint32_t weight_bits = 8);
+
+  const std::vector<PipelineStage>& stages() const { return stages_; }
+  /// Pipeline depth in stages.
+  std::size_t depth() const { return stages_.size(); }
+  /// Latency of one MAC through the whole pipe (cycles).
+  std::uint64_t mac_latency() const;
+  /// Cycles from first issue to the accept decision of a 4-MAC update.
+  std::uint64_t update_latency() const;
+  /// Issue interval between consecutive MACs (1 when fully pipelined).
+  std::uint64_t issue_interval() const { return 1; }
+
+  /// Cycle-accurate trace of one swap update (4 MACs + 2 compares).
+  UpdateTimeline trace_update() const;
+
+ private:
+  WindowShape shape_;
+  std::uint32_t weight_bits_;
+  std::vector<PipelineStage> stages_;
+};
+
+}  // namespace cim::hw

@@ -1,0 +1,93 @@
+// Noisy weight storage backends.
+//
+// Both backends store a golden 8-bit weight image and expose the same
+// semantics: a write-back restores the golden bits, then the pseudo-read
+// error pattern of the current schedule phase corrupts up to `noisy_lsbs`
+// low-order bit-cells toward each cell's preferred value (sticky until the
+// next write-back). Randomness is counter-hashed from (model seed, global
+// cell id, epoch), so the two backends produce bit-identical error
+// patterns — a property the test suite checks.
+//
+//   * FastStorage    — materialises the corrupted byte per weight at
+//                      write-back; MACs are plain integer dot products.
+//                      Used for large instances.
+//   * BitLevelStorage— explicit per-bit 14T cells, NOR multiplies and an
+//                      AdderTree reduction per MAC; optionally flips cells
+//                      on first access instead of at write-back
+//                      (kFlipOnAccess), which is the more faithful
+//                      temporal behaviour of pseudo-read.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cim/adder_tree.hpp"
+#include "noise/schedule.hpp"
+#include "noise/sram_model.hpp"
+
+namespace cim::hw {
+
+/// Counters shared by all storage backends.
+struct StorageCounters {
+  std::uint64_t macs = 0;              ///< column MAC operations
+  std::uint64_t mac_bit_reads = 0;     ///< weight bit-cells read by MACs
+  std::uint64_t writeback_events = 0;  ///< write-back operations
+  std::uint64_t writeback_bits = 0;    ///< bit-cells written back
+  std::uint64_t pseudo_read_flips = 0; ///< bit-cells corrupted by noise
+
+  StorageCounters& operator+=(const StorageCounters& other);
+};
+
+class WeightStorage {
+ public:
+  virtual ~WeightStorage() = default;
+
+  virtual std::uint32_t rows() const = 0;
+  virtual std::uint32_t cols() const = 0;
+  virtual std::uint32_t weight_bits() const = 0;
+
+  /// Installs the golden weight image (row-major rows×cols) and performs an
+  /// initial noise-free write.
+  virtual void write(std::span<const std::uint8_t> golden) = 0;
+
+  /// Restores golden bits, then applies the phase's pseudo-read corruption.
+  virtual void write_back(const noise::SchedulePhase& phase) = 0;
+
+  /// Column MAC: Σ_r input[r] · weight[r][col] over the current (possibly
+  /// corrupted) weights. input has rows() entries of 0/1.
+  virtual std::int64_t mac(std::uint32_t col,
+                           std::span<const std::uint8_t> input) = 0;
+
+  /// Current (possibly corrupted) weight value — for tests and debugging.
+  virtual std::uint8_t weight(std::uint32_t row, std::uint32_t col) const = 0;
+
+  const StorageCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+ protected:
+  StorageCounters counters_;
+};
+
+enum class PseudoReadPolicy {
+  kSettleAtWriteBack,  ///< corruption applied in full at write-back
+  kFlipOnAccess,       ///< cells flip on their first noisy access
+};
+
+/// Creates a fast (byte-materialised) backend.
+/// `cell_base` must give every storage a disjoint global cell-id range of
+/// rows*cols*weight_bits ids.
+std::unique_ptr<WeightStorage> make_fast_storage(
+    std::uint32_t rows, std::uint32_t cols,
+    const noise::SramCellModel* model, std::uint64_t cell_base,
+    std::uint32_t weight_bits = 8);
+
+/// Creates the bit-level 14T-cell backend.
+std::unique_ptr<WeightStorage> make_bit_level_storage(
+    std::uint32_t rows, std::uint32_t cols,
+    const noise::SramCellModel* model, std::uint64_t cell_base,
+    std::uint32_t weight_bits = 8,
+    PseudoReadPolicy policy = PseudoReadPolicy::kSettleAtWriteBack);
+
+}  // namespace cim::hw

@@ -1,0 +1,92 @@
+// Hierarchical clustering of a TSP instance (§III.A, Fig. 4).
+//
+// Bottom-up: level 0 groups cities into clusters; level k groups level-k−1
+// clusters (represented by centroids); clustering repeats until at most
+// `top_size` clusters remain. Three sizing strategies are supported,
+// matching Table I of the paper:
+//
+//   * kUnlimited    — "arbitrary": only the number of clusters per level is
+//                     restricted (mean size 2); element count is free. This
+//                     is the solution-quality baseline; it is hostile to
+//                     hardware because window sizes vary unboundedly.
+//   * kFixed        — every cluster holds exactly p elements (one ragged
+//                     cluster absorbs the remainder). Cheap hardware, worst
+//                     quality.
+//   * kSemiFlexible — sizes range 1..p_max with mean (1+p_max)/2; the
+//                     hardware provisions 2N/(1+p_max) windows of the
+//                     maximal geometry (some columns redundant).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "tsp/instance.hpp"
+
+namespace cim::cluster {
+
+enum class Strategy { kUnlimited, kFixed, kSemiFlexible };
+
+const char* strategy_name(Strategy strategy);
+
+struct Options {
+  Strategy strategy = Strategy::kSemiFlexible;
+  std::size_t p = 3;          ///< exact size (kFixed) or p_max (kSemiFlexible)
+  std::size_t top_size = 4;   ///< stop when a level has ≤ this many clusters
+  std::uint64_t seed = 1;     ///< tie-breaking order
+  /// Lloyd-style boundary reassignment after each level's grouping
+  /// (skipped for kFixed, which requires exact sizes). Improves cluster
+  /// compactness and thus tour quality; disable for the ablation.
+  bool refine = true;
+};
+
+/// One cluster: member indices into the level below (level 0 members are
+/// city ids) and the centroid of all cities transitively contained.
+struct Cluster {
+  std::vector<std::uint32_t> members;
+  geo::Point centroid;
+  std::uint32_t city_count = 0;  ///< transitive number of cities
+};
+
+/// One level of the hierarchy.
+struct Level {
+  std::vector<Cluster> clusters;
+};
+
+/// The full hierarchy. levels()[0] is the lowest (city) level; the last
+/// level is the top. For a 1-level hierarchy the cities cluster directly
+/// into ≤ top_size groups.
+class Hierarchy {
+ public:
+  Hierarchy(const tsp::Instance& instance, Options options);
+
+  const tsp::Instance& instance() const { return instance_; }
+  const Options& options() const { return options_; }
+  std::size_t depth() const { return levels_.size(); }
+  const Level& level(std::size_t k) const { return levels_[k]; }
+  const Level& top() const { return levels_.back(); }
+
+  /// Maximum cluster size over all levels (the window dimension driver).
+  std::size_t max_cluster_size() const;
+  /// Mean cluster size over all levels.
+  double mean_cluster_size() const;
+  /// Total number of clusters across all levels.
+  std::size_t total_clusters() const;
+
+  /// Flattens cluster `c` of level `k` into the cities it contains, in
+  /// member order.
+  std::vector<tsp::CityId> cities_of(std::size_t k, std::uint32_t c) const;
+
+  /// Structural validation: every city appears exactly once per level's
+  /// partition; centroids and counts are consistent. Throws on violation.
+  void validate() const;
+
+ private:
+  void build();
+
+  const tsp::Instance& instance_;
+  Options options_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace cim::cluster

@@ -1,0 +1,93 @@
+#include "core/report.hpp"
+
+namespace cim::core {
+
+util::Json ppa_to_json(const ppa::PpaReport& report) {
+  util::Json j = util::Json::object();
+  j["instance"] = report.point.instance_name;
+  j["n_cities"] = report.point.n_cities;
+  j["p"] = static_cast<long long>(report.point.p);
+  j["strategy"] =
+      report.point.strategy == hw::SizingStrategy::kFixed ? "fixed"
+                                                          : "semi-flexible";
+  j["windows"] = report.layout.windows;
+  j["arrays"] = report.layout.arrays;
+  j["capacity_bits"] = report.layout.capacity_bits;
+  j["chip_area_um2"] = report.chip_area_um2;
+  j["hierarchy_depth"] = report.depth;
+  j["latency_s"] = util::Json::object();
+  j["latency_s"]["read_compute"] = report.latency.read_compute_s;
+  j["latency_s"]["write"] = report.latency.write_s;
+  j["latency_s"]["total"] = report.latency.total_s();
+  j["energy_j"] = util::Json::object();
+  j["energy_j"]["read_compute"] = report.energy.read_compute_j;
+  j["energy_j"]["write"] = report.energy.write_j;
+  j["energy_j"]["transfer"] = report.energy.transfer_j;
+  j["energy_j"]["leakage"] = report.energy.leakage_j;
+  j["energy_j"]["total"] = report.energy.total_j();
+  j["average_power_w"] = report.average_power_w;
+  j["area_per_weight_bit_um2"] = report.area_per_weight_bit_um2();
+  j["power_per_weight_bit_w"] = report.power_per_weight_bit_w();
+  return j;
+}
+
+util::Json outcome_to_json(const SolveOutcome& outcome,
+                           const std::string& instance_name) {
+  util::Json j = util::Json::object();
+  j["instance"] = instance_name;
+  j["tour_length"] = outcome.tour_length;
+  j["hardware_length"] = outcome.hardware_length;
+  if (outcome.reference_length) {
+    j["reference_length"] = *outcome.reference_length;
+  }
+  if (outcome.optimal_ratio) {
+    j["optimal_ratio"] = *outcome.optimal_ratio;
+  }
+  j["solve_wall_seconds"] = outcome.solve_wall_seconds;
+  j["hierarchy_depth"] = outcome.anneal.hierarchy_depth;
+  j["max_cluster_size"] = outcome.anneal.max_cluster_size;
+
+  if (!outcome.replica_lengths.empty()) {
+    util::Json replicas = util::Json::array();
+    for (const long long len : outcome.replica_lengths) {
+      replicas.push_back(len);
+    }
+    j["replica_lengths"] = std::move(replicas);
+  }
+
+  util::Json levels = util::Json::array();
+  for (const auto& level : outcome.anneal.levels) {
+    util::Json l = util::Json::object();
+    l["level"] = level.level;
+    l["clusters"] = level.clusters;
+    l["iterations"] = level.iterations;
+    l["swaps_attempted"] = level.swaps_attempted;
+    l["swaps_accepted"] = level.swaps_accepted;
+    l["uphill_accepted"] = level.uphill_accepted;
+    l["update_cycles"] = level.update_cycles;
+    l["ring_length_after"] = level.ring_length_after;
+    levels.push_back(std::move(l));
+  }
+  j["levels"] = std::move(levels);
+
+  util::Json hw = util::Json::object();
+  const auto& activity = outcome.anneal.hw;
+  hw["swap_attempts"] = activity.swap_attempts;
+  hw["update_cycles"] = activity.update_cycles;
+  hw["writeback_cycles"] = activity.writeback_cycles;
+  hw["macs"] = activity.storage.macs;
+  hw["mac_bit_reads"] = activity.storage.mac_bit_reads;
+  hw["writeback_events"] = activity.storage.writeback_events;
+  hw["writeback_bits"] = activity.storage.writeback_bits;
+  hw["pseudo_read_flips"] = activity.storage.pseudo_read_flips;
+  hw["edge_bits_transferred"] =
+      activity.dataflow.edge_bits_transferred();
+  j["hardware"] = std::move(hw);
+
+  if (outcome.ppa) {
+    j["ppa"] = ppa_to_json(*outcome.ppa);
+  }
+  return j;
+}
+
+}  // namespace cim::core

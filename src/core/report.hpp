@@ -1,0 +1,19 @@
+// Machine-readable solve reports: serialises a SolveOutcome (and its PPA
+// projection) to JSON so downstream tooling can consume experiment
+// results without scraping tables.
+#pragma once
+
+#include "core/solver.hpp"
+#include "util/json.hpp"
+
+namespace cim::core {
+
+/// Full outcome report: quality, per-level annealing stats, hardware
+/// activity, and the PPA projection when present.
+util::Json outcome_to_json(const SolveOutcome& outcome,
+                           const std::string& instance_name);
+
+/// PPA-only report.
+util::Json ppa_to_json(const ppa::PpaReport& report);
+
+}  // namespace cim::core

@@ -1,0 +1,100 @@
+#include "core/solver.hpp"
+
+#include "heuristics/or_opt.hpp"
+#include "heuristics/two_opt.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace cim::core {
+
+CimSolver::CimSolver(SolverConfig config) : config_(std::move(config)) {
+  CIM_REQUIRE(config_.p_max >= 1, "p_max must be at least 1");
+  CIM_REQUIRE(config_.replicas >= 1, "replicas must be at least 1");
+  if (config_.strategy != cluster::Strategy::kUnlimited) {
+    CIM_REQUIRE(config_.p_max >= 2,
+                "fixed/semi-flexible strategies need p_max >= 2");
+  }
+}
+
+anneal::AnnealerConfig CimSolver::annealer_config() const {
+  anneal::AnnealerConfig cfg;
+  cfg.clustering.strategy = config_.strategy;
+  cfg.clustering.p = config_.p_max;
+  cfg.clustering.seed = util::hash_combine(config_.seed, 0xC105);
+  cfg.schedule = config_.schedule;
+  cfg.sram = config_.sram;
+  cfg.noise = config_.noise;
+  cfg.backend = config_.backend;
+  cfg.chromatic_parallel = config_.chromatic_parallel;
+  cfg.weight_bits = config_.weight_bits;
+  cfg.seed = config_.seed;
+  cfg.record_trace = config_.record_trace;
+  return cfg;
+}
+
+ppa::DesignPoint CimSolver::design_point(const std::string& name,
+                                         std::size_t n) const {
+  ppa::DesignPoint point;
+  point.instance_name = name;
+  point.n_cities = n;
+  point.p = config_.p_max;
+  point.strategy = config_.strategy == cluster::Strategy::kFixed
+                       ? hw::SizingStrategy::kFixed
+                       : hw::SizingStrategy::kSemiFlexible;
+  point.schedule = config_.schedule;
+  point.weight_bits = config_.weight_bits;
+  return point;
+}
+
+SolveOutcome CimSolver::solve(const tsp::Instance& instance) const {
+  SolveOutcome outcome;
+  const util::Timer timer;
+
+  if (config_.replicas > 1) {
+    anneal::EnsembleConfig ensemble_config;
+    ensemble_config.base = annealer_config();
+    ensemble_config.replicas = config_.replicas;
+    const anneal::ReplicaEnsemble ensemble(ensemble_config);
+    auto ensemble_result = ensemble.solve(instance);
+    outcome.replica_lengths = std::move(ensemble_result.replica_lengths);
+    outcome.anneal = std::move(ensemble_result.best);
+  } else {
+    const anneal::ClusteredAnnealer annealer(annealer_config());
+    outcome.anneal = annealer.solve(instance);
+  }
+  outcome.hardware_length = outcome.anneal.length;
+  outcome.tour_length = outcome.hardware_length;
+
+  if (config_.post_refine != PostRefine::kNone && instance.size() >= 5) {
+    heuristics::TwoOptOptions two;
+    heuristics::OrOptOptions oro;
+    if (config_.post_refine == PostRefine::kLight) {
+      two.max_passes = 2;
+      oro.max_passes = 2;
+    }
+    tsp::Tour& tour = outcome.anneal.tour;
+    heuristics::two_opt(instance, tour, two);
+    const auto refined = heuristics::or_opt(instance, tour, oro);
+    outcome.anneal.length = refined.final_length;
+    outcome.tour_length = refined.final_length;
+  }
+  outcome.solve_wall_seconds = timer.seconds();
+
+  if (config_.compute_reference) {
+    const heuristics::Reference ref = heuristics::compute_reference(instance);
+    outcome.reference_length = ref.length;
+    if (ref.length > 0) {
+      outcome.optimal_ratio =
+          tsp::optimal_ratio(outcome.tour_length, ref.length);
+    }
+  }
+
+  if (config_.compute_ppa) {
+    outcome.ppa = ppa::measured_report(
+        design_point(instance.name(), instance.size()), outcome.anneal);
+  }
+  return outcome;
+}
+
+}  // namespace cim::core

@@ -1,0 +1,102 @@
+// cimanneal public API.
+//
+// CimSolver is the one-stop entry point a downstream user needs: configure
+// the design point (cluster strategy, p_max, noise source, schedule,
+// backend), call solve() on a TSP instance, and receive the tour, its
+// quality relative to a near-optimal reference, and the hardware PPA
+// projection of the design that produced it.
+//
+//   using namespace cim;
+//   core::SolverConfig config;
+//   config.p_max = 3;
+//   core::CimSolver solver(config);
+//   auto outcome = solver.solve(tsp::make_paper_instance("pcb3038"));
+//   // outcome.optimal_ratio, outcome.ppa.chip_area_um2, ...
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "anneal/clustered_annealer.hpp"
+#include "anneal/ensemble.hpp"
+#include "heuristics/reference.hpp"
+#include "ppa/report.hpp"
+#include "tsp/instance.hpp"
+
+namespace cim::core {
+
+/// Optional CPU post-processing of the hardware tour (an extension beyond
+/// the paper: the hierarchical decomposition leaves cluster-boundary
+/// crossings that cheap classical local search repairs).
+enum class PostRefine {
+  kNone,   ///< the paper's design: hardware output as-is
+  kLight,  ///< two bounded 2-opt/Or-opt passes
+  kFull,   ///< local search to a joint 2-opt/Or-opt optimum
+};
+
+struct SolverConfig {
+  /// Cluster sizing strategy (Table I): semi-flexible is the paper's
+  /// recommended operating point.
+  cluster::Strategy strategy = cluster::Strategy::kSemiFlexible;
+  std::uint32_t p_max = 3;
+
+  /// Annealing noise source; kSramWeight is the paper's design.
+  anneal::NoiseMode noise = anneal::NoiseMode::kSramWeight;
+  anneal::BackendKind backend = anneal::BackendKind::kFast;
+  bool chromatic_parallel = true;
+
+  noise::AnnealSchedule::Params schedule;  ///< paper defaults (§V)
+  noise::SramNoiseParams sram;             ///< 16 nm compact model defaults
+  std::uint32_t weight_bits = 8;
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+
+  /// Compute the classical reference tour for optimal-ratio reporting
+  /// (costs one greedy+2-opt+Or-opt pass; disable for timing studies).
+  bool compute_reference = true;
+  /// Attach the hardware PPA projection to the outcome.
+  bool compute_ppa = true;
+
+  /// Amorphica-style replication: run this many independently seeded
+  /// replicas (host threads) and keep the best tour.
+  std::size_t replicas = 1;
+  /// CPU post-refinement of the hardware tour (see PostRefine).
+  PostRefine post_refine = PostRefine::kNone;
+};
+
+struct SolveOutcome {
+  anneal::AnnealResult anneal;      ///< tour, per-level stats, hw activity
+  long long tour_length = 0;        ///< final (possibly refined) length
+  long long hardware_length = 0;    ///< length straight out of the annealer
+  /// Lengths of all replicas when replicas > 1 (best one is `anneal`).
+  std::vector<long long> replica_lengths;
+  std::optional<long long> reference_length;
+  /// tour_length / reference_length (the paper's "optimal ratio");
+  /// unset when the reference is disabled.
+  std::optional<double> optimal_ratio;
+  std::optional<ppa::PpaReport> ppa;
+  double solve_wall_seconds = 0.0;  ///< host-side simulation time
+};
+
+class CimSolver {
+ public:
+  CimSolver() : CimSolver(SolverConfig{}) {}
+  explicit CimSolver(SolverConfig config);
+
+  const SolverConfig& config() const { return config_; }
+
+  /// Solves `instance` end-to-end; see SolveOutcome.
+  SolveOutcome solve(const tsp::Instance& instance) const;
+
+  /// The annealer configuration this solver drives (for advanced use).
+  anneal::AnnealerConfig annealer_config() const;
+
+  /// The PPA design point for an instance of `n` cities.
+  ppa::DesignPoint design_point(const std::string& name, std::size_t n) const;
+
+ private:
+  SolverConfig config_;
+};
+
+}  // namespace cim::core

@@ -1,0 +1,115 @@
+#include "geo/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cim::geo {
+
+namespace {
+
+constexpr double kPi = 3.141592653589793;
+constexpr double kEarthRadius = 6378.388;  // TSPLIB's RRR constant
+
+/// TSPLIB GEO coordinates are DDD.MM (degrees and minutes).
+double geo_radians(double coordinate) {
+  const double degrees = std::trunc(coordinate);
+  const double minutes = coordinate - degrees;
+  return kPi * (degrees + 5.0 * minutes / 3.0) / 180.0;
+}
+
+long long geo_distance(Point a, Point b) {
+  const double lat_a = geo_radians(a.x);
+  const double lon_a = geo_radians(a.y);
+  const double lat_b = geo_radians(b.x);
+  const double lon_b = geo_radians(b.y);
+  const double q1 = std::cos(lon_a - lon_b);
+  const double q2 = std::cos(lat_a - lat_b);
+  const double q3 = std::cos(lat_a + lat_b);
+  const double arg = 0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3);
+  return static_cast<long long>(
+      kEarthRadius * std::acos(std::clamp(arg, -1.0, 1.0)) + 1.0);
+}
+
+long long att_distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double rij = std::sqrt((dx * dx + dy * dy) / 10.0);
+  const auto tij = static_cast<long long>(std::lround(rij));
+  return (static_cast<double>(tij) < rij) ? tij + 1 : tij;
+}
+
+}  // namespace
+
+Metric parse_metric(const std::string& name) {
+  if (name == "EUC_2D") return Metric::kEuc2D;
+  if (name == "CEIL_2D") return Metric::kCeil2D;
+  if (name == "ATT") return Metric::kAtt;
+  if (name == "GEO") return Metric::kGeo;
+  if (name == "MAN_2D") return Metric::kMan2D;
+  if (name == "MAX_2D") return Metric::kMax2D;
+  if (name == "EXPLICIT") return Metric::kExplicit;
+  throw ParseError("unsupported TSPLIB EDGE_WEIGHT_TYPE: " + name);
+}
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kEuc2D:
+      return "EUC_2D";
+    case Metric::kCeil2D:
+      return "CEIL_2D";
+    case Metric::kAtt:
+      return "ATT";
+    case Metric::kGeo:
+      return "GEO";
+    case Metric::kMan2D:
+      return "MAN_2D";
+    case Metric::kMax2D:
+      return "MAX_2D";
+    case Metric::kExplicit:
+      return "EXPLICIT";
+  }
+  return "?";
+}
+
+long long tsplib_distance(Metric metric, Point a, Point b) {
+  switch (metric) {
+    case Metric::kEuc2D:
+      return std::llround(euclidean(a, b));
+    case Metric::kCeil2D:
+      return static_cast<long long>(std::ceil(euclidean(a, b)));
+    case Metric::kAtt:
+      return att_distance(a, b);
+    case Metric::kGeo:
+      return geo_distance(a, b);
+    case Metric::kMan2D:
+      return std::llround(std::abs(a.x - b.x) + std::abs(a.y - b.y));
+    case Metric::kMax2D:
+      return std::llround(std::max(std::abs(a.x - b.x), std::abs(a.y - b.y)));
+    case Metric::kExplicit:
+      break;
+  }
+  throw InvariantError("tsplib_distance called with EXPLICIT metric");
+}
+
+double continuous_distance(Metric metric, Point a, Point b) {
+  switch (metric) {
+    case Metric::kEuc2D:
+    case Metric::kCeil2D:
+      return euclidean(a, b);
+    case Metric::kAtt:
+      return std::sqrt(squared_distance(a, b) / 10.0);
+    case Metric::kGeo:
+      return static_cast<double>(tsplib_distance(Metric::kGeo, a, b));
+    case Metric::kMan2D:
+      return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+    case Metric::kMax2D:
+      return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+    case Metric::kExplicit:
+      break;
+  }
+  throw InvariantError("continuous_distance called with EXPLICIT metric");
+}
+
+}  // namespace cim::geo

@@ -1,0 +1,36 @@
+// TSPLIB edge-weight metrics. These follow Reinelt's TSPLIB 95 definitions
+// exactly (integer rounding rules included), so tours scored here are
+// comparable with published best-known lengths.
+#pragma once
+
+#include <string>
+
+#include "geo/point.hpp"
+
+namespace cim::geo {
+
+enum class Metric {
+  kEuc2D,   ///< round(sqrt(dx^2+dy^2))
+  kCeil2D,  ///< ceil(sqrt(dx^2+dy^2))
+  kAtt,     ///< pseudo-Euclidean (TSPLIB att instances)
+  kGeo,     ///< geographical distance on the idealised Earth
+  kMan2D,   ///< rounded Manhattan distance
+  kMax2D,   ///< rounded Chebyshev distance
+  kExplicit ///< distances come from an explicit matrix, not coordinates
+};
+
+/// Parses a TSPLIB EDGE_WEIGHT_TYPE string; throws cim::ParseError for
+/// unsupported types.
+Metric parse_metric(const std::string& name);
+
+/// TSPLIB keyword for a metric (inverse of parse_metric).
+std::string metric_name(Metric metric);
+
+/// TSPLIB integer distance between two nodes under `metric`.
+/// Precondition: metric != kExplicit.
+long long tsplib_distance(Metric metric, Point a, Point b);
+
+/// Continuous (unrounded) distance used for clustering geometry.
+double continuous_distance(Metric metric, Point a, Point b);
+
+}  // namespace cim::geo

@@ -1,0 +1,72 @@
+// 2-D geometry primitives for TSP instances.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+namespace cim::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend Point operator/(Point a, double s) { return {a.x / s, a.y / s}; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline double squared_distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double euclidean(Point a, Point b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point lo{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Point hi{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  void expand(Point p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  bool empty() const { return lo.x > hi.x; }
+  double width() const { return empty() ? 0.0 : hi.x - lo.x; }
+  double height() const { return empty() ? 0.0 : hi.y - lo.y; }
+  Point center() const { return (lo + hi) / 2.0; }
+
+  /// Squared distance from p to the box (0 when inside).
+  double squared_distance_to(Point p) const {
+    const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+    const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+    return dx * dx + dy * dy;
+  }
+};
+
+inline BoundingBox bounding_box(std::span<const Point> points) {
+  BoundingBox box;
+  for (const Point p : points) box.expand(p);
+  return box;
+}
+
+/// Centroid of a non-empty point set.
+inline Point centroid(std::span<const Point> points) {
+  Point sum{};
+  for (const Point p : points) sum = sum + p;
+  return sum / static_cast<double>(points.size());
+}
+
+}  // namespace cim::geo

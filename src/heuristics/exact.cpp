@@ -1,0 +1,154 @@
+#include "heuristics/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cim::heuristics {
+
+using tsp::CityId;
+using tsp::Instance;
+using tsp::Tour;
+
+Tour held_karp(const Instance& instance) {
+  const std::size_t n = instance.size();
+  CIM_REQUIRE(n <= 20, "held_karp limited to 20 cities");
+  if (n <= 2) return Tour::identity(n);
+
+  // dp[mask][j]: min cost of a path starting at 0, visiting exactly the
+  // cities in mask (0 excluded, bit k ↔ city k+1), ending at city j+1.
+  const std::size_t m = n - 1;
+  const std::size_t masks = std::size_t{1} << m;
+  constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+  std::vector<long long> dp(masks * m, kInf);
+  std::vector<std::uint8_t> parent(masks * m, 0xFF);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    dp[(std::size_t{1} << j) * m + j] =
+        instance.distance(0, static_cast<CityId>(j + 1));
+  }
+  for (std::size_t mask = 1; mask < masks; ++mask) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!(mask & (std::size_t{1} << j))) continue;
+      const long long base = dp[mask * m + j];
+      if (base >= kInf) continue;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (mask & (std::size_t{1} << k)) continue;
+        const std::size_t next_mask = mask | (std::size_t{1} << k);
+        const long long cost =
+            base + instance.distance(static_cast<CityId>(j + 1),
+                                     static_cast<CityId>(k + 1));
+        if (cost < dp[next_mask * m + k]) {
+          dp[next_mask * m + k] = cost;
+          parent[next_mask * m + k] = static_cast<std::uint8_t>(j);
+        }
+      }
+    }
+  }
+
+  const std::size_t full = masks - 1;
+  long long best = kInf;
+  std::size_t best_end = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const long long cost =
+        dp[full * m + j] + instance.distance(static_cast<CityId>(j + 1), 0);
+    if (cost < best) {
+      best = cost;
+      best_end = j;
+    }
+  }
+
+  // Reconstruct.
+  std::vector<CityId> order;
+  order.reserve(n);
+  std::size_t mask = full;
+  std::size_t j = best_end;
+  while (true) {
+    order.push_back(static_cast<CityId>(j + 1));
+    const std::uint8_t p = parent[mask * m + j];
+    mask &= ~(std::size_t{1} << j);
+    if (p == 0xFF) break;
+    j = p;
+  }
+  order.push_back(0);
+  std::reverse(order.begin(), order.end());
+  Tour tour(std::move(order));
+  CIM_ASSERT(tour.is_valid(n));
+  CIM_ASSERT(tour.length(instance) == best);
+  return tour;
+}
+
+Tour brute_force(const Instance& instance) {
+  const std::size_t n = instance.size();
+  CIM_REQUIRE(n <= 12, "brute_force limited to 12 cities");
+  if (n <= 2) return Tour::identity(n);
+
+  std::vector<CityId> perm(n - 1);
+  std::iota(perm.begin(), perm.end(), 1U);
+  std::vector<CityId> best_order;
+  long long best = std::numeric_limits<long long>::max();
+  do {
+    long long len = instance.distance(0, perm.front());
+    for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+      len += instance.distance(perm[i], perm[i + 1]);
+      if (len >= best) break;
+    }
+    len += instance.distance(perm.back(), 0);
+    if (len < best) {
+      best = len;
+      best_order = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  std::vector<CityId> order{0};
+  order.insert(order.end(), best_order.begin(), best_order.end());
+  return Tour(std::move(order));
+}
+
+long long optimal_path_length(const Instance& instance,
+                              const std::vector<CityId>& cities) {
+  const std::size_t n = cities.size();
+  CIM_REQUIRE(n >= 2, "path needs at least two cities");
+  CIM_REQUIRE(n <= 20, "optimal_path_length limited to 20 cities");
+  if (n == 2) return instance.distance(cities[0], cities[1]);
+
+  // Interior cities between the fixed endpoints.
+  const std::size_t m = n - 2;
+  const std::size_t masks = std::size_t{1} << m;
+  constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+  std::vector<long long> dp(masks * m, kInf);
+
+  const CityId start = cities.front();
+  const CityId goal = cities.back();
+  const auto interior = [&](std::size_t j) { return cities[j + 1]; };
+
+  for (std::size_t j = 0; j < m; ++j) {
+    dp[(std::size_t{1} << j) * m + j] = instance.distance(start, interior(j));
+  }
+  for (std::size_t mask = 1; mask < masks; ++mask) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!(mask & (std::size_t{1} << j))) continue;
+      const long long base = dp[mask * m + j];
+      if (base >= kInf) continue;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (mask & (std::size_t{1} << k)) continue;
+        const std::size_t next_mask = mask | (std::size_t{1} << k);
+        const long long cost =
+            base + instance.distance(interior(j), interior(k));
+        dp[next_mask * m + k] = std::min(dp[next_mask * m + k], cost);
+      }
+    }
+  }
+  long long best = kInf;
+  for (std::size_t j = 0; j < m; ++j) {
+    best = std::min(best,
+                    dp[(masks - 1) * m + j] +
+                        instance.distance(interior(j), goal));
+  }
+  return best;
+}
+
+}  // namespace cim::heuristics

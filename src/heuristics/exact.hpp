@@ -1,0 +1,26 @@
+// Exact TSP solvers for validation of heuristics and of the annealer on
+// small instances: Held–Karp dynamic programming (n ≤ ~20) and brute-force
+// permutation enumeration (n ≤ ~11).
+#pragma once
+
+#include <cstddef>
+
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace cim::heuristics {
+
+/// Held–Karp O(2^n · n²) optimal tour. Throws ConfigError for n > 20.
+tsp::Tour held_karp(const tsp::Instance& instance);
+
+/// Brute-force optimal tour. Throws ConfigError for n > 12.
+tsp::Tour brute_force(const tsp::Instance& instance);
+
+/// Optimal length of the open path v[0]..v[k-1] with fixed endpoints —
+/// Held–Karp over a city subset; used to verify cluster-level solves.
+/// Visits every city in `cities` exactly once, starting at cities.front()
+/// and ending at cities.back(). Throws ConfigError for more than 20 cities.
+long long optimal_path_length(const tsp::Instance& instance,
+                              const std::vector<tsp::CityId>& cities);
+
+}  // namespace cim::heuristics

@@ -1,0 +1,116 @@
+#include "heuristics/sa_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tsp/neighbors.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::heuristics {
+
+using tsp::CityId;
+using tsp::Instance;
+using tsp::Tour;
+
+SaResult simulated_annealing(const Instance& instance, const Tour& initial,
+                             const SaOptions& options) {
+  const std::size_t n = instance.size();
+  CIM_REQUIRE(initial.is_valid(n), "SA initial tour invalid");
+  SaResult result;
+  result.tour = initial;
+  result.initial_length = initial.length(instance);
+  result.final_length = result.initial_length;
+  if (n < 4) return result;
+
+  util::Rng rng(options.seed);
+  const tsp::NeighborLists nbrs(instance, options.neighbor_k);
+
+  std::vector<CityId>& order = result.tour.mutable_order();
+  std::vector<std::uint32_t> pos = result.tour.position_of();
+
+  // Temperature anchored to the tour's mean edge length.
+  const double mean_edge =
+      static_cast<double>(result.initial_length) / static_cast<double>(n);
+  const double t_start = std::max(options.t_start_factor * mean_edge, 1e-9);
+  const double t_end = std::max(options.t_end_factor * mean_edge, 1e-12);
+  const std::size_t sweeps = std::max<std::size_t>(options.sweeps, 1);
+  const double cooling =
+      sweeps > 1 ? std::pow(t_end / t_start,
+                            1.0 / static_cast<double>(sweeps - 1))
+                 : 1.0;
+  const std::size_t moves_per_sweep =
+      options.moves_per_sweep ? options.moves_per_sweep : n;
+
+  long long current = result.initial_length;
+
+  const auto reverse_cyclic = [&](std::size_t i, std::size_t j) {
+    // Same two-sided reversal as two_opt: reverse the shorter side.
+    std::size_t lo = i + 1;
+    std::size_t hi = j;
+    const std::size_t inside = hi - lo + 1;
+    if (inside * 2 <= n) {
+      while (lo < hi) {
+        std::swap(order[lo], order[hi]);
+        pos[order[lo]] = static_cast<std::uint32_t>(lo);
+        pos[order[hi]] = static_cast<std::uint32_t>(hi);
+        ++lo;
+        --hi;
+      }
+    } else {
+      std::size_t outside = n - inside;
+      std::size_t a = (j + 1) % n;
+      std::size_t b = i;
+      for (std::size_t s = 0; s < outside / 2; ++s) {
+        std::swap(order[a], order[b]);
+        pos[order[a]] = static_cast<std::uint32_t>(a);
+        pos[order[b]] = static_cast<std::uint32_t>(b);
+        a = (a + 1) % n;
+        b = (b + n - 1) % n;
+      }
+    }
+  };
+
+  double temperature = t_start;
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (std::size_t m = 0; m < moves_per_sweep; ++m) {
+      ++result.attempted;
+      // 2-opt move between a random city and one of its candidates.
+      const auto a = static_cast<CityId>(rng.below(n));
+      const auto cand = nbrs.of(a);
+      const CityId b = cand[rng.below(cand.size())];
+      std::size_t i = pos[a];
+      std::size_t j = pos[b];
+      if (i == j) continue;
+      if (i > j) std::swap(i, j);
+      if (j == i + 1 || (i == 0 && j == n - 1)) continue;
+
+      const CityId ci = order[i];
+      const CityId ci1 = order[i + 1];
+      const CityId cj = order[j];
+      const CityId cj1 = order[(j + 1) % n];
+      const long long delta = instance.distance(ci, cj) +
+                              instance.distance(ci1, cj1) -
+                              instance.distance(ci, ci1) -
+                              instance.distance(cj, cj1);
+      const bool accept =
+          delta <= 0 ||
+          rng.uniform() < std::exp(-static_cast<double>(delta) / temperature);
+      if (accept) {
+        reverse_cyclic(i, j);
+        current += delta;
+        ++result.accepted;
+      }
+    }
+    if (options.record_trace) result.trace.push_back(current);
+    temperature *= cooling;
+  }
+
+  result.final_length = current;
+  CIM_ASSERT_MSG(result.final_length == result.tour.length(instance),
+                 "SA incremental length drifted");
+  return result;
+}
+
+}  // namespace cim::heuristics

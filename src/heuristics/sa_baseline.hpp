@@ -1,0 +1,40 @@
+// Conventional CPU simulated annealing on the full (unclustered) TSP.
+// This is the software baseline the paper's convergence-speed claim is
+// made against: it operates on the complete O(N²)-spin formulation via
+// 2-opt neighbourhood moves under a geometric temperature schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace cim::heuristics {
+
+struct SaOptions {
+  std::uint64_t seed = 1;
+  std::size_t sweeps = 200;          ///< outer temperature steps
+  std::size_t moves_per_sweep = 0;   ///< 0 → n moves per sweep
+  double t_start_factor = 0.5;       ///< T0 = factor * mean edge length
+  double t_end_factor = 0.001;
+  std::size_t neighbor_k = 8;        ///< candidate list size for moves
+  bool record_trace = true;          ///< record energy after each sweep
+};
+
+struct SaResult {
+  tsp::Tour tour;
+  long long initial_length = 0;
+  long long final_length = 0;
+  std::size_t accepted = 0;
+  std::size_t attempted = 0;
+  std::vector<long long> trace;  ///< tour length after each sweep
+};
+
+/// Runs SA starting from `initial` (use a constructed tour for realistic
+/// baselines or a random tour for convergence studies).
+SaResult simulated_annealing(const tsp::Instance& instance,
+                             const tsp::Tour& initial,
+                             const SaOptions& options = {});
+
+}  // namespace cim::heuristics

@@ -1,0 +1,82 @@
+// Max-Cut problems on the Ising machinery.
+//
+// Every competitor in the paper's Table III (STATICA, CIM-Spin, Amorphica,
+// …) is a Max-Cut annealer; this module lets the same noisy digital-CIM
+// substrate solve their problem class, making the cross-design comparison
+// executable rather than a constants table.
+//
+// Max-Cut: partition V into S/S̄ maximising Σ w_ab over edges cut.
+// Ising form: cut(σ) = (W_total − Σ w_ab σ_a σ_b) / 2, so maximising the
+// cut minimises H = Σ w_ab σ_a σ_b, i.e. antiferromagnetic couplings
+// J_ab = −w_ab under H = −Σ J σσ.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ising/model.hpp"
+#include "util/random.hpp"
+
+namespace cim::ising {
+
+struct WeightedEdge {
+  SpinIndex a = 0;
+  SpinIndex b = 0;
+  std::int32_t w = 1;
+};
+
+class MaxCutProblem {
+ public:
+  MaxCutProblem(std::string name, std::size_t n,
+                std::vector<WeightedEdge> edges);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return n_; }
+  std::span<const WeightedEdge> edges() const { return edges_; }
+  std::size_t edge_count() const { return edges_.size(); }
+  long long total_weight() const { return total_weight_; }
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  /// Cut value of an assignment (spins ±1).
+  long long cut_value(std::span<const Spin> spins) const;
+
+  /// The equivalent Ising model (J_ab = −w_ab).
+  IsingModel to_ising() const;
+
+  /// cut = (W_total − Σ wσσ)/2 ⇒ recover the cut from the Ising
+  /// Hamiltonian of to_ising() (which is H = −Σ Jσσ = Σ wσσ).
+  long long cut_from_hamiltonian(double hamiltonian) const;
+
+ private:
+  std::string name_;
+  std::size_t n_;
+  std::vector<WeightedEdge> edges_;
+  long long total_weight_ = 0;
+  std::uint32_t max_degree_ = 0;
+};
+
+/// Erdős–Rényi G(n, p) with uniform integer weights in [1, w_max]
+/// (optionally signed, as in the G-set family).
+MaxCutProblem random_maxcut(std::size_t n, double edge_probability,
+                            std::uint64_t seed, std::int32_t w_max = 1,
+                            bool signed_weights = false);
+
+/// Complete graph K_n with ±1 weights — the STATICA-style all-to-all
+/// benchmark shape.
+MaxCutProblem complete_maxcut(std::size_t n, std::uint64_t seed);
+
+/// Möbius-ladder / ring-with-chords graph whose optimum is known for
+/// validation (cycle of n with unit weights: optimal cut = n for even n,
+/// n−1 for odd n).
+MaxCutProblem ring_maxcut(std::size_t n);
+
+/// Exact optimum by enumeration; n ≤ 24.
+long long brute_force_maxcut(const MaxCutProblem& problem);
+
+/// Classical baseline: randomised greedy + single-spin local search.
+long long greedy_maxcut(const MaxCutProblem& problem, std::uint64_t seed,
+                        std::vector<Spin>* out_spins = nullptr);
+
+}  // namespace cim::ising

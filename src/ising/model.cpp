@@ -1,0 +1,132 @@
+#include "ising/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cim::ising {
+
+IsingModel::IsingModel(std::size_t n_spins) : fields_(n_spins, 0.0) {
+  CIM_REQUIRE(n_spins >= 1, "Ising model needs at least one spin");
+}
+
+void IsingModel::add_coupling(SpinIndex a, SpinIndex b, double j) {
+  CIM_ASSERT(a < size() && b < size());
+  CIM_REQUIRE(a != b, "self-coupling is not allowed");
+  edges_.push_back({a, b, j});
+  csr_valid_ = false;
+}
+
+void IsingModel::add_field(SpinIndex i, double h) {
+  CIM_ASSERT(i < size());
+  fields_[i] += h;
+}
+
+void IsingModel::ensure_csr() const {
+  if (csr_valid_) return;
+  const std::size_t n = size();
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const Edge& e : edges_) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  row_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_offsets_[i + 1] = row_offsets_[i] + degree[i];
+  }
+  adjacency_.assign(row_offsets_[n], {});
+  std::vector<std::uint32_t> cursor(row_offsets_.begin(),
+                                    row_offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency_[cursor[e.a]++] = {e.b, e.j};
+    adjacency_[cursor[e.b]++] = {e.a, e.j};
+  }
+  csr_valid_ = true;
+}
+
+std::span<const IsingModel::Neighbor> IsingModel::neighbors(
+    SpinIndex i) const {
+  ensure_csr();
+  return {adjacency_.data() + row_offsets_[i],
+          adjacency_.data() + row_offsets_[i + 1]};
+}
+
+double IsingModel::hamiltonian(std::span<const Spin> spins) const {
+  CIM_ASSERT(spins.size() == size());
+  double h = 0.0;
+  for (const Edge& e : edges_) {
+    h -= e.j * static_cast<double>(spins[e.a]) *
+         static_cast<double>(spins[e.b]);
+  }
+  for (std::size_t i = 0; i < size(); ++i) {
+    h -= fields_[i] * static_cast<double>(spins[i]);
+  }
+  return h;
+}
+
+double IsingModel::local_energy(std::span<const Spin> spins,
+                                SpinIndex i) const {
+  CIM_ASSERT(spins.size() == size());
+  double acc = fields_[i];
+  for (const Neighbor& nb : neighbors(i)) {
+    acc += nb.j * static_cast<double>(spins[nb.index]);
+  }
+  return -acc * static_cast<double>(spins[i]);
+}
+
+double IsingModel::flip_delta(std::span<const Spin> spins,
+                              SpinIndex i) const {
+  // Flipping σ_i negates its local energy; coupling terms appear once in
+  // H, so ΔH = -2·H(σ_i).
+  return -2.0 * local_energy(spins, i);
+}
+
+std::size_t IsingModel::metropolis_sweep(std::vector<Spin>& spins,
+                                         double temperature,
+                                         util::Rng& rng) const {
+  CIM_ASSERT(spins.size() == size());
+  std::size_t accepted = 0;
+  for (std::size_t step = 0; step < size(); ++step) {
+    const auto i = static_cast<SpinIndex>(rng.below(size()));
+    const double delta = flip_delta(spins, i);
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature));
+    if (accept) {
+      spins[i] = static_cast<Spin>(-spins[i]);
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+std::vector<std::uint32_t> IsingModel::chromatic_partition() const {
+  ensure_csr();
+  const std::size_t n = size();
+  constexpr std::uint32_t kUncolored = 0xFFFFFFFFU;
+  std::vector<std::uint32_t> color(n, kUncolored);
+  std::vector<char> used;
+  for (SpinIndex i = 0; i < n; ++i) {
+    used.assign(used.size(), 0);
+    std::uint32_t max_needed = 0;
+    for (const Neighbor& nb : neighbors(i)) {
+      if (color[nb.index] == kUncolored) continue;
+      if (color[nb.index] >= used.size()) used.resize(color[nb.index] + 1, 0);
+      used[color[nb.index]] = 1;
+      max_needed = std::max(max_needed, color[nb.index] + 1);
+    }
+    std::uint32_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    color[i] = c;
+  }
+  return color;
+}
+
+std::vector<Spin> random_spins(std::size_t n, util::Rng& rng) {
+  std::vector<Spin> spins(n);
+  for (auto& s : spins) s = rng.chance(0.5) ? Spin{1} : Spin{-1};
+  return spins;
+}
+
+}  // namespace cim::ising

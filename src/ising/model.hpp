@@ -1,0 +1,78 @@
+// Generic Ising model with sparse couplings (Eq. (1)/(2) of the paper).
+//
+// Spins take values +1/-1. The model stores couplings J_ij as a symmetric
+// sparse adjacency structure and external fields h_i. It provides the
+// global Hamiltonian, per-spin local energies, single-spin Glauber updates,
+// and a greedy-colouring partition of the interaction graph used to justify
+// chromatic (parallel) updates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace cim::ising {
+
+using Spin = std::int8_t;  // +1 or -1
+using SpinIndex = std::uint32_t;
+
+class IsingModel {
+ public:
+  explicit IsingModel(std::size_t n_spins);
+
+  std::size_t size() const { return fields_.size(); }
+
+  /// Adds J to the coupling between a and b (symmetric; a != b).
+  void add_coupling(SpinIndex a, SpinIndex b, double j);
+  void add_field(SpinIndex i, double h);
+
+  double field(SpinIndex i) const { return fields_[i]; }
+
+  /// Neighbours of spin i as (index, J) pairs.
+  struct Neighbor {
+    SpinIndex index;
+    double j;
+  };
+  std::span<const Neighbor> neighbors(SpinIndex i) const;
+
+  /// H = -Σ_{i<j} J_ij σ_i σ_j - Σ_i h_i σ_i  (each pair counted once).
+  double hamiltonian(std::span<const Spin> spins) const;
+
+  /// H(σ_i) = -(Σ_j J_ij σ_j + h_i) σ_i   (Eq. (2)).
+  double local_energy(std::span<const Spin> spins, SpinIndex i) const;
+
+  /// Energy change if spin i were flipped.
+  double flip_delta(std::span<const Spin> spins, SpinIndex i) const;
+
+  /// One Glauber/Metropolis sweep at temperature T; returns accepted flips.
+  std::size_t metropolis_sweep(std::vector<Spin>& spins, double temperature,
+                               util::Rng& rng) const;
+
+  /// Greedy graph colouring of the interaction graph; spins with the same
+  /// colour are mutually non-interacting and may be updated in parallel
+  /// (chromatic Gibbs sampling). Returns colour per spin.
+  std::vector<std::uint32_t> chromatic_partition() const;
+
+ private:
+  // CSR-style adjacency rebuilt lazily from an edge list.
+  void ensure_csr() const;
+
+  struct Edge {
+    SpinIndex a;
+    SpinIndex b;
+    double j;
+  };
+  std::vector<Edge> edges_;
+  std::vector<double> fields_;
+
+  mutable bool csr_valid_ = false;
+  mutable std::vector<std::uint32_t> row_offsets_;
+  mutable std::vector<Neighbor> adjacency_;
+};
+
+/// Random ±1 spin vector.
+std::vector<Spin> random_spins(std::size_t n, util::Rng& rng);
+
+}  // namespace cim::ising

@@ -1,0 +1,65 @@
+#include "ising/pbm.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace cim::ising {
+
+PbmState::PbmState(const tsp::Instance& instance, tsp::Tour initial)
+    : instance_(instance), tour_(std::move(initial)) {
+  CIM_REQUIRE(tour_.is_valid(instance_.size()),
+              "PBM initial tour must be a permutation of the instance");
+  length_ = tour_.length(instance_);
+}
+
+long long PbmState::local_energy(std::size_t order, tsp::CityId city) const {
+  const std::size_t n = size();
+  CIM_ASSERT(order < n);
+  const tsp::CityId prev = tour_.at((order + n - 1) % n);
+  const tsp::CityId next = tour_.at((order + 1) % n);
+  long long acc = 0;
+  if (prev != city) acc += instance_.distance(city, prev);
+  if (next != city) acc += instance_.distance(city, next);
+  return acc;
+}
+
+long long PbmState::swap_delta(std::size_t i, std::size_t j) const {
+  const std::size_t n = size();
+  CIM_ASSERT(i < n && j < n);
+  if (i == j) return 0;
+
+  const tsp::CityId k = tour_.at(i);
+  const tsp::CityId l = tour_.at(j);
+
+  // Two MACs with the pre-swap spin state.
+  const long long before = local_energy(i, k) + local_energy(j, l);
+
+  // Two MACs with the post-swap spin state: evaluate city l at order i and
+  // city k at order j against neighbours that also reflect the swap.
+  const auto neighbor_after = [&](std::size_t order) {
+    const tsp::CityId c = tour_.at(order);
+    if (order == i) return l;
+    if (order == j) return k;
+    return c;
+  };
+  const auto local_after = [&](std::size_t order, tsp::CityId city) {
+    const tsp::CityId prev = neighbor_after((order + n - 1) % n);
+    const tsp::CityId next = neighbor_after((order + 1) % n);
+    long long acc = 0;
+    if (prev != city) acc += instance_.distance(city, prev);
+    if (next != city) acc += instance_.distance(city, next);
+    return acc;
+  };
+  const long long after = local_after(i, l) + local_after(j, k);
+  return after - before;
+}
+
+void PbmState::apply_swap(std::size_t i, std::size_t j) {
+  const long long delta = swap_delta(i, j);
+  auto& order = tour_.mutable_order();
+  std::swap(order[i], order[j]);
+  length_ += delta;
+}
+
+}  // namespace cim::ising

@@ -1,0 +1,49 @@
+// Permutational Boltzmann machine (PBM) moves.
+//
+// Instead of paying the b/c one-hot penalties of Eq. (3), the PBM [5] keeps
+// the assignment feasible by construction: the state is a permutation and
+// the elementary move swaps two visiting orders, which flips exactly four
+// spins (σ_ik, σ_il, σ_jk, σ_jl). The energy change of a swap is the sum of
+// two local spin energies after minus two before — precisely the four MAC
+// results the CIM hardware computes (Fig. 5(a)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace cim::ising {
+
+/// Permutation state with PBM swap evaluation over a full TSP instance.
+class PbmState {
+ public:
+  PbmState(const tsp::Instance& instance, tsp::Tour initial);
+
+  const tsp::Tour& tour() const { return tour_; }
+  std::size_t size() const { return tour_.size(); }
+  long long length() const { return length_; }
+
+  /// Local spin energy H(σ_{order,city}) under the current permutation,
+  /// assuming σ = 1 at that position: sum of distances to the cities at the
+  /// two adjacent orders (the MAC result).
+  long long local_energy(std::size_t order, tsp::CityId city) const;
+
+  /// ΔH of swapping the cities at orders i and j, computed with the
+  /// 4-local-energy scheme of the paper (two MACs before, two after).
+  long long swap_delta(std::size_t i, std::size_t j) const;
+
+  /// Applies the swap and updates the cached length.
+  void apply_swap(std::size_t i, std::size_t j);
+
+  /// Recomputes the length from scratch (for validation).
+  long long recompute_length() const { return tour_.length(instance_); }
+
+ private:
+  const tsp::Instance& instance_;
+  tsp::Tour tour_;
+  long long length_;
+};
+
+}  // namespace cim::ising

@@ -1,0 +1,88 @@
+#include "ising/qubo.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cim::ising {
+
+Qubo::Qubo(std::size_t n) : n_(n), q_(n * (n + 1) / 2, 0.0) {
+  CIM_REQUIRE(n >= 1, "QUBO needs at least one variable");
+}
+
+std::size_t Qubo::index(SpinIndex i, SpinIndex j) const {
+  CIM_ASSERT(i < n_ && j < n_);
+  if (i > j) std::swap(i, j);
+  // Row-major upper triangle: row i starts after Σ_{k<i}(n−k) entries.
+  const auto row = static_cast<std::size_t>(i);
+  const std::size_t row_start = row * n_ - row * (row + 1) / 2 + row;
+  return row_start + (j - i);
+}
+
+void Qubo::add(SpinIndex i, SpinIndex j, double q) { q_[index(i, j)] += q; }
+
+double Qubo::coefficient(SpinIndex i, SpinIndex j) const {
+  return q_[index(i, j)];
+}
+
+double Qubo::value(const std::vector<std::uint8_t>& x) const {
+  CIM_ASSERT(x.size() == n_);
+  double acc = 0.0;
+  for (SpinIndex i = 0; i < n_; ++i) {
+    if (!x[i]) continue;
+    for (SpinIndex j = i; j < n_; ++j) {
+      if (x[j]) acc += coefficient(i, j);
+    }
+  }
+  return acc;
+}
+
+std::vector<std::uint8_t> IsingImage::binary_from_spins(
+    const std::vector<Spin>& spins) {
+  std::vector<std::uint8_t> x(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    x[i] = spins[i] > 0 ? 1 : 0;
+  }
+  return x;
+}
+
+std::vector<Spin> IsingImage::spins_from_binary(
+    const std::vector<std::uint8_t>& x) {
+  std::vector<Spin> spins(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    spins[i] = x[i] ? Spin{1} : Spin{-1};
+  }
+  return spins;
+}
+
+IsingImage to_ising(const Qubo& qubo) {
+  const std::size_t n = qubo.size();
+  IsingImage image{IsingModel(n), 0.0};
+
+  // x_i = (1+σ_i)/2:
+  //   q_ii x_i        → q_ii/2 + (q_ii/2) σ_i
+  //   q_ij x_i x_j    → q_ij/4 (1 + σ_i + σ_j + σ_i σ_j)
+  // Collect H(σ) = Σ a_i σ_i + Σ_{i<j} (q_ij/4) σ_i σ_j + offset with
+  // IsingModel's sign convention H = −ΣJσσ − Σhσ, i.e. J = −q/4,
+  // h_i = −a_i.
+  std::vector<double> linear(n, 0.0);
+  for (SpinIndex i = 0; i < n; ++i) {
+    const double qii = qubo.coefficient(i, i);
+    image.offset += qii / 2.0;
+    linear[i] += qii / 2.0;
+    for (SpinIndex j = i + 1; j < n; ++j) {
+      const double qij = qubo.coefficient(i, j);
+      if (qij == 0.0) continue;
+      image.offset += qij / 4.0;
+      linear[i] += qij / 4.0;
+      linear[j] += qij / 4.0;
+      image.model.add_coupling(i, j, -qij / 4.0);
+    }
+  }
+  for (SpinIndex i = 0; i < n; ++i) {
+    if (linear[i] != 0.0) image.model.add_field(i, -linear[i]);
+  }
+  return image;
+}
+
+}  // namespace cim::ising

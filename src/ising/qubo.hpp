@@ -1,0 +1,63 @@
+// QUBO ↔ Ising conversion.
+//
+// Many COP formulations (including the paper's Eq. (3), whose σ_ik are
+// 0/1 indicators) are naturally QUBO:  minimise xᵀQx, x ∈ {0,1}ⁿ. The
+// standard substitution x = (1+σ)/2 maps any QUBO onto the ±1 Ising model
+// the hardware anneals, with an additive constant offset:
+//
+//   xᵀQx = const + Σ_i h'_i σ_i + Σ_{i<j} J'_ij σ_i σ_j
+//
+// This module performs the conversion exactly (so TSP-style penalties or
+// any user QUBO can be dropped onto the substrate) and converts energies
+// back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ising/model.hpp"
+
+namespace cim::ising {
+
+/// Upper-triangular QUBO: minimise Σ_{i≤j} q(i,j)·x_i·x_j over x ∈ {0,1}ⁿ.
+/// Diagonal entries are the linear terms (x² = x).
+class Qubo {
+ public:
+  explicit Qubo(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Adds to coefficient q(i, j); (i, j) is symmetrised to i ≤ j.
+  void add(SpinIndex i, SpinIndex j, double q);
+  double coefficient(SpinIndex i, SpinIndex j) const;
+
+  /// Objective value of a 0/1 assignment.
+  double value(const std::vector<std::uint8_t>& x) const;
+
+ private:
+  std::size_t index(SpinIndex i, SpinIndex j) const;
+
+  std::size_t n_;
+  std::vector<double> q_;  // dense upper triangle incl. diagonal
+};
+
+/// The Ising image of a QUBO: model + constant offset such that
+/// qubo.value(x) = offset − model.hamiltonian(σ)·(−1)… concretely:
+///   qubo.value(x(σ)) = offset + ising_energy(σ)
+/// where ising_energy = model.hamiltonian (H = −ΣJσσ − Σhσ).
+struct IsingImage {
+  IsingModel model;
+  double offset = 0.0;
+
+  /// Maps ±1 spins back to the 0/1 assignment.
+  static std::vector<std::uint8_t> binary_from_spins(
+      const std::vector<Spin>& spins);
+  /// Maps 0/1 to ±1.
+  static std::vector<Spin> spins_from_binary(
+      const std::vector<std::uint8_t>& x);
+};
+
+/// Exact conversion (see file comment).
+IsingImage to_ising(const Qubo& qubo);
+
+}  // namespace cim::ising

@@ -1,0 +1,115 @@
+#include "ising/tsp_hamiltonian.hpp"
+
+#include "util/error.hpp"
+
+namespace cim::ising {
+
+TspHamiltonian::TspHamiltonian(const tsp::Instance& instance,
+                               Penalties penalties)
+    : instance_(instance), n_(instance.size()), penalties_(penalties) {
+  const auto w_max = static_cast<double>(instance.distance_upper_bound());
+  if (penalties_.b <= 0.0) penalties_.b = 2.0 * w_max;
+  if (penalties_.c <= 0.0) penalties_.c = 2.0 * w_max;
+}
+
+double TspHamiltonian::objective(std::span<const std::uint8_t> sigma) const {
+  CIM_ASSERT(sigma.size() == spins());
+  double total = 0.0;
+  // Σ_i Σ_{k≠l} W_kl σ_ik σ_(i+1)l, order index cyclic.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t next = (i + 1) % n_;
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (!sigma[spin_index(i, k, n_)]) continue;
+      for (std::size_t l = 0; l < n_; ++l) {
+        if (l == k || !sigma[spin_index(next, l, n_)]) continue;
+        total += static_cast<double>(
+            instance_.distance(static_cast<tsp::CityId>(k),
+                               static_cast<tsp::CityId>(l)));
+      }
+    }
+  }
+  return total;
+}
+
+double TspHamiltonian::penalty(std::span<const std::uint8_t> sigma) const {
+  CIM_ASSERT(sigma.size() == spins());
+  double order_pen = 0.0;
+  double city_pen = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    long long row = 0;
+    for (std::size_t k = 0; k < n_; ++k) row += sigma[spin_index(i, k, n_)];
+    order_pen += static_cast<double>((row - 1) * (row - 1));
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    long long col = 0;
+    for (std::size_t i = 0; i < n_; ++i) col += sigma[spin_index(i, k, n_)];
+    city_pen += static_cast<double>((col - 1) * (col - 1));
+  }
+  return penalties_.b * order_pen + penalties_.c * city_pen;
+}
+
+double TspHamiltonian::energy(std::span<const std::uint8_t> sigma) const {
+  return penalties_.a * objective(sigma) + penalty(sigma);
+}
+
+double TspHamiltonian::local_energy(std::span<const std::uint8_t> sigma,
+                                    std::size_t order,
+                                    std::size_t city) const {
+  CIM_ASSERT(sigma.size() == spins());
+  CIM_ASSERT(order < n_ && city < n_);
+  if (!sigma[spin_index(order, city, n_)]) return 0.0;
+  const std::size_t prev = (order + n_ - 1) % n_;
+  const std::size_t next = (order + 1) % n_;
+  double acc = 0.0;
+  for (std::size_t l = 0; l < n_; ++l) {
+    if (l == city) continue;
+    const auto w = static_cast<double>(
+        instance_.distance(static_cast<tsp::CityId>(city),
+                           static_cast<tsp::CityId>(l)));
+    if (sigma[spin_index(prev, l, n_)]) acc += w;
+    if (sigma[spin_index(next, l, n_)]) acc += w;
+  }
+  return penalties_.a * acc;
+}
+
+std::vector<std::uint8_t> TspHamiltonian::assignment_from_tour(
+    const tsp::Tour& tour) const {
+  CIM_REQUIRE(tour.is_valid(n_), "tour does not match instance");
+  std::vector<std::uint8_t> sigma(spins(), 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    sigma[spin_index(i, tour.at(i), n_)] = 1;
+  }
+  return sigma;
+}
+
+tsp::Tour TspHamiltonian::tour_from_assignment(
+    std::span<const std::uint8_t> sigma) const {
+  CIM_REQUIRE(feasible(sigma), "assignment violates one-hot constraints");
+  std::vector<tsp::CityId> order(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (sigma[spin_index(i, k, n_)]) {
+        order[i] = static_cast<tsp::CityId>(k);
+        break;
+      }
+    }
+  }
+  return tsp::Tour(std::move(order));
+}
+
+bool TspHamiltonian::feasible(std::span<const std::uint8_t> sigma) const {
+  CIM_ASSERT(sigma.size() == spins());
+  for (std::size_t i = 0; i < n_; ++i) {
+    int row = 0;
+    for (std::size_t k = 0; k < n_; ++k) row += sigma[spin_index(i, k, n_)];
+    if (row != 1) return false;
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    int col = 0;
+    for (std::size_t i = 0; i < n_; ++i) col += sigma[spin_index(i, k, n_)];
+    if (col != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace cim::ising

@@ -1,0 +1,52 @@
+#include "noise/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::noise {
+
+std::vector<ErrorRatePoint> error_rate_sweep(const SramCellModel& model,
+                                             const SweepOptions& options) {
+  CIM_REQUIRE(options.samples > 0, "sweep needs at least one sample");
+  CIM_REQUIRE(options.vdd_step > 0.0, "vdd_step must be positive");
+  CIM_REQUIRE(options.vdd_start >= options.vdd_stop,
+              "sweep runs from high to low supply");
+
+  std::vector<ErrorRatePoint> points;
+  util::Rng rng(options.seed);
+
+  // Fresh cell population per sweep; each cell stores a random bit, is
+  // pseudo-read once per voltage point (fresh write before each read so
+  // points are independent, like the paper's per-voltage averaging).
+  std::vector<std::uint64_t> cell_ids(options.samples);
+  std::vector<char> written(options.samples);
+  for (std::size_t i = 0; i < options.samples; ++i) {
+    cell_ids[i] = rng();
+    written[i] = rng.chance(0.5) ? 1 : 0;
+  }
+
+  const auto steps = static_cast<std::size_t>(
+      (options.vdd_start - options.vdd_stop) / options.vdd_step + 1e-9);
+  for (std::uint64_t epoch = 0; epoch <= steps; ++epoch) {
+    const double vdd =
+        options.vdd_start - options.vdd_step * static_cast<double>(epoch);
+    ErrorRatePoint point;
+    point.vdd = vdd;
+    point.samples = options.samples;
+    std::size_t flipped = 0;
+    for (std::size_t i = 0; i < options.samples; ++i) {
+      const bool value = model.settled_value(cell_ids[i], epoch, vdd,
+                                             written[i] != 0);
+      if (value != (written[i] != 0)) ++flipped;
+    }
+    point.measured =
+        static_cast<double>(flipped) / static_cast<double>(options.samples);
+    point.analytic = model.expected_error_rate(vdd);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace cim::noise

@@ -1,0 +1,56 @@
+#include "noise/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cim::noise {
+
+AnnealSchedule::AnnealSchedule(Params params) : params_(params) {
+  CIM_REQUIRE(params_.total_iterations >= 1, "schedule needs iterations");
+  CIM_REQUIRE(params_.iterations_per_step >= 1,
+              "iterations_per_step must be positive");
+  CIM_REQUIRE(params_.vdd_step >= 0.0, "vdd_step must be non-negative");
+  CIM_REQUIRE(params_.vdd_start <= params_.vdd_nominal,
+              "vdd_start must not exceed nominal");
+  CIM_REQUIRE(params_.lsb_start <= params_.weight_bits,
+              "noisy LSBs cannot exceed weight precision");
+}
+
+std::size_t AnnealSchedule::epochs() const {
+  return (params_.total_iterations + params_.iterations_per_step - 1) /
+         params_.iterations_per_step;
+}
+
+SchedulePhase AnnealSchedule::at(std::size_t iteration) const {
+  CIM_ASSERT(iteration < params_.total_iterations);
+  SchedulePhase phase;
+  phase.epoch = iteration / params_.iterations_per_step;
+  phase.write_back = (iteration % params_.iterations_per_step) == 0;
+  phase.vdd = std::min(
+      params_.vdd_start + params_.vdd_step * static_cast<double>(phase.epoch),
+      params_.vdd_nominal);
+  const std::uint64_t drop = phase.epoch;
+  phase.noisy_lsbs =
+      drop >= params_.lsb_start
+          ? 0U
+          : params_.lsb_start - static_cast<unsigned>(drop);
+  return phase;
+}
+
+bool AnnealSchedule::ends_noise_free() const {
+  return at(params_.total_iterations - 1).noisy_lsbs == 0;
+}
+
+std::string AnnealSchedule::describe() const {
+  std::ostringstream os;
+  os << params_.total_iterations << " iterations, VDD "
+     << params_.vdd_start * 1000.0 << "mV +" << params_.vdd_step * 1000.0
+     << "mV every " << params_.iterations_per_step << " iters, "
+     << params_.lsb_start << "/" << params_.weight_bits
+     << " noisy LSBs initially";
+  return os.str();
+}
+
+}  // namespace cim::noise

@@ -1,0 +1,55 @@
+// The annealing schedule of §IV.B / §V: weights are periodically written
+// back, and each write-back epoch raises the pseudo-read supply voltage and
+// shrinks the set of noisy LSBs, monotonically lowering the weight-noise
+// level until all bits operate at nominal V_DD (no noise → greedy
+// convergence).
+//
+// Paper defaults: 400 update iterations per annealing level, V_DD ramped
+// from 300 mV to 580 mV in 40 mV increments every 50 iterations, 8-bit
+// weights with 6 noisy LSBs initially.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cim::noise {
+
+struct SchedulePhase {
+  std::uint64_t epoch = 0;   ///< write-back epoch index
+  double vdd = 0.0;          ///< pseudo-read supply for noisy LSBs (V)
+  unsigned noisy_lsbs = 0;   ///< how many weight LSBs see the low supply
+  bool write_back = false;   ///< true on the first iteration of the epoch
+};
+
+class AnnealSchedule {
+ public:
+  struct Params {
+    std::size_t total_iterations = 400;
+    std::size_t iterations_per_step = 50;
+    double vdd_start = 0.30;   ///< V
+    double vdd_step = 0.04;    ///< V per epoch
+    double vdd_nominal = 0.80; ///< V, ceiling
+    unsigned lsb_start = 6;    ///< noisy LSBs in the first epoch
+    unsigned weight_bits = 8;
+  };
+
+  AnnealSchedule() : AnnealSchedule(Params{}) {}
+  explicit AnnealSchedule(Params params);
+
+  const Params& params() const { return params_; }
+  std::size_t total_iterations() const { return params_.total_iterations; }
+  std::size_t epochs() const;
+
+  /// Schedule state at a given iteration (0-based).
+  SchedulePhase at(std::size_t iteration) const;
+
+  /// Final phase is noise-free iff the ramp reaches zero noisy LSBs.
+  bool ends_noise_free() const;
+
+  std::string describe() const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace cim::noise

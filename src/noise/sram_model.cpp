@@ -1,0 +1,131 @@
+#include "noise/sram_model.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::noise {
+
+namespace {
+
+/// Unit-variance draw from a centred Binomial(64, ½): (popcount − 32) / 4.
+double z_from_hash(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t s = util::hash_combine(util::hash_combine(a, b), c);
+  const std::uint64_t bits = util::splitmix64(s);
+  return (static_cast<double>(std::popcount(bits)) - 32.0) / 4.0;
+}
+
+/// pmf of popcount(uniform 64-bit) = C(64,k) / 2^64.
+const std::array<double, 65>& binomial64_pmf() {
+  static const std::array<double, 65> pmf = [] {
+    std::array<double, 65> out{};
+    // log C(64,k) via lgamma for numeric safety.
+    for (int k = 0; k <= 64; ++k) {
+      const double logc = std::lgamma(65.0) - std::lgamma(k + 1.0) -
+                          std::lgamma(65.0 - k);
+      out[static_cast<std::size_t>(k)] =
+          std::exp(logc - 64.0 * std::log(2.0));
+    }
+    return out;
+  }();
+  return pmf;
+}
+
+/// P(Z > x) for Z = (Binom(64,½) − 32)/4: tail of popcount > 32 + 4x.
+double binomial_tail(double x) {
+  const double cut = 32.0 + 4.0 * x;
+  const auto& pmf = binomial64_pmf();
+  double tail = 0.0;
+  for (int k = 64; k >= 0; --k) {
+    if (static_cast<double>(k) <= cut) break;
+    tail += pmf[static_cast<std::size_t>(k)];
+  }
+  return tail;
+}
+
+}  // namespace
+
+double SramNoiseParams::sigma_disturb() const {
+  CIM_ASSERT(bl_cap_ff > 0.0);
+  return disturb_base / std::sqrt(bl_cap_ff);
+}
+
+SramCellModel::SramCellModel(SramNoiseParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  CIM_REQUIRE(params_.sigma_vth > 0.0, "sigma_vth must be positive");
+  CIM_REQUIRE(params_.snm_slope > 0.0, "snm_slope must be positive");
+  CIM_REQUIRE(params_.bl_cap_ff > 0.0,
+              "bit-line capacitance must be positive");
+}
+
+CellTraits SramCellModel::traits(std::uint64_t cell_id) const {
+  CellTraits t;
+  t.delta_vth = params_.sigma_vth * z_from_hash(seed_, cell_id, 0x7281DULL);
+  std::uint64_t s = util::hash_combine(seed_, cell_id ^ 0xBEEFULL);
+  t.preferred_bit = (util::splitmix64(s) & 1ULL) != 0;
+  return t;
+}
+
+double SramCellModel::snm(double vdd, double delta_vth) const {
+  const double ideal = params_.snm_slope * (vdd - params_.snm_v0);
+  return std::max(0.0, ideal - std::abs(delta_vth));
+}
+
+double SramCellModel::flip_probability(double vdd, double delta_vth) const {
+  const double margin = snm(vdd, delta_vth);
+  // A cell with zero read margin cannot hold anti-preferred data through a
+  // pseudo-read: it falls to its preferred state with certainty, which is
+  // what drives the error rate to 50% at very low supply (Fig. 6(b)).
+  if (margin <= 0.0) return 1.0;
+  return binomial_tail(margin / params_.sigma_disturb());
+}
+
+bool SramCellModel::flips(std::uint64_t cell_id, std::uint64_t epoch,
+                          double vdd) const {
+  const double delta_vth =
+      params_.sigma_vth * z_from_hash(seed_, cell_id, 0x7281DULL);
+  const double margin = snm(vdd, delta_vth);
+  if (margin <= 0.0) return true;  // no read margin: certain flip
+  const double disturb = params_.sigma_disturb() *
+                         z_from_hash(seed_ ^ 0xF11BULL, cell_id, epoch);
+  return disturb > margin;
+}
+
+bool SramCellModel::is_stuck(std::uint64_t cell_id) const {
+  if (params_.stuck_cell_rate <= 0.0) return false;
+  std::uint64_t s = util::hash_combine(seed_ ^ 0x57DCULL, cell_id);
+  const std::uint64_t bits = util::splitmix64(s);
+  const double u =
+      (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+  return u < params_.stuck_cell_rate;
+}
+
+bool SramCellModel::settled_value(std::uint64_t cell_id, std::uint64_t epoch,
+                                  double vdd, bool written) const {
+  std::uint64_t s = util::hash_combine(seed_, cell_id ^ 0xBEEFULL);
+  const bool preferred = (util::splitmix64(s) & 1ULL) != 0;
+  // A stuck cell holds its preferred value no matter what was written or
+  // how high the supply is.
+  if (is_stuck(cell_id)) return preferred;
+  if (written == preferred) return written;  // stable direction
+  return flips(cell_id, epoch, vdd) ? preferred : written;
+}
+
+double SramCellModel::expected_error_rate(double vdd) const {
+  // ΔVth takes the same 65 discrete values as the draw model, so the
+  // expectation is an exact finite sum.
+  const auto& pmf = binomial64_pmf();
+  double acc = 0.0;
+  for (int k = 0; k <= 64; ++k) {
+    const double dvth =
+        params_.sigma_vth * (static_cast<double>(k) - 32.0) / 4.0;
+    acc += pmf[static_cast<std::size_t>(k)] * flip_probability(vdd, dvth);
+  }
+  // Half of random stored bits are anti-preferred.
+  return 0.5 * acc;
+}
+
+}  // namespace cim::noise

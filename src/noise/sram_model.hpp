@@ -1,0 +1,111 @@
+// Compact SRAM pseudo-read error model (§IV.A, Fig. 6).
+//
+// The paper characterises noisy-bit generation with Monte-Carlo SPICE on a
+// TSMC 16 nm PDK: the word-line is asserted while the cell's supply voltage
+// is lowered, shrinking the butterfly curve's static noise margin (SNM)
+// until bit-line disturbance flips the storage node. We reproduce this with
+// a compact analytic model:
+//
+//   * each cell carries a fixed threshold-voltage mismatch
+//     ΔVth ~ N(0, σ_vth²) and a *preferred* storage value — the direction
+//     the asymmetric latch falls towards (spatially fixed after
+//     fabrication, exactly the property §IV.B exploits);
+//   * the read SNM shrinks linearly with supply voltage and is eroded by
+//     the mismatch magnitude:  SNM(v) = max(0, k·(v − v₀) − |ΔVth|);
+//   * during a pseudo-read the bit-line injects a disturbance
+//     δ ~ N(0, σ_d²) with σ_d ∝ 1/√C_BL — larger bit-line capacitance
+//     filters the disturbance and sharpens the error-rate transition, as
+//     the paper observes in Fig. 6(b);
+//   * a cell storing its anti-preferred value flips iff δ > SNM(v); a cell
+//     already holding its preferred value is stable. Flips are sticky until
+//     the next write-back (the paper's "irreversible" voltage flipping).
+//
+// With random stored data the population error rate is
+// 0.5 · E[P(δ > SNM(v, ΔVth))], a sigmoid in v that rises from ~0 at the
+// 800 mV nominal supply towards 50 % at 200 mV — the shape of Fig. 6(b).
+//
+// Implementation notes:
+//   * All per-cell randomness is counter-hashed from (model seed, cell id,
+//     epoch), so the fast and bit-level storage backends reproduce
+//     bit-identical error patterns without storing per-cell state.
+//   * Normal draws use the popcount-binomial approximation
+//     Z ≈ (popcount(hash64) − 32) / 4, i.e. a centred Binomial(64, ½)
+//     scaled to unit variance. It is within ~0.3 % of the normal CDF,
+//     costs one hash + one popcount per draw (the model sits on the hot
+//     path of every write-back), and — unlike a true normal — admits an
+//     *exact* closed form for the expected error rate, so the analytic
+//     curve and the Monte-Carlo measurement in Fig. 6(b) agree to
+//     sampling error.
+#pragma once
+
+#include <cstdint>
+
+namespace cim::noise {
+
+struct SramNoiseParams {
+  double nominal_vdd = 0.80;   ///< V, 16 nm nominal supply
+  double snm_slope = 0.50;     ///< V of read-SNM per V of supply
+  double snm_v0 = 0.18;        ///< supply at which a perfect cell's SNM hits 0
+  double sigma_vth = 0.05;     ///< V, per-cell mismatch std-dev
+  double bl_cap_ff = 20.0;     ///< fF, bit-line capacitance
+  double disturb_base = 0.045; ///< V·√fF, disturbance scale before C_BL filter
+  /// Manufacturing defect density: fraction of bit cells stuck at a fixed
+  /// value regardless of writes (hard faults, unlike the soft pseudo-read
+  /// flips). 0 models a fully yielding die.
+  double stuck_cell_rate = 0.0;
+
+  /// Disturbance std-dev after bit-line filtering.
+  double sigma_disturb() const;
+};
+
+/// Deterministic per-cell traits derived from (seed, cell id).
+struct CellTraits {
+  double delta_vth = 0.0;  ///< signed mismatch (V)
+  bool preferred_bit = false;
+};
+
+class SramCellModel {
+ public:
+  SramCellModel() : SramCellModel(SramNoiseParams{}, 0x5EED) {}
+  explicit SramCellModel(SramNoiseParams params,
+                         std::uint64_t seed = 0x5EED);
+
+  const SramNoiseParams& params() const { return params_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Fixed fabrication traits of a cell.
+  CellTraits traits(std::uint64_t cell_id) const;
+
+  /// Read SNM at supply `vdd` for mismatch `delta_vth`; clamped at 0.
+  double snm(double vdd, double delta_vth) const;
+
+  /// Probability that one pseudo-read at `vdd` flips a cell with mismatch
+  /// `delta_vth` that stores its anti-preferred value (exact under the
+  /// binomial disturbance model).
+  double flip_probability(double vdd, double delta_vth) const;
+
+  /// Deterministic flip decision for (cell, epoch) at `vdd`: true iff the
+  /// hashed disturbance draw exceeds the cell's SNM. Only meaningful when
+  /// the stored value is anti-preferred.
+  bool flips(std::uint64_t cell_id, std::uint64_t epoch, double vdd) const;
+
+  /// The stored value of a cell after a pseudo-read settles, given the
+  /// written value. Applies the stuck-at mask, then the
+  /// preferred-direction rule.
+  bool settled_value(std::uint64_t cell_id, std::uint64_t epoch, double vdd,
+                     bool written) const;
+
+  /// True iff the cell is a manufacturing defect (stuck at its preferred
+  /// value); deterministic per cell.
+  bool is_stuck(std::uint64_t cell_id) const;
+
+  /// Population error rate for random stored data at `vdd`:
+  /// 0.5 · E_ΔVth[P(δ > SNM)], exact under the binomial draw model.
+  double expected_error_rate(double vdd) const;
+
+ private:
+  SramNoiseParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cim::noise

@@ -1,0 +1,25 @@
+#include "ppa/area.hpp"
+
+namespace cim::ppa {
+
+ArrayArea array_area(const hw::ArrayGeometry& geometry,
+                     const TechnologyParams& tech) {
+  ArrayArea area;
+  area.height_um = static_cast<double>(geometry.cell_rows()) *
+                       tech.cell_height_um +
+                   tech.row_periph_um;
+  area.width_um = static_cast<double>(geometry.cell_cols()) *
+                      tech.cell_width_um +
+                  tech.col_periph_um;
+  return area;
+}
+
+double chip_area_um2(const hw::ChipLayout& layout,
+                     const hw::ArrayGeometry& geometry,
+                     const TechnologyParams& tech) {
+  const ArrayArea one = array_area(geometry, tech);
+  return static_cast<double>(layout.arrays) * one.area_um2() *
+         (1.0 + tech.routing_overhead);
+}
+
+}  // namespace cim::ppa

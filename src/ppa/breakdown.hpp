@@ -1,0 +1,60 @@
+// Component-level decomposition of the macro models (NeuroSim-style).
+//
+// The aggregate area/energy models (area.hpp / energy.hpp) are calibrated
+// to the paper's published anchors; this module splits them into the
+// components of Fig. 5(c) — cell array, adder trees, decoders, switch
+// matrix, MUX overhead — so design explorations can see *where* a p_max
+// change spends its silicon. The split fractions are modelling choices
+// (documented per field); the totals always equal the aggregate models.
+#pragma once
+
+#include "cim/array.hpp"
+#include "cim/chip.hpp"
+#include "ppa/area.hpp"
+#include "ppa/tech.hpp"
+
+namespace cim::ppa {
+
+struct AreaBreakdown {
+  double cell_array_um2 = 0.0;    ///< 14T cells (6T SRAM + NOR + 2 TG)
+  double adder_trees_um2 = 0.0;   ///< per-window-row reduction + shift-add
+  double write_drivers_um2 = 0.0; ///< column write path
+  double decoders_um2 = 0.0;      ///< row/MUX decode
+  double switch_matrix_um2 = 0.0; ///< cell-enable switch matrix
+  double total_um2() const {
+    return cell_array_um2 + adder_trees_um2 + write_drivers_um2 +
+           decoders_um2 + switch_matrix_um2;
+  }
+  /// Fraction of the array that is storage (the paper's density argument:
+  /// digital CIM peripheral overhead stays modest).
+  double cell_fraction() const {
+    const double total = total_um2();
+    return total > 0.0 ? cell_array_um2 / total : 0.0;
+  }
+};
+
+/// Decomposes one array's footprint. Row peripherals split 60/40 into
+/// decoders / switch matrix; column peripherals 80/20 into adder trees /
+/// write drivers (VLSI-typical shares for this periphery mix).
+AreaBreakdown array_area_breakdown(const hw::ArrayGeometry& geometry,
+                                   const TechnologyParams& tech =
+                                       tech16nm());
+
+struct MacEnergyBreakdown {
+  double nor_products_j = 0.0;  ///< one 4T-NOR evaluation per bit cell
+  double adder_tree_j = 0.0;    ///< reduction + shift-and-add bit ops
+  double mux_j = 0.0;           ///< cell/window MUX switching
+  double total_j() const {
+    return nor_products_j + adder_tree_j + mux_j;
+  }
+};
+
+/// Decomposes one window-column MAC. NOR products and adder ops split the
+/// aggregate bit-op energy ~50/50 (equal counts); the MUX share is the
+/// two transmission gates per accessed cell, folded into ~6% of total.
+MacEnergyBreakdown mac_energy_breakdown(std::size_t window_rows,
+                                        unsigned weight_bits,
+                                        const TechnologyParams& tech =
+                                            tech16nm());
+
+}  // namespace cim::ppa

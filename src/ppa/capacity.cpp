@@ -1,0 +1,3 @@
+#include "ppa/capacity.hpp"
+
+// Header-only arithmetic; this translation unit anchors the library.

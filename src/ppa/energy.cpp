@@ -1,0 +1,84 @@
+#include "ppa/energy.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cim::ppa {
+
+double mac_energy_j(std::size_t window_rows, unsigned weight_bits,
+                    const TechnologyParams& tech) {
+  // Products (one NOR per cell) + adder-tree ops (≈ one per cell across
+  // the reduction and shift-and-add stages).
+  const double bit_ops = 2.0 * static_cast<double>(window_rows) *
+                         static_cast<double>(weight_bits);
+  return bit_ops * tech.bit_op_fj * 1e-15;
+}
+
+AnalyticActivity analytic_activity(
+    std::size_t leaf_clusters, double mean_cluster_size, std::size_t depth,
+    const noise::AnnealSchedule::Params& schedule, std::uint32_t p) {
+  CIM_REQUIRE(mean_cluster_size > 1.0, "mean cluster size must exceed 1");
+  const noise::AnnealSchedule sched(schedule);
+  AnalyticActivity activity;
+  double clusters = static_cast<double>(leaf_clusters);
+  const double iterations = static_cast<double>(sched.total_iterations());
+  for (std::size_t level = 0; level < depth; ++level) {
+    activity.macs += clusters * iterations * 4.0;
+    activity.edge_bits += clusters * iterations * static_cast<double>(p);
+    clusters = std::max(1.0, clusters / mean_cluster_size);
+  }
+  activity.writeback_epochs =
+      static_cast<double>(depth) * static_cast<double>(sched.epochs());
+  return activity;
+}
+
+namespace {
+
+EnergyBreakdown assemble(double macs, double writeback_epochs,
+                         double edge_bits, const hw::ChipLayout& layout,
+                         std::size_t window_rows, unsigned weight_bits,
+                         double runtime_s, const TechnologyParams& tech) {
+  EnergyBreakdown energy;
+  energy.read_compute_j =
+      macs * mac_energy_j(window_rows, weight_bits, tech);
+  energy.write_j = writeback_epochs *
+                   static_cast<double>(layout.capacity_bits) *
+                   tech.write_bit_fj * 1e-15;
+  energy.transfer_j = edge_bits * tech.transfer_bit_fj * 1e-15;
+  const double capacity_mb =
+      static_cast<double>(layout.capacity_bits) / 1e6;
+  energy.leakage_j = tech.leakage_w_per_mb * capacity_mb * runtime_s;
+  return energy;
+}
+
+}  // namespace
+
+EnergyBreakdown energy_from_analytic(const AnalyticActivity& activity,
+                                     const hw::ChipLayout& layout,
+                                     std::size_t window_rows,
+                                     unsigned weight_bits, double runtime_s,
+                                     const TechnologyParams& tech) {
+  return assemble(activity.macs, activity.writeback_epochs,
+                  activity.edge_bits, layout, window_rows, weight_bits,
+                  runtime_s, tech);
+}
+
+EnergyBreakdown energy_from_activity(
+    const anneal::HardwareActivity& activity, const hw::ChipLayout& layout,
+    std::size_t window_rows, unsigned weight_bits, double runtime_s,
+    const TechnologyParams& tech) {
+  // writeback_events counts one event per window per epoch; convert to
+  // full-capacity epochs so redundant provisioned columns are charged.
+  const double epochs =
+      layout.windows > 0
+          ? static_cast<double>(activity.storage.writeback_events) /
+                static_cast<double>(layout.windows)
+          : 0.0;
+  return assemble(static_cast<double>(activity.storage.macs), epochs,
+                  static_cast<double>(activity.dataflow
+                                          .edge_bits_transferred()),
+                  layout, window_rows, weight_bits, runtime_s, tech);
+}
+
+}  // namespace cim::ppa

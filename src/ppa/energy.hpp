@@ -1,0 +1,69 @@
+// Dynamic-energy model (Fig. 7(d)).
+//
+// Read/compute energy: one window MAC activates (p²+2p)·8 NOR products and
+// roughly the same number of adder-tree bit ops. Write energy: every
+// write-back epoch rewrites the full provisioned capacity. Transfers: the
+// p boundary bits that cross array edges per update. The write share is
+// small because writes happen once per 50 iterations (the paper's
+// observation on Fig. 7(c)/(d)).
+#pragma once
+
+#include <cstdint>
+
+#include "anneal/clustered_annealer.hpp"
+#include "cim/chip.hpp"
+#include "noise/schedule.hpp"
+#include "ppa/tech.hpp"
+
+namespace cim::ppa {
+
+struct EnergyBreakdown {
+  double read_compute_j = 0.0;
+  double write_j = 0.0;
+  double transfer_j = 0.0;
+  double leakage_j = 0.0;
+  double total_j() const {
+    return read_compute_j + write_j + transfer_j + leakage_j;
+  }
+};
+
+/// Energy per single window MAC at the hardware window geometry.
+double mac_energy_j(std::size_t window_rows, unsigned weight_bits,
+                    const TechnologyParams& tech = tech16nm());
+
+struct AnalyticActivity {
+  double macs = 0.0;            ///< total window MACs
+  double writeback_epochs = 0.0;///< full-capacity rewrites
+  double edge_bits = 0.0;       ///< boundary bits moved between arrays
+};
+
+/// Analytic activity for a solve: every cluster attempts one swap
+/// (4 MACs) per iteration at every level; the cluster count shrinks by
+/// the mean cluster size per level.
+AnalyticActivity analytic_activity(std::size_t leaf_clusters,
+                                   double mean_cluster_size,
+                                   std::size_t depth,
+                                   const noise::AnnealSchedule::Params&
+                                       schedule,
+                                   std::uint32_t p);
+
+/// Energy from analytic activity on a planned chip.
+EnergyBreakdown energy_from_analytic(const AnalyticActivity& activity,
+                                     const hw::ChipLayout& layout,
+                                     std::size_t window_rows,
+                                     unsigned weight_bits, double runtime_s,
+                                     const TechnologyParams& tech =
+                                         tech16nm());
+
+/// Energy from the counters of a real solve. Charged at the *hardware*
+/// window geometry (redundant provisioned columns are written too), which
+/// is why the chip layout is required.
+EnergyBreakdown energy_from_activity(const anneal::HardwareActivity&
+                                         activity,
+                                     const hw::ChipLayout& layout,
+                                     std::size_t window_rows,
+                                     unsigned weight_bits, double runtime_s,
+                                     const TechnologyParams& tech =
+                                         tech16nm());
+
+}  // namespace cim::ppa

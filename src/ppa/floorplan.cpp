@@ -1,0 +1,43 @@
+#include "ppa/floorplan.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cim::ppa {
+
+Floorplan plan_floorplan(const hw::ChipLayout& layout,
+                         const hw::ArrayGeometry& geometry,
+                         const FloorplanOptions& options,
+                         const TechnologyParams& tech) {
+  CIM_REQUIRE(layout.arrays >= 1, "floorplan needs at least one array");
+  const ArrayArea array = array_area(geometry, tech);
+
+  Floorplan plan;
+  // Near-square grid in physical dimensions: pick the column count that
+  // brings width/height closest to 1 given the array aspect ratio.
+  const double n = static_cast<double>(layout.arrays);
+  const double pitch_w = array.width_um + options.channel_um;
+  const double pitch_h = array.height_um + options.channel_um;
+  const double ideal_cols = std::sqrt(n * pitch_h / pitch_w);
+  plan.grid_cols = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(ideal_cols)));
+  plan.grid_cols = std::min(plan.grid_cols, layout.arrays);
+  plan.grid_rows = (layout.arrays + plan.grid_cols - 1) / plan.grid_cols;
+
+  plan.width_um = static_cast<double>(plan.grid_cols) * pitch_w;
+  plan.height_um = static_cast<double>(plan.grid_rows) * pitch_h;
+  plan.aspect_ratio = plan.width_um / plan.height_um;
+  plan.array_area_um2 = n * array.area_um2();
+  plan.channel_area_um2 = plan.area_um2() - plan.array_area_um2;
+
+  // H-tree trunk: each binary level halves the span; total wire ≈
+  // Σ_levels 2^level · (span / 2^ceil(level/2)) ≈ perimeter-scale for a
+  // balanced tree. Use the standard estimate: total ≈ 1.5 · (W + H) ·
+  // sqrt(#arrays) / 2.
+  plan.htree_wire_um = 0.75 * (plan.width_um + plan.height_um) *
+                       std::sqrt(n);
+  return plan;
+}
+
+}  // namespace cim::ppa

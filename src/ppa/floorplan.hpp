@@ -1,0 +1,42 @@
+// Chip floorplan model: arranges the planned arrays into a near-square
+// grid, sizes the global interconnect (an H-tree distributing inputs /
+// collecting boundary bits), and refines the routing-overhead constant of
+// the aggregate area model into an explicit wire-length estimate.
+#pragma once
+
+#include <cstddef>
+
+#include "cim/chip.hpp"
+#include "ppa/area.hpp"
+#include "ppa/tech.hpp"
+
+namespace cim::ppa {
+
+struct Floorplan {
+  std::size_t grid_cols = 0;   ///< arrays per row
+  std::size_t grid_rows = 0;   ///< array rows (last row may be partial)
+  double width_um = 0.0;       ///< chip width including routing channels
+  double height_um = 0.0;
+  double aspect_ratio = 1.0;   ///< width / height
+  double array_area_um2 = 0.0; ///< sum of array footprints
+  double channel_area_um2 = 0.0;  ///< inter-array routing channels
+  double htree_wire_um = 0.0;  ///< total H-tree trunk wire length
+  double area_um2() const { return width_um * height_um; }
+  /// Fraction of the die that is routing rather than arrays.
+  double routing_fraction() const {
+    const double total = area_um2();
+    return total > 0.0 ? 1.0 - array_area_um2 / total : 0.0;
+  }
+};
+
+struct FloorplanOptions {
+  double channel_um = 2.0;  ///< routing channel between adjacent arrays
+};
+
+/// Plans the layout for `layout.arrays` arrays of the given geometry.
+Floorplan plan_floorplan(const hw::ChipLayout& layout,
+                         const hw::ArrayGeometry& geometry,
+                         const FloorplanOptions& options = {},
+                         const TechnologyParams& tech = tech16nm());
+
+}  // namespace cim::ppa

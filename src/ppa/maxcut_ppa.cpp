@@ -1,0 +1,37 @@
+#include "ppa/maxcut_ppa.hpp"
+
+#include "ppa/energy.hpp"
+#include "util/error.hpp"
+
+namespace cim::ppa {
+
+MaxCutMacroReport maxcut_macro_report(std::size_t spins,
+                                      unsigned weight_bits,
+                                      const TechnologyParams& tech) {
+  CIM_REQUIRE(spins >= 2, "macro needs at least two spins");
+  MaxCutMacroReport report;
+  report.spins = spins;
+  report.weight_bits = weight_bits;
+  const double n = static_cast<double>(spins);
+  report.capacity_bits = n * n * static_cast<double>(weight_bits);
+
+  // Geometry: n cell rows × n weight columns (weight_bits bit-cells
+  // each), row peripherals once, column peripherals (adder trees) once —
+  // the same composition as the TSP array model.
+  const double height =
+      n * tech.cell_height_um + tech.row_periph_um;
+  const double width = n * static_cast<double>(weight_bits) *
+                           tech.cell_width_um +
+                       tech.col_periph_um;
+  report.area_um2 = height * width * (1.0 + tech.routing_overhead);
+
+  // Power: chromatic update streams one colour class per cycle; on dense
+  // graphs that approaches one full-column MAC per spin per sweep. Charge
+  // one n-row MAC per cycle (pipelined) plus leakage.
+  const double mac_j = mac_energy_j(spins, weight_bits, tech);
+  report.power_w = mac_j * tech.clock_ghz * 1e9 +
+                   tech.leakage_w_per_mb * report.capacity_bits / 1e6;
+  return report;
+}
+
+}  // namespace cim::ppa

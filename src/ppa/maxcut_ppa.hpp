@@ -1,0 +1,30 @@
+// PPA projection of a Max-Cut macro on this substrate — an all-to-all
+// n×n weight array with per-spin adder trees (the STATICA/Amorphica
+// architecture shape) built from our 14T cells and 16 nm constants. This
+// puts a like-for-like row under Table III: same workload class as the
+// competitors, this work's technology and cell.
+#pragma once
+
+#include <cstdint>
+
+#include "ppa/tech.hpp"
+
+namespace cim::ppa {
+
+struct MaxCutMacroReport {
+  std::size_t spins = 0;
+  unsigned weight_bits = 8;
+  double capacity_bits = 0.0;   ///< n² weights × precision
+  double area_um2 = 0.0;        ///< cells + per-column adder trees + decode
+  double power_w = 0.0;         ///< all-spin update streaming at the clock
+  double area_per_bit_um2() const { return area_um2 / capacity_bits; }
+  double power_per_bit_w() const { return power_w / capacity_bits; }
+};
+
+/// Projects an n-spin all-to-all Max-Cut macro.
+MaxCutMacroReport maxcut_macro_report(std::size_t spins,
+                                      unsigned weight_bits = 8,
+                                      const TechnologyParams& tech =
+                                          tech16nm());
+
+}  // namespace cim::ppa

@@ -1,0 +1,83 @@
+#include "ppa/report.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cim::ppa {
+
+namespace {
+
+hw::ChipConfig chip_config(const DesignPoint& point) {
+  hw::ChipConfig config;
+  config.n_cities = point.n_cities;
+  config.p = point.p;
+  config.strategy = point.strategy;
+  config.array.p_max = point.p;
+  config.array.weight_bits = point.weight_bits;
+  return config;
+}
+
+double mean_cluster_size(const DesignPoint& point) {
+  return point.strategy == hw::SizingStrategy::kFixed
+             ? static_cast<double>(point.p)
+             : (1.0 + static_cast<double>(point.p)) / 2.0;
+}
+
+void finish(PpaReport& report, const TechnologyParams& tech) {
+  const hw::ChipConfig config = chip_config(report.point);
+  report.array = array_area(config.array, tech);
+  report.chip_area_um2 = chip_area_um2(report.layout, config.array, tech);
+  const double total_s = report.latency.total_s();
+  report.average_power_w =
+      total_s > 0.0 ? report.energy.total_j() / total_s : 0.0;
+}
+
+}  // namespace
+
+PpaReport analytic_report(const DesignPoint& point,
+                          std::optional<std::size_t> depth_override,
+                          const TechnologyParams& tech) {
+  CIM_REQUIRE(point.n_cities >= 1, "design point needs a problem size");
+  PpaReport report;
+  report.point = point;
+  const hw::ChipConfig config = chip_config(point);
+  report.layout = hw::plan_chip(config);
+  report.depth = depth_override.value_or(
+      estimate_depth(point.n_cities, mean_cluster_size(point)));
+
+  const std::size_t rows = config.array.window().rows();
+  const CycleCounts cycles =
+      analytic_cycles(report.depth, point.schedule, rows);
+  report.latency = latency_from_cycles(cycles, tech);
+
+  const AnalyticActivity activity =
+      analytic_activity(report.layout.windows, mean_cluster_size(point),
+                        report.depth, point.schedule, point.p);
+  report.energy =
+      energy_from_analytic(activity, report.layout, rows, point.weight_bits,
+                           report.latency.total_s(), tech);
+  finish(report, tech);
+  return report;
+}
+
+PpaReport measured_report(const DesignPoint& point,
+                          const anneal::AnnealResult& result,
+                          const TechnologyParams& tech) {
+  CIM_REQUIRE(point.n_cities >= 1, "design point needs a problem size");
+  PpaReport report;
+  report.point = point;
+  const hw::ChipConfig config = chip_config(point);
+  report.layout = hw::plan_chip(config);
+  report.depth = result.hierarchy_depth;
+
+  const std::size_t rows = config.array.window().rows();
+  report.latency = latency_from_cycles(measured_cycles(result.hw), tech);
+  report.energy =
+      energy_from_activity(result.hw, report.layout, rows, point.weight_bits,
+                           report.latency.total_s(), tech);
+  finish(report, tech);
+  return report;
+}
+
+}  // namespace cim::ppa

@@ -1,0 +1,59 @@
+// End-to-end PPA report for one (instance size, p_max, strategy) design
+// point — the quantity rows of Fig. 7(b)–(d) and Table III.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "anneal/clustered_annealer.hpp"
+#include "cim/chip.hpp"
+#include "ppa/area.hpp"
+#include "ppa/energy.hpp"
+#include "ppa/timing.hpp"
+
+namespace cim::ppa {
+
+struct DesignPoint {
+  std::string instance_name;
+  std::size_t n_cities = 0;
+  std::uint32_t p = 3;
+  hw::SizingStrategy strategy = hw::SizingStrategy::kSemiFlexible;
+  noise::AnnealSchedule::Params schedule;
+  unsigned weight_bits = 8;
+};
+
+struct PpaReport {
+  DesignPoint point;
+  hw::ChipLayout layout;
+  ArrayArea array;
+  double chip_area_um2 = 0.0;
+  std::size_t depth = 0;
+  LatencyBreakdown latency;
+  EnergyBreakdown energy;
+  double average_power_w = 0.0;
+
+  double capacity_mb() const {
+    return static_cast<double>(layout.capacity_bits) / 1e6;
+  }
+  double area_per_weight_bit_um2() const {
+    return chip_area_um2 / static_cast<double>(layout.capacity_bits);
+  }
+  double power_per_weight_bit_w() const {
+    return average_power_w / static_cast<double>(layout.capacity_bits);
+  }
+};
+
+/// Analytic report: hierarchy depth estimated from the mean cluster size
+/// ((1+p)/2 for semi-flexible, p for fixed) unless `depth_override` gives
+/// the real measured depth.
+PpaReport analytic_report(const DesignPoint& point,
+                          std::optional<std::size_t> depth_override = {},
+                          const TechnologyParams& tech = tech16nm());
+
+/// Report from a real solve's hardware activity.
+PpaReport measured_report(const DesignPoint& point,
+                          const anneal::AnnealResult& result,
+                          const TechnologyParams& tech = tech16nm());
+
+}  // namespace cim::ppa

@@ -1,0 +1,35 @@
+#include "ppa/sota.hpp"
+
+namespace cim::ppa {
+
+const std::vector<SotaEntry>& sota_annealers() {
+  static const std::vector<SotaEntry> entries = {
+      {"STATICA [18]", "65nm CMOS", "Max-Cut", 512.0, 1.31e6, 12.0, 0.649},
+      {"CIM-Spin [22]", "65nm CMOS", "Max-Cut", 480.0, 17.28e3, 0.4,
+       360e-6},
+      {"Takemoto [23]", "40nm CMOS", "Max-Cut", 16.0e3 * 9.0, 0.64e6, 10.8,
+       std::nullopt},
+      {"Su [27]", "65nm CMOS", "Max-Cut", 1024.0, 57e3, 0.34, 1.17e-3},
+      {"Amorphica [25]", "40nm CMOS", "Max-Cut", 2.0e3, 8e6, 9.0, 0.313},
+  };
+  return entries;
+}
+
+ThisDesignRow this_design_row(const PpaReport& report) {
+  ThisDesignRow row;
+  const double n = static_cast<double>(report.point.n_cities);
+  const double p = static_cast<double>(report.point.p);
+  // One spin per provisioned window column: p² × 2N/(1+p) windows
+  // (0.39 M for pla85900 at p_max = 3, matching the paper's footnote).
+  row.physical_spins = p * p * 2.0 * n / (1.0 + p);
+  row.functional_spins = n * n;
+  row.physical_weight_bits =
+      static_cast<double>(report.layout.capacity_bits);
+  row.functional_weight_bits =
+      n * n * n * n * static_cast<double>(report.point.weight_bits);
+  row.chip_area_mm2 = report.chip_area_um2 / 1e6;
+  row.power_w = report.average_power_w;
+  return row;
+}
+
+}  // namespace cim::ppa

@@ -1,0 +1,63 @@
+// Table III: comparison with state-of-the-art scalable annealers. The
+// competitor rows are published silicon numbers carried as constants; the
+// "this design" row is computed from our PPA models. The functional
+// normalisation divides by the weight bits an *unclustered* formulation
+// would need (N⁴ weights × precision) — the paper's argument that solving
+// TSP at this scale is worth ~10¹³× in effective area/power efficiency.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ppa/report.hpp"
+
+namespace cim::ppa {
+
+struct SotaEntry {
+  std::string name;
+  std::string technology;
+  std::string problem;
+  double spins = 0.0;
+  double weight_bits = 0.0;       ///< on-chip weight memory (bits)
+  double chip_area_mm2 = 0.0;
+  std::optional<double> power_w;  ///< some papers do not report power
+  double area_per_bit_um2() const {
+    return chip_area_mm2 * 1e6 / weight_bits;
+  }
+  std::optional<double> power_per_bit_w() const {
+    if (!power_w) return std::nullopt;
+    return *power_w / weight_bits;
+  }
+};
+
+/// The five competitor rows of Table III.
+const std::vector<SotaEntry>& sota_annealers();
+
+struct ThisDesignRow {
+  double physical_spins = 0.0;      ///< p·N spins actually instantiated
+  double functional_spins = 0.0;    ///< N² spins replaced
+  double physical_weight_bits = 0.0;
+  double functional_weight_bits = 0.0;  ///< N⁴ × precision replaced
+  double chip_area_mm2 = 0.0;
+  double power_w = 0.0;
+
+  double physical_area_per_bit_um2() const {
+    return chip_area_mm2 * 1e6 / physical_weight_bits;
+  }
+  double functional_area_per_bit_um2() const {
+    return chip_area_mm2 * 1e6 / functional_weight_bits;
+  }
+  double physical_power_per_bit_w() const {
+    return power_w / physical_weight_bits;
+  }
+  double functional_power_per_bit_w() const {
+    return power_w / functional_weight_bits;
+  }
+};
+
+/// Builds the "this design" row from a PPA report of the flagship design
+/// point (the paper uses pla85900 at p_max = 3).
+ThisDesignRow this_design_row(const PpaReport& report);
+
+}  // namespace cim::ppa

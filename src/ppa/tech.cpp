@@ -1,0 +1,10 @@
+#include "ppa/tech.hpp"
+
+namespace cim::ppa {
+
+const TechnologyParams& tech16nm() {
+  static const TechnologyParams params{};
+  return params;
+}
+
+}  // namespace cim::ppa

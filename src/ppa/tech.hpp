@@ -1,0 +1,44 @@
+// 16/14 nm FinFET technology constants for the PPA macro models.
+//
+// The paper derives its PPA from NeuroSim-style macro models; we use the
+// same structure with constants *fitted to the paper's own published
+// anchors* (DESIGN.md §6):
+//
+//   * cell pitch and peripheral overheads solve the three array areas of
+//     Table II exactly (≤ 2.3 % residual):
+//       p_max=2: 40×64  cells → 57×55 µm
+//       p_max=3: 75×144 cells → 102×98 µm
+//       p_max=4: 120×256 cells → 161×162 µm
+//     giving cell 1.286 µm (H) × 0.5375 µm (W), row peripherals 5.6 µm,
+//     column peripherals (adder trees) 20.6 µm;
+//   * the per-bit compute energy is fitted to the 433 mW chip power of
+//     pla85900 at p_max=3 (Table III) at the 1 GHz update clock;
+//   * the 14T cell is ~2.3× a 6T SRAM footprint (6T+NOR+2 TG, Fig. 5(b)).
+#pragma once
+
+namespace cim::ppa {
+
+struct TechnologyParams {
+  // --- geometry (µm), fitted to Table II ---
+  double cell_height_um = 1.286;   ///< 14T cell height (double-height routing)
+  double cell_width_um = 0.5375;   ///< 14T cell width per bit column
+  double row_periph_um = 5.6;      ///< decoder + switch matrix (vertical)
+  double col_periph_um = 20.6;     ///< adder trees + write drivers (horizontal)
+  double routing_overhead = 0.018; ///< chip-level interconnect fraction
+
+  // --- timing ---
+  double clock_ghz = 1.0;          ///< update clock
+  double cycles_per_mac = 1.0;     ///< one window MAC per cycle
+  double cycles_per_write_row = 1.0;
+
+  // --- energy (fJ), fitted to the 433 mW anchor ---
+  double bit_op_fj = 0.50;         ///< NOR product or 1-bit adder op
+  double write_bit_fj = 0.55;      ///< SRAM bit write (incl. drivers)
+  double transfer_bit_fj = 0.08;   ///< inter-array edge-bit move
+  double leakage_w_per_mb = 1.0e-4;///< standby leakage per Mb of SRAM
+};
+
+/// Default 16 nm parameters (see file comment).
+const TechnologyParams& tech16nm();
+
+}  // namespace cim::ppa

@@ -1,0 +1,53 @@
+#include "ppa/timing.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cim::ppa {
+
+CycleCounts analytic_cycles(std::size_t depth,
+                            const noise::AnnealSchedule::Params& schedule,
+                            std::size_t window_rows, std::size_t phases) {
+  CIM_REQUIRE(depth >= 1, "depth must be positive");
+  const noise::AnnealSchedule sched(schedule);
+  CycleCounts counts;
+  const double iterations =
+      static_cast<double>(sched.total_iterations());
+  counts.update_cycles = static_cast<double>(depth) * iterations *
+                         static_cast<double>(phases) * 4.0;
+  counts.writeback_cycles = static_cast<double>(depth) *
+                            static_cast<double>(sched.epochs()) *
+                            static_cast<double>(window_rows);
+  return counts;
+}
+
+CycleCounts measured_cycles(const anneal::HardwareActivity& activity) {
+  CycleCounts counts;
+  counts.update_cycles = static_cast<double>(activity.update_cycles);
+  counts.writeback_cycles = static_cast<double>(activity.writeback_cycles);
+  return counts;
+}
+
+LatencyBreakdown latency_from_cycles(const CycleCounts& cycles,
+                                     const TechnologyParams& tech) {
+  const double period_s = 1.0e-9 / tech.clock_ghz;
+  LatencyBreakdown lat;
+  lat.read_compute_s = cycles.update_cycles * tech.cycles_per_mac * period_s;
+  lat.write_s = cycles.writeback_cycles * tech.cycles_per_write_row * period_s;
+  return lat;
+}
+
+std::size_t estimate_depth(std::size_t n_cities, double mean_cluster_size,
+                           std::size_t top_size) {
+  CIM_REQUIRE(mean_cluster_size > 1.0, "mean cluster size must exceed 1");
+  CIM_REQUIRE(top_size >= 2, "top_size must be at least 2");
+  if (n_cities <= top_size) return 1;
+  const double levels =
+      std::log(static_cast<double>(n_cities) /
+               static_cast<double>(top_size)) /
+      std::log(mean_cluster_size);
+  return static_cast<std::size_t>(std::ceil(levels));
+}
+
+}  // namespace cim::ppa

@@ -1,0 +1,52 @@
+// Latency model (Fig. 7(c), §VI time-to-solution).
+//
+// One swap update is 4 MAC cycles (two local energies before the swap, two
+// after — Fig. 5(a)); with chromatic parallelism every cluster of one
+// parity updates simultaneously, so an iteration costs
+// (parallel phases) × 4 cycles regardless of problem size. Weights are
+// rewritten every `iterations_per_step` iterations, costing one cycle per
+// window row (arrays refresh in parallel). Hierarchical annealing repeats
+// the schedule once per level.
+#pragma once
+
+#include <cstddef>
+
+#include "anneal/clustered_annealer.hpp"
+#include "noise/schedule.hpp"
+#include "ppa/tech.hpp"
+
+namespace cim::ppa {
+
+struct CycleCounts {
+  double update_cycles = 0.0;
+  double writeback_cycles = 0.0;
+  double total() const { return update_cycles + writeback_cycles; }
+};
+
+struct LatencyBreakdown {
+  double read_compute_s = 0.0;
+  double write_s = 0.0;
+  double total_s() const { return read_compute_s + write_s; }
+};
+
+/// Analytic cycle counts for `depth` hierarchy levels of the schedule.
+/// `window_rows` is the hardware window height (p²+2p); `phases` the
+/// chromatic phase count per iteration (2 for an even ring).
+CycleCounts analytic_cycles(std::size_t depth,
+                            const noise::AnnealSchedule::Params& schedule,
+                            std::size_t window_rows, std::size_t phases = 2);
+
+/// Cycle counts observed by a real solve.
+CycleCounts measured_cycles(const anneal::HardwareActivity& activity);
+
+LatencyBreakdown latency_from_cycles(const CycleCounts& cycles,
+                                     const TechnologyParams& tech =
+                                         tech16nm());
+
+/// Estimated hierarchy depth for an N-city problem: levels needed to
+/// shrink N to `top_size` when each level divides the item count by the
+/// mean cluster size.
+std::size_t estimate_depth(std::size_t n_cities, double mean_cluster_size,
+                           std::size_t top_size = 4);
+
+}  // namespace cim::ppa

@@ -1,0 +1,56 @@
+#include "tsp/best_known.hpp"
+
+#include <map>
+
+namespace cim::tsp {
+
+namespace {
+
+// TSPLIB optimal tour lengths (all instances below are solved to
+// optimality; source: TSPLIB documentation / Concorde results).
+const std::map<std::string, long long>& best_known_table() {
+  static const std::map<std::string, long long> table = {
+      {"berlin52", 7542},     {"eil51", 426},       {"eil76", 538},
+      {"eil101", 629},        {"kroA100", 21282},   {"kroB100", 22141},
+      {"lin105", 14379},      {"ch130", 6110},      {"ch150", 6528},
+      {"a280", 2579},         {"pr439", 107217},    {"pcb442", 50778},
+      {"att532", 27686},      {"rat783", 8806},     {"pr1002", 259045},
+      {"pcb1173", 56892},     {"rl1304", 252948},   {"nrw1379", 56638},
+      {"u2152", 64253},       {"pr2392", 378032},   {"pcb3038", 137694},
+      {"fl3795", 28772},      {"fnl4461", 182566},  {"rl5915", 565530},
+      {"rl5934", 556045},     {"pla7397", 23260728},{"rl11849", 923288},
+      {"usa13509", 19982859}, {"brd14051", 469385}, {"d15112", 1573084},
+      {"d18512", 645238},     {"pla33810", 66048945},
+      {"pla85900", 142382641},
+  };
+  return table;
+}
+
+// Concorde runtimes cited by the paper (§VI, from benchmark page [13]).
+const std::map<std::string, double>& concorde_table() {
+  static const std::map<std::string, double> table = {
+      {"pcb3038", 22.0 * 3600.0},          // 22 hours
+      {"rl5934", 7.0 * 86400.0},           // 7 days
+      {"rl5915", 7.0 * 86400.0},           // same order as rl5934
+      {"rl11849", 155.0 * 86400.0},        // 155 days
+  };
+  return table;
+}
+
+}  // namespace
+
+std::optional<long long> best_known_length(const std::string& name) {
+  const auto& table = best_known_table();
+  const auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> concorde_runtime_seconds(const std::string& name) {
+  const auto& table = concorde_table();
+  const auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace cim::tsp

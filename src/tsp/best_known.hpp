@@ -1,0 +1,19 @@
+// Registry of published best-known tour lengths for the TSPLIB instances
+// the paper evaluates, plus the Concorde CPU runtimes the paper cites from
+// [13] for its speedup claim.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace cim::tsp {
+
+/// Published optimal/best-known length for a TSPLIB instance name, if we
+/// carry it.
+std::optional<long long> best_known_length(const std::string& name);
+
+/// Concorde wall-clock time (seconds) reported by the paper's reference
+/// [13] for an instance name, if cited.
+std::optional<double> concorde_runtime_seconds(const std::string& name);
+
+}  // namespace cim::tsp

@@ -1,0 +1,56 @@
+#include "tsp/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cim::tsp {
+
+Instance::Instance(std::string name, geo::Metric metric,
+                   std::vector<geo::Point> coords)
+    : name_(std::move(name)),
+      metric_(metric),
+      n_(coords.size()),
+      coords_(std::move(coords)) {
+  CIM_REQUIRE(metric_ != geo::Metric::kExplicit,
+              "coordinate instance cannot use EXPLICIT metric");
+  CIM_REQUIRE(n_ >= 1, "instance must contain at least one city");
+}
+
+Instance::Instance(std::string name, std::vector<long long> matrix,
+                   std::size_t n)
+    : name_(std::move(name)),
+      metric_(geo::Metric::kExplicit),
+      n_(n),
+      matrix_(std::move(matrix)) {
+  CIM_REQUIRE(n_ >= 1, "instance must contain at least one city");
+  CIM_REQUIRE(matrix_.size() == n_ * n_,
+              "explicit matrix size must be n*n");
+  for (std::size_t i = 0; i < n_; ++i) {
+    CIM_REQUIRE(matrix_[i * n_ + i] == 0,
+                "explicit matrix must have zero diagonal");
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      CIM_REQUIRE(matrix_[i * n_ + j] == matrix_[j * n_ + i],
+                  "explicit matrix must be symmetric");
+      CIM_REQUIRE(matrix_[i * n_ + j] >= 0,
+                  "explicit matrix distances must be non-negative");
+    }
+  }
+}
+
+long long Instance::distance_upper_bound() const {
+  if (!matrix_.empty()) {
+    return *std::max_element(matrix_.begin(), matrix_.end());
+  }
+  const geo::BoundingBox box = geo::bounding_box(coords());
+  const geo::Point lo = box.lo;
+  const geo::Point hi = box.hi;
+  // GEO coordinates are angles; the diagonal bound does not apply. Use the
+  // half-circumference of the TSPLIB Earth as a safe cap.
+  if (metric_ == geo::Metric::kGeo) return 20038;
+  const double diag = geo::euclidean(lo, hi);
+  return static_cast<long long>(std::ceil(diag)) + 1;
+}
+
+}  // namespace cim::tsp

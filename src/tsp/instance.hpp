@@ -1,0 +1,62 @@
+// TSP instance representation.
+//
+// An Instance is either coordinate-based (cities are 2-D points, distances
+// computed on demand under a TSPLIB metric) or explicit (a symmetric
+// distance matrix). Coordinate instances scale to hundreds of thousands of
+// cities because no matrix is materialised.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/metric.hpp"
+#include "geo/point.hpp"
+
+namespace cim::tsp {
+
+using CityId = std::uint32_t;
+
+class Instance {
+ public:
+  /// Coordinate-based instance.
+  Instance(std::string name, geo::Metric metric,
+           std::vector<geo::Point> coords);
+
+  /// Explicit symmetric distance matrix (row-major n*n, must be symmetric
+  /// with zero diagonal).
+  Instance(std::string name, std::vector<long long> matrix, std::size_t n);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return n_; }
+  geo::Metric metric() const { return metric_; }
+  bool has_coords() const { return !coords_.empty(); }
+  std::span<const geo::Point> coords() const { return coords_; }
+  geo::Point coord(CityId city) const { return coords_[city]; }
+
+  /// TSPLIB integer distance between two cities.
+  long long distance(CityId a, CityId b) const {
+    if (a == b) return 0;
+    if (!matrix_.empty()) return matrix_[a * n_ + b];
+    return geo::tsplib_distance(metric_, coords_[a], coords_[b]);
+  }
+
+  /// Largest pairwise distance (exact for explicit instances, bounding-box
+  /// upper bound for coordinate instances); used for weight quantisation.
+  long long distance_upper_bound() const;
+
+  /// Comment attached by the parser/generator (free text).
+  const std::string& comment() const { return comment_; }
+  void set_comment(std::string comment) { comment_ = std::move(comment); }
+
+ private:
+  std::string name_;
+  std::string comment_;
+  geo::Metric metric_ = geo::Metric::kEuc2D;
+  std::size_t n_ = 0;
+  std::vector<geo::Point> coords_;
+  std::vector<long long> matrix_;
+};
+
+}  // namespace cim::tsp

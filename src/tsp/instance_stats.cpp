@@ -1,0 +1,46 @@
+#include "tsp/instance_stats.hpp"
+
+#include <cmath>
+
+#include "geo/kdtree.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace cim::tsp {
+
+InstanceStats compute_stats(const Instance& instance) {
+  CIM_REQUIRE(instance.has_coords(),
+              "instance statistics need coordinates");
+  InstanceStats stats;
+  stats.n = instance.size();
+  const auto box = geo::bounding_box(instance.coords());
+  stats.extent_x = box.width();
+  stats.extent_y = box.height();
+  if (stats.n < 2) return stats;
+
+  const geo::KdTree tree(instance.coords());
+  util::RunningStats nn;
+  std::size_t aligned = 0;
+  for (std::size_t i = 0; i < stats.n; ++i) {
+    const geo::Point p = instance.coord(static_cast<CityId>(i));
+    const std::size_t j = tree.nearest(p, i);
+    CIM_ASSERT(j != geo::KdTree::npos);
+    const geo::Point q = instance.coord(static_cast<CityId>(j));
+    nn.add(geo::euclidean(p, q));
+    if (p.x == q.x || p.y == q.y) ++aligned;
+  }
+  stats.nn_mean = nn.mean();
+  stats.nn_cv = nn.mean() > 0.0 ? nn.stddev() / nn.mean() : 0.0;
+  stats.axis_alignment =
+      static_cast<double>(aligned) / static_cast<double>(stats.n);
+
+  // Expected NN distance of a homogeneous Poisson process with the same
+  // density: 0.5 / sqrt(λ), λ = n / area.
+  const double area = std::max(stats.extent_x * stats.extent_y, 1e-12);
+  const double lambda = static_cast<double>(stats.n) / area;
+  const double uniform_nn = 0.5 / std::sqrt(lambda);
+  stats.nn_ratio = uniform_nn > 0.0 ? stats.nn_mean / uniform_nn : 0.0;
+  return stats;
+}
+
+}  // namespace cim::tsp

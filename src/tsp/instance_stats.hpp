@@ -1,0 +1,35 @@
+// Spatial statistics of TSP instances.
+//
+// Used to validate that the synthetic instance mimics reproduce the
+// properties of their TSPLIB families that the clustered annealer is
+// sensitive to: local density variation (how clustered the points are),
+// grid alignment (drill patterns), and the nearest-neighbour distance
+// profile that drives cluster sizes.
+#pragma once
+
+#include <cstddef>
+
+#include "tsp/instance.hpp"
+
+namespace cim::tsp {
+
+struct InstanceStats {
+  std::size_t n = 0;
+  double extent_x = 0.0;
+  double extent_y = 0.0;
+  /// Mean and coefficient of variation of nearest-neighbour distances.
+  double nn_mean = 0.0;
+  double nn_cv = 0.0;
+  /// Normalised mean NN distance: nn_mean / (expected NN distance of a
+  /// uniform point set of the same density). < 1 ⇒ clustered, ≈ 1 ⇒
+  /// uniform, > 1 ⇒ regular/grid-like.
+  double nn_ratio = 0.0;
+  /// Fraction of points sharing an exact x or y coordinate with their
+  /// nearest neighbour (grid alignment).
+  double axis_alignment = 0.0;
+};
+
+/// Computes the statistics (O(n log n)). Requires a coordinate instance.
+InstanceStats compute_stats(const Instance& instance);
+
+}  // namespace cim::tsp

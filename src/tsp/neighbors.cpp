@@ -1,0 +1,52 @@
+#include "tsp/neighbors.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geo/kdtree.hpp"
+#include "util/error.hpp"
+
+namespace cim::tsp {
+
+NeighborLists::NeighborLists(const Instance& instance, std::size_t k)
+    : k_(std::min(k, instance.size() - 1)) {
+  const std::size_t n = instance.size();
+  CIM_REQUIRE(n >= 2, "neighbour lists need at least two cities");
+  k_ = std::max<std::size_t>(k_, 1);
+  lists_.resize(n * k_);
+
+  if (instance.has_coords()) {
+    const geo::KdTree tree(instance.coords());
+    for (CityId c = 0; c < n; ++c) {
+      const auto nn = tree.nearest_k(instance.coord(c), k_, c);
+      CIM_ASSERT(nn.size() == k_);
+      for (std::size_t j = 0; j < k_; ++j) {
+        lists_[static_cast<std::size_t>(c) * k_ + j] =
+            static_cast<CityId>(nn[j]);
+      }
+    }
+    return;
+  }
+
+  // Explicit matrix: partial sort each row by distance.
+  std::vector<CityId> all(n);
+  std::iota(all.begin(), all.end(), 0U);
+  for (CityId c = 0; c < n; ++c) {
+    std::vector<CityId> others;
+    others.reserve(n - 1);
+    for (const CityId o : all) {
+      if (o != c) others.push_back(o);
+    }
+    std::partial_sort(others.begin(),
+                      others.begin() + static_cast<std::ptrdiff_t>(k_),
+                      others.end(), [&](CityId a, CityId b) {
+                        return instance.distance(c, a) <
+                               instance.distance(c, b);
+                      });
+    for (std::size_t j = 0; j < k_; ++j) {
+      lists_[static_cast<std::size_t>(c) * k_ + j] = others[j];
+    }
+  }
+}
+
+}  // namespace cim::tsp

@@ -1,0 +1,36 @@
+// k-nearest-neighbour candidate lists.
+//
+// Local-search heuristics (2-opt, Or-opt) and the clustering passes only
+// ever consider geometrically close city pairs; candidate lists make them
+// O(n·k) instead of O(n²). Built with the kd-tree for coordinate instances
+// and by exhaustive scan for explicit-matrix instances.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/instance.hpp"
+
+namespace cim::tsp {
+
+class NeighborLists {
+ public:
+  /// Builds k-nearest candidate lists for every city. O(n log n · k) for
+  /// coordinate instances.
+  NeighborLists(const Instance& instance, std::size_t k);
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return lists_.size() / k_; }
+
+  /// Neighbours of `city`, nearest first.
+  std::span<const CityId> of(CityId city) const {
+    return {lists_.data() + static_cast<std::size_t>(city) * k_, k_};
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<CityId> lists_;  // flattened n*k
+};
+
+}  // namespace cim::tsp

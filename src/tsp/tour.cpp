@@ -1,0 +1,54 @@
+#include "tsp/tour.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace cim::tsp {
+
+Tour Tour::identity(std::size_t n) {
+  std::vector<CityId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  return Tour(std::move(order));
+}
+
+bool Tour::is_valid(std::size_t n) const {
+  if (order_.size() != n) return false;
+  std::vector<char> seen(n, 0);
+  for (const CityId c : order_) {
+    if (c >= n || seen[c]) return false;
+    seen[c] = 1;
+  }
+  return true;
+}
+
+long long Tour::length(const Instance& instance) const {
+  CIM_ASSERT(order_.size() == instance.size());
+  if (order_.size() < 2) return 0;
+  long long total = 0;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    total += instance.distance(order_[i], successor(i));
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> Tour::position_of() const {
+  std::vector<std::uint32_t> pos(order_.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) pos[order_[i]] = i;
+  return pos;
+}
+
+void Tour::reverse_segment(std::size_t i, std::size_t j) {
+  CIM_ASSERT(i <= j && j < order_.size());
+  std::reverse(order_.begin() + static_cast<std::ptrdiff_t>(i),
+               order_.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+}
+
+double optimal_ratio(long long tour_length, long long reference_length) {
+  CIM_ASSERT(reference_length > 0);
+  return static_cast<double>(tour_length) /
+         static_cast<double>(reference_length);
+}
+
+}  // namespace cim::tsp

@@ -1,0 +1,60 @@
+// Tour representation: a permutation of the instance's cities, interpreted
+// as a closed cycle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/instance.hpp"
+
+namespace cim::tsp {
+
+class Tour {
+ public:
+  Tour() = default;
+  explicit Tour(std::vector<CityId> order) : order_(std::move(order)) {}
+
+  /// Identity tour 0,1,...,n-1.
+  static Tour identity(std::size_t n);
+
+  std::size_t size() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
+  std::span<const CityId> order() const { return order_; }
+  std::vector<CityId>& mutable_order() { return order_; }
+  CityId at(std::size_t position) const { return order_[position]; }
+  CityId operator[](std::size_t position) const { return order_[position]; }
+
+  /// City after / before position (cyclic).
+  CityId successor(std::size_t position) const {
+    return order_[(position + 1) % order_.size()];
+  }
+  CityId predecessor(std::size_t position) const {
+    return order_[(position + order_.size() - 1) % order_.size()];
+  }
+
+  /// True iff the tour visits every city of an n-city instance exactly once.
+  bool is_valid(std::size_t n) const;
+
+  /// Total cyclic length under the instance's metric.
+  long long length(const Instance& instance) const;
+
+  /// position_of()[c] is the tour position of city c. O(n).
+  std::vector<std::uint32_t> position_of() const;
+
+  /// Reverses the segment [i, j] (inclusive, non-cyclic indices).
+  void reverse_segment(std::size_t i, std::size_t j);
+
+  friend bool operator==(const Tour& a, const Tour& b) {
+    return a.order_ == b.order_;
+  }
+
+ private:
+  std::vector<CityId> order_;
+};
+
+/// Ratio of `tour_length` to `reference_length` (the paper's "optimal
+/// ratio"); reference must be positive.
+double optimal_ratio(long long tour_length, long long reference_length);
+
+}  // namespace cim::tsp

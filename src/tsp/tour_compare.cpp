@@ -1,0 +1,77 @@
+#include "tsp/tour_compare.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cim::tsp {
+
+Tour canonical_form(const Tour& tour) {
+  const std::size_t n = tour.size();
+  CIM_REQUIRE(n >= 1, "cannot canonicalise an empty tour");
+  if (n <= 2) {
+    // One canonical ordering exists.
+    std::vector<CityId> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<CityId>(i);
+    CIM_REQUIRE(tour.is_valid(n), "tour must be a permutation");
+    return Tour(std::move(order));
+  }
+  CIM_REQUIRE(tour.is_valid(n), "tour must be a permutation");
+
+  const auto pos = tour.position_of();
+  const std::size_t p0 = pos[0];
+  const CityId next = tour.successor(p0);
+  const CityId prev = tour.predecessor(p0);
+
+  std::vector<CityId> order;
+  order.reserve(n);
+  if (next <= prev) {
+    for (std::size_t k = 0; k < n; ++k) {
+      order.push_back(tour.at((p0 + k) % n));
+    }
+  } else {
+    for (std::size_t k = 0; k < n; ++k) {
+      order.push_back(tour.at((p0 + n - k) % n));
+    }
+  }
+  return Tour(std::move(order));
+}
+
+bool same_cycle(const Tour& a, const Tour& b) {
+  if (a.size() != b.size()) return false;
+  return canonical_form(a) == canonical_form(b);
+}
+
+std::size_t shared_edges(const Tour& a, const Tour& b) {
+  CIM_REQUIRE(a.size() == b.size(), "tours must have equal size");
+  const std::size_t n = a.size();
+  if (n < 2) return 0;
+  CIM_REQUIRE(a.is_valid(n) && b.is_valid(n),
+              "tours must be permutations");
+
+  // Adjacency of b: for each city its two neighbours.
+  std::vector<std::array<CityId, 2>> nb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nb[b.at(i)] = {b.predecessor(i), b.successor(i)};
+  }
+  std::size_t shared = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const CityId u = a.at(i);
+    const CityId v = a.successor(i);
+    if (nb[u][0] == v || nb[u][1] == v) ++shared;
+  }
+  // n == 2 counts the single undirected edge twice in the cyclic walk.
+  return n == 2 ? std::min<std::size_t>(shared, 1) : shared;
+}
+
+double bond_distance(const Tour& a, const Tour& b) {
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  const std::size_t denom = n == 2 ? 1 : n;
+  return 1.0 - static_cast<double>(shared_edges(a, b)) /
+                   static_cast<double>(denom);
+}
+
+}  // namespace cim::tsp

@@ -1,0 +1,29 @@
+// Tour comparison utilities.
+//
+// A TSP tour is an equivalence class of permutations under rotation and
+// reflection. These helpers canonicalise tours so annealer outputs can be
+// deduplicated, and measure structural similarity (shared-edge fraction —
+// the standard "bond distance" used to study solver diversity).
+#pragma once
+
+#include <cstddef>
+
+#include "tsp/tour.hpp"
+
+namespace cim::tsp {
+
+/// Canonical representative: starts at city 0 and proceeds towards the
+/// smaller of its two neighbours. Two tours are the same cycle iff their
+/// canonical forms compare equal.
+Tour canonical_form(const Tour& tour);
+
+/// True iff the two tours are the same cycle (up to rotation/reflection).
+bool same_cycle(const Tour& a, const Tour& b);
+
+/// Number of undirected edges the two tours share (0..n).
+std::size_t shared_edges(const Tour& a, const Tour& b);
+
+/// Bond distance: 1 − shared/n ∈ [0, 1]; 0 for identical cycles.
+double bond_distance(const Tour& a, const Tour& b);
+
+}  // namespace cim::tsp

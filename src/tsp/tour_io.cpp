@@ -1,0 +1,100 @@
+#include "tsp/tour_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cim::tsp {
+
+std::string write_tour(const Tour& tour, const std::string& name) {
+  std::ostringstream out;
+  out << "NAME : " << name << "\n";
+  out << "TYPE : TOUR\n";
+  out << "DIMENSION : " << tour.size() << "\n";
+  out << "TOUR_SECTION\n";
+  for (const CityId city : tour.order()) {
+    out << (city + 1) << "\n";
+  }
+  out << "-1\nEOF\n";
+  return out.str();
+}
+
+Tour parse_tour(const std::string& text, std::size_t expected_size) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t dimension = 0;
+  bool in_section = false;
+  std::vector<CityId> order;
+  bool terminated = false;
+
+  while (std::getline(in, line)) {
+    // Trim.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string t = line.substr(begin, end - begin + 1);
+    if (t == "EOF") break;
+
+    if (!in_section) {
+      if (t.rfind("DIMENSION", 0) == 0) {
+        const auto colon = t.find(':');
+        if (colon != std::string::npos) {
+          try {
+            dimension = static_cast<std::size_t>(
+                std::stoull(t.substr(colon + 1)));
+          } catch (const std::exception&) {
+            throw ParseError("invalid DIMENSION in tour file");
+          }
+        }
+      } else if (t == "TOUR_SECTION") {
+        in_section = true;
+      }
+      continue;
+    }
+    if (terminated) continue;
+
+    std::istringstream ids(t);
+    long long id = 0;
+    while (ids >> id) {
+      if (id == -1) {
+        terminated = true;
+        break;
+      }
+      if (id < 1) throw ParseError("tour node ids must be positive");
+      order.push_back(static_cast<CityId>(id - 1));
+    }
+  }
+
+  if (!in_section) throw ParseError("missing TOUR_SECTION");
+  if (order.empty()) throw ParseError("empty tour");
+  if (dimension != 0 && order.size() != dimension) {
+    throw ParseError("tour length does not match DIMENSION");
+  }
+  Tour tour(std::move(order));
+  const std::size_t n = expected_size ? expected_size : tour.size();
+  if (!tour.is_valid(n)) {
+    throw ParseError("tour is not a permutation of 1.." +
+                     std::to_string(n));
+  }
+  return tour;
+}
+
+void save_tour(const Tour& tour, const std::string& name,
+               const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw Error("cannot open tour output file: " + path);
+  const std::string text = write_tour(tour, name);
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) throw Error("failed writing tour file: " + path);
+}
+
+Tour load_tour(const std::string& path, std::size_t expected_size) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw Error("cannot open tour file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_tour(buffer.str(), expected_size);
+}
+
+}  // namespace cim::tsp

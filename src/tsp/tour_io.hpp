@@ -1,0 +1,23 @@
+// TSPLIB .tour file format (TYPE : TOUR) — read/write, so solved tours
+// interoperate with Concorde/LKH tooling.
+#pragma once
+
+#include <string>
+
+#include "tsp/tour.hpp"
+
+namespace cim::tsp {
+
+/// Serialises a tour in TSPLIB TOUR format (1-based ids, -1 terminator).
+std::string write_tour(const Tour& tour, const std::string& name);
+
+/// Parses TSPLIB TOUR text; throws cim::ParseError on malformed input.
+/// `expected_size` of 0 skips the dimension cross-check.
+Tour parse_tour(const std::string& text, std::size_t expected_size = 0);
+
+/// File variants.
+void save_tour(const Tour& tour, const std::string& name,
+               const std::string& path);
+Tour load_tour(const std::string& path, std::size_t expected_size = 0);
+
+}  // namespace cim::tsp

@@ -1,0 +1,289 @@
+#include "tsp/tsplib.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cim::tsp {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Splits "KEY : value" / "KEY: value" headers; returns false for
+/// section markers and data lines.
+bool split_header(const std::string& line, std::string& key,
+                  std::string& value) {
+  const auto colon = line.find(':');
+  if (colon == std::string::npos) return false;
+  key = trim(line.substr(0, colon));
+  value = trim(line.substr(colon + 1));
+  // Header keys are all-caps identifiers.
+  if (key.empty()) return false;
+  for (const char c : key) {
+    if (!std::isupper(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+struct Header {
+  std::string name = "unnamed";
+  std::string comment;
+  std::string type = "TSP";
+  std::string edge_weight_type;
+  std::string edge_weight_format;
+  std::size_t dimension = 0;
+};
+
+enum class MatrixLayout {
+  kFullMatrix,
+  kUpperRow,
+  kLowerRow,
+  kUpperDiagRow,
+  kLowerDiagRow,
+};
+
+MatrixLayout parse_layout(const std::string& format) {
+  if (format == "FULL_MATRIX") return MatrixLayout::kFullMatrix;
+  if (format == "UPPER_ROW") return MatrixLayout::kUpperRow;
+  if (format == "LOWER_ROW") return MatrixLayout::kLowerRow;
+  if (format == "UPPER_DIAG_ROW") return MatrixLayout::kUpperDiagRow;
+  if (format == "LOWER_DIAG_ROW") return MatrixLayout::kLowerDiagRow;
+  throw ParseError("unsupported EDGE_WEIGHT_FORMAT: " + format);
+}
+
+std::size_t expected_entries(MatrixLayout layout, std::size_t n) {
+  switch (layout) {
+    case MatrixLayout::kFullMatrix:
+      return n * n;
+    case MatrixLayout::kUpperRow:
+    case MatrixLayout::kLowerRow:
+      return n * (n - 1) / 2;
+    case MatrixLayout::kUpperDiagRow:
+    case MatrixLayout::kLowerDiagRow:
+      return n * (n + 1) / 2;
+  }
+  return 0;
+}
+
+std::vector<long long> assemble_matrix(MatrixLayout layout, std::size_t n,
+                                       const std::vector<long long>& entries) {
+  std::vector<long long> m(n * n, 0);
+  std::size_t k = 0;
+  const auto next = [&] { return entries[k++]; };
+  switch (layout) {
+    case MatrixLayout::kFullMatrix:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) m[i * n + j] = next();
+      // TSPLIB full matrices are symmetric for TYPE: TSP; enforce by
+      // symmetrising from the upper triangle (Instance validates).
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) m[j * n + i] = m[i * n + j];
+      for (std::size_t i = 0; i < n; ++i) m[i * n + i] = 0;
+      break;
+    case MatrixLayout::kUpperRow:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+          m[i * n + j] = m[j * n + i] = next();
+      break;
+    case MatrixLayout::kLowerRow:
+      for (std::size_t i = 1; i < n; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+          m[i * n + j] = m[j * n + i] = next();
+      break;
+    case MatrixLayout::kUpperDiagRow:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j) {
+          const long long v = next();
+          if (i != j) m[i * n + j] = m[j * n + i] = v;
+        }
+      break;
+    case MatrixLayout::kLowerDiagRow:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j) {
+          const long long v = next();
+          if (i != j) m[i * n + j] = m[j * n + i] = v;
+        }
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+Instance parse_tsplib(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  Header header;
+
+  enum class Section { kNone, kCoords, kWeights, kDone };
+  Section section = Section::kNone;
+
+  std::vector<geo::Point> coords;
+  std::vector<char> seen;
+  std::vector<long long> weight_entries;
+
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t == "EOF") break;
+
+    std::string key;
+    std::string value;
+    if (section == Section::kNone && split_header(t, key, value)) {
+      if (key == "NAME") {
+        header.name = value;
+      } else if (key == "COMMENT") {
+        header.comment += header.comment.empty() ? value : ("\n" + value);
+      } else if (key == "TYPE") {
+        header.type = value;
+      } else if (key == "DIMENSION") {
+        long long parsed = 0;
+        try {
+          parsed = std::stoll(value);
+        } catch (const std::exception&) {
+          throw ParseError("invalid DIMENSION: " + value);
+        }
+        if (parsed <= 0 || parsed > 100'000'000) {
+          throw ParseError("DIMENSION out of range: " + value);
+        }
+        header.dimension = static_cast<std::size_t>(parsed);
+      } else if (key == "EDGE_WEIGHT_TYPE") {
+        header.edge_weight_type = value;
+      } else if (key == "EDGE_WEIGHT_FORMAT") {
+        header.edge_weight_format = value;
+      }
+      // Other headers (DISPLAY_DATA_TYPE, ...) are ignored.
+      continue;
+    }
+
+    if (t == "NODE_COORD_SECTION") {
+      if (header.dimension == 0) {
+        throw ParseError("NODE_COORD_SECTION before DIMENSION");
+      }
+      coords.assign(header.dimension, {});
+      seen.assign(header.dimension, 0);
+      section = Section::kCoords;
+      continue;
+    }
+    if (t == "EDGE_WEIGHT_SECTION") {
+      if (header.dimension == 0) {
+        throw ParseError("EDGE_WEIGHT_SECTION before DIMENSION");
+      }
+      section = Section::kWeights;
+      continue;
+    }
+    if (t == "DISPLAY_DATA_SECTION") {
+      section = Section::kDone;  // skip display coordinates
+      continue;
+    }
+
+    if (section == Section::kCoords) {
+      std::istringstream row(t);
+      long long id = 0;
+      double x = 0.0;
+      double y = 0.0;
+      if (!(row >> id >> x >> y)) {
+        throw ParseError("malformed node coordinate line: " + t);
+      }
+      if (id < 1 || static_cast<std::size_t>(id) > header.dimension) {
+        throw ParseError("node id out of range: " + std::to_string(id));
+      }
+      const auto idx = static_cast<std::size_t>(id - 1);
+      if (seen[idx]) {
+        throw ParseError("duplicate node id: " + std::to_string(id));
+      }
+      seen[idx] = 1;
+      coords[idx] = geo::Point{x, y};
+      continue;
+    }
+    if (section == Section::kWeights) {
+      std::istringstream row(t);
+      long long v = 0;
+      while (row >> v) weight_entries.push_back(v);
+      continue;
+    }
+    // Section::kDone / kNone: ignore trailing data.
+  }
+
+  if (header.type != "TSP") {
+    throw ParseError("unsupported TYPE (only symmetric TSP): " + header.type);
+  }
+  if (header.dimension == 0) throw ParseError("missing DIMENSION");
+  if (header.edge_weight_type.empty()) {
+    throw ParseError("missing EDGE_WEIGHT_TYPE");
+  }
+
+  const geo::Metric metric = geo::parse_metric(header.edge_weight_type);
+  if (metric == geo::Metric::kExplicit) {
+    if (weight_entries.empty()) {
+      throw ParseError("EXPLICIT instance without EDGE_WEIGHT_SECTION");
+    }
+    const MatrixLayout layout = parse_layout(
+        header.edge_weight_format.empty() ? "FULL_MATRIX"
+                                          : header.edge_weight_format);
+    const std::size_t expected =
+        expected_entries(layout, header.dimension);
+    if (weight_entries.size() != expected) {
+      throw ParseError("EDGE_WEIGHT_SECTION has " +
+                       std::to_string(weight_entries.size()) +
+                       " entries, expected " + std::to_string(expected));
+    }
+    Instance inst(header.name,
+                  assemble_matrix(layout, header.dimension, weight_entries),
+                  header.dimension);
+    inst.set_comment(header.comment);
+    return inst;
+  }
+
+  if (coords.empty()) {
+    throw ParseError("coordinate metric without NODE_COORD_SECTION");
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      throw ParseError("missing coordinates for node " + std::to_string(i + 1));
+    }
+  }
+  Instance inst(header.name, metric, std::move(coords));
+  inst.set_comment(header.comment);
+  return inst;
+}
+
+Instance load_tsplib(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw Error("cannot open TSPLIB file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_tsplib(buffer.str());
+}
+
+std::string write_tsplib(const Instance& instance) {
+  CIM_REQUIRE(instance.has_coords(),
+              "write_tsplib supports coordinate instances only");
+  std::ostringstream out;
+  out << "NAME : " << instance.name() << "\n";
+  if (!instance.comment().empty()) {
+    out << "COMMENT : " << instance.comment() << "\n";
+  }
+  out << "TYPE : TSP\n";
+  out << "DIMENSION : " << instance.size() << "\n";
+  out << "EDGE_WEIGHT_TYPE : " << geo::metric_name(instance.metric()) << "\n";
+  out << "NODE_COORD_SECTION\n";
+  out.precision(12);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const geo::Point p = instance.coord(static_cast<CityId>(i));
+    out << (i + 1) << " " << p.x << " " << p.y << "\n";
+  }
+  out << "EOF\n";
+  return out.str();
+}
+
+}  // namespace cim::tsp

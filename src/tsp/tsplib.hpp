@@ -1,0 +1,24 @@
+// TSPLIB 95 file format support (symmetric TSP subset).
+//
+// Supported: NODE_COORD_SECTION with EUC_2D / CEIL_2D / ATT / GEO / MAN_2D /
+// MAX_2D metrics, and EDGE_WEIGHT_SECTION with FULL_MATRIX / UPPER_ROW /
+// LOWER_ROW / UPPER_DIAG_ROW / LOWER_DIAG_ROW layouts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tsp/instance.hpp"
+
+namespace cim::tsp {
+
+/// Parses TSPLIB text; throws cim::ParseError on malformed input.
+Instance parse_tsplib(const std::string& text);
+
+/// Loads a .tsp file from disk; throws cim::Error if unreadable.
+Instance load_tsplib(const std::string& path);
+
+/// Serialises a coordinate instance back to TSPLIB text (round-trippable).
+std::string write_tsplib(const Instance& instance);
+
+}  // namespace cim::tsp

@@ -1,0 +1,119 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace cim::util {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void render_row(const std::vector<std::string>& cells, std::string& out) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out += ',';
+    out += quote(cells[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CIM_ASSERT(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  CIM_ASSERT_MSG(cells.size() == header_.size(),
+                 "CSV row arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::render() const {
+  std::string out;
+  render_row(header_, out);
+  for (const auto& row : rows_) render_row(row, out);
+  return out;
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw Error("cannot open CSV output file: " + path);
+  const std::string text = render();
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) throw Error("failed writing CSV output file: " + path);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto end_field = [&] {
+    row.push_back(field);
+    field.clear();
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(row);
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field");
+  if (row_has_content || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace cim::util

@@ -1,0 +1,31 @@
+// CSV emission (for plotting the reproduced figures) and a small CSV reader
+// used by tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cim::util {
+
+/// Writes rows with uniform arity; quotes fields when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string render() const;
+  /// Writes the CSV to `path`; throws cim::Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text (RFC-4180 quoting); returns rows including the header.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace cim::util

@@ -1,0 +1,172 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace cim::util {
+
+Json::Json(long long value) : kind_(Kind::kInteger), integer_(value) {}
+
+Json::Json(std::uint64_t value) : kind_(Kind::kInteger) {
+  CIM_ASSERT_MSG(value <= 0x7FFFFFFFFFFFFFFFULL,
+                 "unsigned value exceeds JSON integer range");
+  integer_ = static_cast<long long>(value);
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::operator[](const std::string& key) {
+  CIM_ASSERT_MSG(kind_ == Kind::kObject, "operator[] needs an object");
+  for (auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  fields_.emplace_back(key, Json());
+  return fields_.back().second;
+}
+
+void Json::push_back(Json value) {
+  CIM_ASSERT_MSG(kind_ == Kind::kArray, "push_back needs an array");
+  items_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kObject) return fields_.size();
+  if (kind_ == Kind::kArray) return items_.size();
+  return 0;
+}
+
+namespace {
+
+void escape_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) *
+                 static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInteger:
+      out += std::to_string(integer_);
+      return;
+    case Kind::kNumber: {
+      if (!std::isfinite(number_)) {
+        out += "null";  // JSON has no inf/nan
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", number_);
+      out += buf;
+      return;
+    }
+    case Kind::kString:
+      escape_string(string_, out);
+      return;
+    case Kind::kObject: {
+      if (fields_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : fields_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_string(k, out);
+        out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& v : items_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::save(const std::string& path, int indent) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw Error("cannot open JSON output file: " + path);
+  const std::string text = dump(indent);
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) throw Error("failed writing JSON output file: " + path);
+}
+
+}  // namespace cim::util

@@ -1,0 +1,66 @@
+// Minimal JSON writer for machine-readable experiment output.
+//
+// Emission only (experiments export results; nothing here parses JSON).
+// Values are built bottom-up; numbers are emitted with enough precision
+// to round-trip doubles.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cim::util {
+
+class Json {
+ public:
+  /// Scalar constructors.
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kNumber), number_(value) {}
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(long long value);
+  Json(std::uint64_t value);  // size_t resolves here on LP64
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+
+  /// Containers.
+  static Json object();
+  static Json array();
+
+  /// Object field access (creates the field; object kind required).
+  Json& operator[](const std::string& key);
+  /// Array append.
+  void push_back(Json value);
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  std::size_t size() const;
+
+  /// Serialises; `indent` < 0 gives compact output.
+  std::string dump(int indent = 2) const;
+
+  /// Writes to a file; throws cim::Error on failure.
+  void save(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInteger, kString, kObject,
+                    kArray };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  long long integer_ = 0;
+  std::string string_;
+  // Insertion-ordered object fields.
+  std::vector<std::pair<std::string, Json>> fields_;
+  std::vector<Json> items_;
+};
+
+}  // namespace cim::util

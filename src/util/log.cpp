@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace cim::util {
+
+namespace {
+
+LogLevel parse_level(const char* text) {
+  const std::string s = text ? text : "";
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+LogLevel& threshold_storage() {
+  static LogLevel level = parse_level(std::getenv("CIMANNEAL_LOG"));
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage(); }
+
+void set_log_threshold(LogLevel level) { threshold_storage() = level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_threshold()) return;
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[cimanneal %s] %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace cim::util

@@ -1,0 +1,45 @@
+// Minimal levelled logging to stderr; experiments print their tables to
+// stdout, so diagnostics must stay out of the way.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cim::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn, or
+/// the value of the CIMANNEAL_LOG environment variable (debug/info/warn/
+/// error/off) when set.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cim::util
+
+#define CIM_LOG_DEBUG ::cim::util::detail::LogLine(::cim::util::LogLevel::kDebug)
+#define CIM_LOG_INFO ::cim::util::detail::LogLine(::cim::util::LogLevel::kInfo)
+#define CIM_LOG_WARN ::cim::util::detail::LogLine(::cim::util::LogLevel::kWarn)
+#define CIM_LOG_ERROR ::cim::util::detail::LogLine(::cim::util::LogLevel::kError)

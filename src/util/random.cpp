@@ -1,0 +1,35 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace cim::util {
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Polar Box–Muller: rejection-sample a point in the unit disc.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace cim::util

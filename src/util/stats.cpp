@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cim::util {
+
+void RunningStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CIM_ASSERT(hi > lo);
+  CIM_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  CIM_ASSERT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  CIM_ASSERT(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * (static_cast<double>(bin) + 0.5);
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x < lo_) return 0.0;
+  std::size_t below = underflow_;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double bin_hi = lo_ + width * static_cast<double>(b + 1);
+    if (x >= bin_hi) {
+      below += counts_[b];
+    } else {
+      const double bin_lo = bin_hi - width;
+      const double frac = (x - bin_lo) / width;
+      return (static_cast<double>(below) +
+              frac * static_cast<double>(counts_[b])) /
+             static_cast<double>(total_);
+    }
+  }
+  return 1.0;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = counts_[b] * width / peak;
+    out += std::to_string(bin_center(b));
+    out += " | ";
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  CIM_ASSERT(!samples.empty());
+  CIM_ASSERT(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  CIM_ASSERT(xs.size() == ys.size());
+  CIM_ASSERT(xs.size() >= 2);
+  RunningStats sx;
+  RunningStats sy;
+  for (const double x : xs) sx.add(x);
+  for (const double y : ys) sy.add(y);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  }
+  cov /= static_cast<double>(xs.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  CIM_ASSERT(!xs.empty());
+  double log_sum = 0.0;
+  for (const double x : xs) {
+    CIM_ASSERT(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace cim::util

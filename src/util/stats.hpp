@@ -1,0 +1,70 @@
+// Streaming statistics and histograms used by the Monte-Carlo device model
+// and by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cim::util {
+
+/// Welford-style streaming accumulator: mean / variance / min / max without
+/// storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range histogram with uniform bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_center(std::size_t bin) const;
+  /// Fraction of samples at or below x (linear interpolation within a bin).
+  double cdf(double x) const;
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Exact quantile over a stored sample set (for small/medium sample counts).
+double quantile(std::vector<double> samples, double q);
+
+/// Pearson correlation of two equally sized series.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Geometric mean of strictly positive values.
+double geometric_mean(const std::vector<double>& xs);
+
+}  // namespace cim::util

@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cim::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CIM_ASSERT(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CIM_ASSERT_MSG(cells.size() == header_.size(),
+                 "row arity must match header");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void Table::add_footnote(std::string note) {
+  footnotes_.push_back(std::move(note));
+}
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (const auto w : widths) {
+      line.append(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  }();
+
+  const auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) {
+    out += "== " + title_ + " ==\n";
+  }
+  out += rule;
+  out += format_row(header_);
+  out += rule;
+  for (const auto& row : rows_) {
+    out += row.separator ? rule : format_row(row.cells);
+  }
+  out += rule;
+  for (const auto& note : footnotes_) {
+    out += "  * " + note + '\n';
+  }
+  return out;
+}
+
+void Table::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::integer(long long v) { return std::to_string(v); }
+
+std::string Table::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace cim::util

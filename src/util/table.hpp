@@ -1,0 +1,48 @@
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// prints paper-style tables through this class so the output format is
+// uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cim::util {
+
+/// Column-aligned ASCII table with an optional title and footnotes.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Adds a horizontal separator row.
+  void add_separator();
+  void add_footnote(std::string note);
+  void set_title(std::string title);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string render() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+  /// Numeric formatting helpers for cells.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<std::string> footnotes_;
+};
+
+}  // namespace cim::util

@@ -1,0 +1,86 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace cim::util {
+
+namespace {
+
+std::string fixed(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+struct Scale {
+  double factor;
+  const char* suffix;
+};
+
+std::string scaled(double value, const Scale* scales, std::size_t count,
+                   int precision) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::abs(value) >= scales[i].factor) {
+      return fixed(value / scales[i].factor, precision) + " " +
+             scales[i].suffix;
+    }
+  }
+  return fixed(value / scales[count - 1].factor, precision) + " " +
+         scales[count - 1].suffix;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes, int precision) {
+  static constexpr Scale kScales[] = {
+      {1e12, "TB"}, {1e9, "GB"}, {1e6, "MB"}, {1e3, "kB"}, {1.0, "B"}};
+  return scaled(bytes, kScales, std::size(kScales), precision);
+}
+
+std::string format_bits(double bits, int precision) {
+  static constexpr Scale kScales[] = {
+      {1e12, "Tb"}, {1e9, "Gb"}, {1e6, "Mb"}, {1e3, "kb"}, {1.0, "b"}};
+  return scaled(bits, kScales, std::size(kScales), precision);
+}
+
+std::string format_seconds(double seconds, int precision) {
+  if (seconds >= 86400.0) return fixed(seconds / 86400.0, precision) + " d";
+  if (seconds >= 3600.0) return fixed(seconds / 3600.0, precision) + " h";
+  if (seconds >= 60.0) return fixed(seconds / 60.0, precision) + " min";
+  static constexpr Scale kScales[] = {
+      {1.0, "s"}, {1e-3, "ms"}, {1e-6, "us"}, {1e-9, "ns"}, {1e-12, "ps"}};
+  return scaled(seconds, kScales, std::size(kScales), precision);
+}
+
+std::string format_watts(double watts, int precision) {
+  static constexpr Scale kScales[] = {
+      {1.0, "W"}, {1e-3, "mW"}, {1e-6, "uW"}, {1e-9, "nW"}, {1e-12, "pW"}};
+  return scaled(watts, kScales, std::size(kScales), precision);
+}
+
+std::string format_joules(double joules, int precision) {
+  static constexpr Scale kScales[] = {{1.0, "J"},   {1e-3, "mJ"}, {1e-6, "uJ"},
+                                      {1e-9, "nJ"}, {1e-12, "pJ"}, {1e-15, "fJ"}};
+  return scaled(joules, kScales, std::size(kScales), precision);
+}
+
+std::string format_area_um2(double um2, int precision) {
+  if (um2 >= 1e6) return fixed(um2 / 1e6, precision) + " mm^2";
+  return fixed(um2, precision) + " um^2";
+}
+
+std::string format_factor(double factor, int precision) {
+  if (factor >= 1e4 || (factor > 0.0 && factor < 1e-2)) {
+    std::ostringstream os;
+    os.setf(std::ios::scientific);
+    os.precision(precision);
+    os << factor << " x";
+    return os.str();
+  }
+  return fixed(factor, precision) + " x";
+}
+
+}  // namespace cim::util

@@ -1,0 +1,31 @@
+// Human-readable formatting of physical quantities used throughout the PPA
+// reports (bits, bytes, seconds, joules, watts, areas).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cim::util {
+
+/// "48.6 kB", "46.4 Mb", etc. `bits=true` renders bit quantities (b)
+/// instead of byte quantities (B). Uses decimal (SI) prefixes like the
+/// paper does.
+std::string format_bytes(double bytes, int precision = 1);
+std::string format_bits(double bits, int precision = 1);
+
+/// "44.0 us", "22.0 h", "155 d" — picks the natural scale.
+std::string format_seconds(double seconds, int precision = 1);
+
+/// "433 mW" / "1.2 W".
+std::string format_watts(double watts, int precision = 1);
+
+/// "12.3 pJ" / "5.0 uJ".
+std::string format_joules(double joules, int precision = 1);
+
+/// "43.7 mm^2" / "102 um^2" from square micrometres.
+std::string format_area_um2(double um2, int precision = 1);
+
+/// "1.0e9 x" style multiplier formatting.
+std::string format_factor(double factor, int precision = 1);
+
+}  // namespace cim::util

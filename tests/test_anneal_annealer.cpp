@@ -1,0 +1,259 @@
+#include "anneal/clustered_annealer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "heuristics/construct.hpp"
+#include "heuristics/exact.hpp"
+#include "test_helpers.hpp"
+#include "tsp/generator.hpp"
+#include "util/error.hpp"
+
+namespace cim::anneal {
+namespace {
+
+AnnealerConfig base_config() {
+  AnnealerConfig config;
+  config.clustering.strategy = cluster::Strategy::kSemiFlexible;
+  config.clustering.p = 3;
+  config.seed = 1;
+  return config;
+}
+
+struct ModeCase {
+  NoiseMode mode;
+  cluster::Strategy strategy;
+  std::uint32_t p;
+};
+
+class AnnealerModes : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(AnnealerModes, ProducesValidToursOnAllModes) {
+  const auto [mode, strategy, p] = GetParam();
+  const auto inst = test::random_instance(150, 42);
+  AnnealerConfig config = base_config();
+  config.noise = mode;
+  config.clustering.strategy = strategy;
+  config.clustering.p = p;
+  const ClusteredAnnealer annealer(config);
+  const auto result = annealer.solve(inst);
+  EXPECT_TRUE(result.tour.is_valid(150));
+  EXPECT_EQ(result.length, result.tour.length(inst));
+  EXPECT_GE(result.hierarchy_depth, 1U);
+  EXPECT_FALSE(result.levels.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AnnealerModes,
+    ::testing::Values(
+        ModeCase{NoiseMode::kSramWeight, cluster::Strategy::kSemiFlexible, 3},
+        ModeCase{NoiseMode::kSramSpin, cluster::Strategy::kSemiFlexible, 3},
+        ModeCase{NoiseMode::kLfsr, cluster::Strategy::kSemiFlexible, 3},
+        ModeCase{NoiseMode::kNone, cluster::Strategy::kSemiFlexible, 3},
+        ModeCase{NoiseMode::kSramWeight, cluster::Strategy::kFixed, 2},
+        ModeCase{NoiseMode::kSramWeight, cluster::Strategy::kFixed, 4},
+        ModeCase{NoiseMode::kSramWeight, cluster::Strategy::kUnlimited, 3},
+        ModeCase{NoiseMode::kSramWeight, cluster::Strategy::kSemiFlexible,
+                 2},
+        ModeCase{NoiseMode::kSramWeight, cluster::Strategy::kSemiFlexible,
+                 4}));
+
+TEST(Annealer, BeatsRandomTourByFar) {
+  const auto inst = test::random_instance(300, 7);
+  const ClusteredAnnealer annealer(base_config());
+  const auto result = annealer.solve(inst);
+  const auto random = heuristics::random_tour(inst, 1);
+  EXPECT_LT(result.length, random.length(inst) / 2);
+}
+
+TEST(Annealer, SeedDeterminism) {
+  const auto inst = test::random_instance(120, 9);
+  AnnealerConfig config = base_config();
+  config.seed = 12345;
+  const ClusteredAnnealer annealer(config);
+  const auto a = annealer.solve(inst);
+  const auto b = annealer.solve(inst);
+  EXPECT_EQ(a.length, b.length);
+  EXPECT_EQ(a.tour, b.tour);
+}
+
+TEST(Annealer, DifferentSeedsExploreDifferently) {
+  // Different seeds change both the clustering tie-breaking and the
+  // annealing randomness; across a few seeds at least two outcomes must
+  // differ (a single pair can legitimately coincide after convergence).
+  const auto inst = test::random_instance(200, 10);
+  std::vector<tsp::Tour> tours;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    AnnealerConfig config = base_config();
+    config.seed = seed;
+    config.clustering.seed = seed;
+    tours.push_back(ClusteredAnnealer(config).solve(inst).tour);
+  }
+  EXPECT_TRUE(!(tours[0] == tours[1]) || !(tours[0] == tours[2]));
+}
+
+TEST(Annealer, TinyInstances) {
+  for (std::size_t n : {1U, 2U, 3U, 4U, 5U, 7U}) {
+    const auto inst = test::random_instance(n, n + 33);
+    const ClusteredAnnealer annealer(base_config());
+    const auto result = annealer.solve(inst);
+    EXPECT_TRUE(result.tour.is_valid(n)) << "n=" << n;
+  }
+}
+
+TEST(Annealer, OptimalOnTinyInstances) {
+  // n ≤ 4: the top-ring enumeration alone must give the optimum.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = test::random_instance(4, 60 + seed);
+    const auto result = ClusteredAnnealer(base_config()).solve(inst);
+    const auto optimal = heuristics::brute_force(inst);
+    EXPECT_EQ(result.length, optimal.length(inst));
+  }
+}
+
+TEST(Annealer, LevelStatsAreConsistent) {
+  const auto inst = test::random_instance(200, 11);
+  const ClusteredAnnealer annealer(base_config());
+  const auto result = annealer.solve(inst);
+  EXPECT_EQ(result.levels.size(), result.hierarchy_depth);
+  for (const auto& level : result.levels) {
+    EXPECT_GE(level.swaps_attempted, level.swaps_accepted);
+    EXPECT_GT(level.clusters, 0U);
+    EXPECT_EQ(level.iterations, 400U);
+    EXPECT_GT(level.update_cycles, 0U);
+    EXPECT_GT(level.ring_length_after, 0.0);
+  }
+  // Levels are emitted top-down; the last is the city level.
+  EXPECT_EQ(result.levels.back().level, 0U);
+}
+
+TEST(Annealer, HardwareCountersPopulated) {
+  const auto inst = test::random_instance(150, 12);
+  const ClusteredAnnealer annealer(base_config());
+  const auto result = annealer.solve(inst);
+  EXPECT_GT(result.hw.swap_attempts, 0U);
+  EXPECT_GT(result.hw.storage.macs, 0U);
+  // 4 MACs per swap attempt, exactly (clusters of size ≥ 2 only).
+  EXPECT_EQ(result.hw.storage.macs, result.hw.swap_attempts * 4U);
+  EXPECT_GT(result.hw.storage.writeback_events, 0U);
+  EXPECT_GT(result.hw.update_cycles, 0U);
+  EXPECT_GT(result.hw.writeback_cycles, 0U);
+  EXPECT_GT(result.hw.dataflow.edge_bits_transferred(), 0U);
+}
+
+TEST(Annealer, UphillMovesOnlyWithNoise) {
+  const auto inst = test::random_instance(200, 21);
+  const auto uphill_total = [&](NoiseMode mode) {
+    AnnealerConfig config = base_config();
+    config.noise = mode;
+    const auto result = ClusteredAnnealer(config).solve(inst);
+    std::size_t total = 0;
+    for (const auto& level : result.levels) total += level.uphill_accepted;
+    return total;
+  };
+  // Greedy descent never accepts a truly uphill swap; noisy modes do
+  // (quantisation alone can produce a handful of tiny "uphill" accepts in
+  // greedy mode, hence the strict-zero check uses the exact-delta margin).
+  EXPECT_EQ(uphill_total(NoiseMode::kNone), 0U);
+  EXPECT_GT(uphill_total(NoiseMode::kSramWeight), 0U);
+  EXPECT_GT(uphill_total(NoiseMode::kLfsr), 0U);
+}
+
+TEST(Annealer, SramWeightNoiseInjectsFlips) {
+  const auto inst = test::random_instance(150, 13);
+  AnnealerConfig config = base_config();
+  config.noise = NoiseMode::kSramWeight;
+  const auto result = ClusteredAnnealer(config).solve(inst);
+  EXPECT_GT(result.hw.storage.pseudo_read_flips, 0U);
+}
+
+TEST(Annealer, CleanModesHaveNoFlips) {
+  const auto inst = test::random_instance(150, 13);
+  for (const NoiseMode mode : {NoiseMode::kNone, NoiseMode::kLfsr}) {
+    AnnealerConfig config = base_config();
+    config.noise = mode;
+    const auto result = ClusteredAnnealer(config).solve(inst);
+    EXPECT_EQ(result.hw.storage.pseudo_read_flips, 0U);
+  }
+}
+
+TEST(Annealer, TraceRecordsLevelZeroIterations) {
+  const auto inst = test::random_instance(100, 14);
+  AnnealerConfig config = base_config();
+  config.record_trace = true;
+  const auto result = ClusteredAnnealer(config).solve(inst);
+  EXPECT_EQ(result.trace.size(), 400U);
+  for (const double len : result.trace) EXPECT_GT(len, 0.0);
+  // The level-0 ring length converges downwards overall.
+  EXPECT_LE(result.trace.back(), result.trace.front());
+}
+
+TEST(Annealer, SequentialGibbsAblation) {
+  // Sequential updates: same machinery, more cycles for the same sweep.
+  const auto inst = test::random_instance(150, 15);
+  AnnealerConfig par = base_config();
+  AnnealerConfig seq = base_config();
+  seq.chromatic_parallel = false;
+  const auto rp = ClusteredAnnealer(par).solve(inst);
+  const auto rs = ClusteredAnnealer(seq).solve(inst);
+  EXPECT_TRUE(rs.tour.is_valid(150));
+  EXPECT_GT(rs.hw.update_cycles, rp.hw.update_cycles);
+  // Solution quality comparable: within 25% of each other.
+  EXPECT_LT(static_cast<double>(rs.length),
+            static_cast<double>(rp.length) * 1.25);
+  EXPECT_LT(static_cast<double>(rp.length),
+            static_cast<double>(rs.length) * 1.25);
+}
+
+TEST(Annealer, BitLevelBackendMatchesFastBackend) {
+  // With the settle-at-write-back policy both backends read identical
+  // corrupted weights, so the whole anneal must be bit-identical.
+  const auto inst = test::random_instance(60, 16);
+  AnnealerConfig fast = base_config();
+  fast.backend = BackendKind::kFast;
+  AnnealerConfig bits = base_config();
+  bits.backend = BackendKind::kBitLevel;
+  const auto rf = ClusteredAnnealer(fast).solve(inst);
+  const auto rb = ClusteredAnnealer(bits).solve(inst);
+  EXPECT_EQ(rf.tour, rb.tour);
+  EXPECT_EQ(rf.length, rb.length);
+}
+
+TEST(Annealer, ReducedPrecisionStillSolves) {
+  const auto inst = test::random_instance(100, 17);
+  AnnealerConfig config = base_config();
+  config.weight_bits = 4;
+  config.schedule.lsb_start = 3;
+  const auto result = ClusteredAnnealer(config).solve(inst);
+  EXPECT_TRUE(result.tour.is_valid(100));
+}
+
+TEST(Annealer, ShortScheduleWorks) {
+  const auto inst = test::random_instance(100, 18);
+  AnnealerConfig config = base_config();
+  config.schedule.total_iterations = 40;
+  config.schedule.iterations_per_step = 5;
+  const auto result = ClusteredAnnealer(config).solve(inst);
+  EXPECT_TRUE(result.tour.is_valid(100));
+  EXPECT_EQ(result.levels.front().iterations, 40U);
+}
+
+TEST(Annealer, InvalidConfigThrows) {
+  AnnealerConfig config = base_config();
+  config.weight_bits = 0;
+  EXPECT_THROW(ClusteredAnnealer{config}, ConfigError);
+  config = base_config();
+  config.weight_bits = 9;
+  EXPECT_THROW(ClusteredAnnealer{config}, ConfigError);
+}
+
+TEST(Annealer, ClusteredStructureInstance) {
+  // On a clustered instance (the annealer's home turf) quality should be
+  // decent: within 2x of the greedy reference.
+  const auto inst = tsp::make_paper_instance("rl900");
+  const auto result = ClusteredAnnealer(base_config()).solve(inst);
+  const auto greedy = heuristics::greedy_edge(inst);
+  EXPECT_LT(result.length, greedy.length(inst) * 2);
+}
+
+}  // namespace
+}  // namespace cim::anneal

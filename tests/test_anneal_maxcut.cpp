@@ -1,0 +1,134 @@
+#include "anneal/maxcut_annealer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cim::anneal {
+namespace {
+
+MaxCutConfig base_config() {
+  MaxCutConfig config;
+  config.schedule.total_iterations = 200;
+  config.schedule.iterations_per_step = 25;
+  config.seed = 1;
+  return config;
+}
+
+TEST(MaxCutAnnealer, NearOptimalOnRing) {
+  // Rings carry marginally stable domain walls (field = 0 at a wall, and
+  // the hardware keeps the spin on ties), so a single run may retain one
+  // wall pair; across a few seeds the optimum must appear.
+  const auto problem = ising::ring_maxcut(16);
+  long long best = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto config = base_config();
+    config.seed = seed;
+    const auto result = MaxCutAnnealer(config).solve(problem);
+    EXPECT_EQ(result.cut, problem.cut_value(result.spins));
+    EXPECT_GE(result.best_cut, 14);  // at most one wall pair left
+    best = std::max(best, result.best_cut);
+  }
+  EXPECT_EQ(best, 16);
+}
+
+TEST(MaxCutAnnealer, BipartiteFullCut) {
+  std::vector<ising::WeightedEdge> edges;
+  for (ising::SpinIndex a = 0; a < 8; ++a) {
+    for (ising::SpinIndex b = 8; b < 16; ++b) edges.push_back({a, b, 1});
+  }
+  const ising::MaxCutProblem k88("k88", 16, std::move(edges));
+  const auto result = MaxCutAnnealer(base_config()).solve(k88);
+  EXPECT_EQ(result.cut, 64);
+}
+
+TEST(MaxCutAnnealer, NearOptimalOnSmallRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto problem = ising::random_maxcut(16, 0.4, 30 + seed, 4);
+    const long long optimal = ising::brute_force_maxcut(problem);
+    auto config = base_config();
+    config.seed = seed + 1;
+    const auto result = MaxCutAnnealer(config).solve(problem);
+    EXPECT_GE(result.best_cut * 20, optimal * 19)  // within 5%
+        << "seed " << seed;
+    EXPECT_LE(result.best_cut, optimal);
+  }
+}
+
+TEST(MaxCutAnnealer, CompetitiveWithGreedyOnSparseGraphs) {
+  const auto problem = ising::random_maxcut(200, 0.03, 5, 3);
+  const auto result = MaxCutAnnealer(base_config()).solve(problem);
+  const long long greedy = ising::greedy_maxcut(problem, 1);
+  // Annealing with noise should at least match a single greedy descent.
+  EXPECT_GE(result.best_cut * 100, greedy * 97);
+}
+
+TEST(MaxCutAnnealer, SignedCompleteGraph) {
+  // The STATICA-style shape: K_64 with ±1 couplings.
+  const auto problem = ising::complete_maxcut(64, 7);
+  const auto result = MaxCutAnnealer(base_config()).solve(problem);
+  EXPECT_EQ(result.cut, problem.cut_value(result.spins));
+  EXPECT_GT(result.cut, 0);
+}
+
+TEST(MaxCutAnnealer, ChromaticClassesBoundCycles) {
+  const auto ring = ising::ring_maxcut(100);  // 2-colourable
+  const auto result = MaxCutAnnealer(base_config()).solve(ring);
+  EXPECT_EQ(result.color_count, 2U);
+  // Cycles: 2 per sweep + write-back rows; far below n per sweep.
+  EXPECT_LT(result.update_cycles,
+            result.sweeps * 3 + 8 * 100 + 100);
+}
+
+TEST(MaxCutAnnealer, DeterministicPerSeed) {
+  const auto problem = ising::random_maxcut(60, 0.1, 11, 2);
+  const auto a = MaxCutAnnealer(base_config()).solve(problem);
+  const auto b = MaxCutAnnealer(base_config()).solve(problem);
+  EXPECT_EQ(a.cut, b.cut);
+  EXPECT_EQ(a.spins, b.spins);
+}
+
+TEST(MaxCutAnnealer, TraceRecordsSweeps) {
+  auto config = base_config();
+  config.record_trace = true;
+  const auto problem = ising::random_maxcut(40, 0.2, 13, 2);
+  const auto result = MaxCutAnnealer(config).solve(problem);
+  EXPECT_EQ(result.trace.size(), result.sweeps);
+  EXPECT_GE(result.trace.back(), result.trace.front());
+}
+
+TEST(MaxCutAnnealer, NoiseEscapesGreedyPlateaus) {
+  // Averaged over instances, the noisy annealer should beat pure
+  // deterministic sign updates (kNone gets stuck in the first local
+  // optimum / oscillation basin).
+  long long noisy_total = 0;
+  long long greedy_total = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto problem = ising::random_maxcut(80, 0.1, 50 + seed, 3);
+    auto noisy_cfg = base_config();
+    noisy_cfg.seed = seed + 1;
+    auto greedy_cfg = noisy_cfg;
+    greedy_cfg.noise = NoiseMode::kNone;
+    noisy_total += MaxCutAnnealer(noisy_cfg).solve(problem).best_cut;
+    greedy_total += MaxCutAnnealer(greedy_cfg).solve(problem).best_cut;
+  }
+  EXPECT_GE(noisy_total, greedy_total);
+}
+
+TEST(MaxCutAnnealer, StorageCountersPopulated) {
+  const auto problem = ising::random_maxcut(50, 0.2, 17, 2);
+  const auto result = MaxCutAnnealer(base_config()).solve(problem);
+  EXPECT_GT(result.storage.macs, 0U);
+  EXPECT_GT(result.storage.writeback_events, 0U);
+  EXPECT_GT(result.storage.pseudo_read_flips, 0U);
+  EXPECT_GT(result.flips, 0U);
+}
+
+TEST(MaxCutAnnealer, InvalidConfigThrows) {
+  MaxCutConfig bad = base_config();
+  bad.weight_bits = 0;
+  EXPECT_THROW(MaxCutAnnealer{bad}, ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::anneal

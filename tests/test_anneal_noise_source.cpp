@@ -1,0 +1,92 @@
+#include "anneal/noise_source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::anneal {
+namespace {
+
+noise::SchedulePhase phase_at(double vdd, unsigned lsbs,
+                              std::uint64_t epoch = 0) {
+  noise::SchedulePhase phase;
+  phase.vdd = vdd;
+  phase.noisy_lsbs = lsbs;
+  phase.epoch = epoch;
+  return phase;
+}
+
+TEST(NoiseSource, ModeNames) {
+  EXPECT_STREQ(noise_mode_name(NoiseMode::kSramWeight), "sram-weight");
+  EXPECT_STREQ(noise_mode_name(NoiseMode::kSramSpin), "sram-spin");
+  EXPECT_STREQ(noise_mode_name(NoiseMode::kLfsr), "lfsr");
+  EXPECT_STREQ(noise_mode_name(NoiseMode::kNone), "none");
+}
+
+TEST(NoiseSource, WeightSigmaDecreasesAlongSchedule) {
+  const noise::SramCellModel model;
+  const noise::AnnealSchedule schedule;
+  double prev = 1e9;
+  for (std::size_t epoch = 0; epoch < schedule.epochs(); ++epoch) {
+    const auto phase = schedule.at(epoch * 50);
+    const double sigma = weight_noise_sigma(model, phase);
+    EXPECT_LE(sigma, prev + 1e-12) << "epoch " << epoch;
+    prev = sigma;
+  }
+  // Final epoch is noise-free.
+  EXPECT_EQ(weight_noise_sigma(model, schedule.at(399)), 0.0);
+}
+
+TEST(NoiseSource, WeightSigmaGrowsWithLsbCount) {
+  const noise::SramCellModel model;
+  double prev = 0.0;
+  for (unsigned lsbs = 0; lsbs <= 6; ++lsbs) {
+    const double sigma = weight_noise_sigma(model, phase_at(0.30, lsbs));
+    EXPECT_GE(sigma, prev);
+    prev = sigma;
+  }
+  EXPECT_GT(prev, 1.0);  // 6 noisy LSBs at 300 mV is macroscopic noise
+}
+
+TEST(NoiseSource, EquivalentTemperatureTracksSigma) {
+  const noise::SramCellModel model;
+  const auto hot = phase_at(0.30, 6);
+  const auto cold = phase_at(0.50, 1);
+  EXPECT_GT(equivalent_temperature(model, hot),
+            equivalent_temperature(model, cold));
+  EXPECT_EQ(equivalent_temperature(model, phase_at(0.30, 0)), 0.0);
+}
+
+TEST(NoiseSource, SpinFilterIsDeterministicPerEpoch) {
+  const noise::SramCellModel model;
+  const auto phase = phase_at(0.30, 6, 3);
+  for (std::uint64_t cell = 0; cell < 200; ++cell) {
+    const bool a = filter_spin_bit(model, cell, phase, true);
+    const bool b = filter_spin_bit(model, cell, phase, true);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(NoiseSource, SpinFilterCorruptsSomeBitsAtLowVdd) {
+  const noise::SramCellModel model;
+  const auto phase = phase_at(0.22, 6);
+  std::size_t corrupted = 0;
+  for (std::uint64_t cell = 0; cell < 2000; ++cell) {
+    if (filter_spin_bit(model, cell, phase, true) != true) ++corrupted;
+    if (filter_spin_bit(model, cell ^ 0x10000, phase, false) != false) {
+      ++corrupted;
+    }
+  }
+  EXPECT_GT(corrupted, 100U);
+  EXPECT_LT(corrupted, 2500U);
+}
+
+TEST(NoiseSource, SpinFilterCleanWhenNoiseFree) {
+  const noise::SramCellModel model;
+  const auto phase = phase_at(0.30, 0);
+  for (std::uint64_t cell = 0; cell < 100; ++cell) {
+    EXPECT_TRUE(filter_spin_bit(model, cell, phase, true));
+    EXPECT_FALSE(filter_spin_bit(model, cell, phase, false));
+  }
+}
+
+}  // namespace
+}  // namespace cim::anneal

@@ -1,0 +1,117 @@
+#include "anneal/tempering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anneal/maxcut_annealer.hpp"
+
+#include "util/error.hpp"
+
+namespace cim::anneal {
+namespace {
+
+TemperingConfig base_config() {
+  TemperingConfig config;
+  config.replicas = 6;
+  config.sweeps = 150;
+  config.seed = 1;
+  return config;
+}
+
+TEST(Tempering, LadderIsGeometricAndOrdered) {
+  const auto problem = ising::random_maxcut(30, 0.2, 1, 3);
+  TemperingResult details;
+  ParallelTempering(base_config()).solve_maxcut(problem, &details);
+  ASSERT_EQ(details.temperatures.size(), 6U);
+  for (std::size_t r = 1; r < details.temperatures.size(); ++r) {
+    EXPECT_LT(details.temperatures[r], details.temperatures[r - 1]);
+  }
+  const double ratio0 = details.temperatures[1] / details.temperatures[0];
+  const double ratio1 = details.temperatures[2] / details.temperatures[1];
+  EXPECT_NEAR(ratio0, ratio1, 1e-9);
+}
+
+TEST(Tempering, FindsOptimumOnSmallProblems) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto problem = ising::random_maxcut(14, 0.4, 40 + seed, 4);
+    const long long optimal = ising::brute_force_maxcut(problem);
+    auto config = base_config();
+    config.seed = seed + 1;
+    const long long cut =
+        ParallelTempering(config).solve_maxcut(problem);
+    EXPECT_EQ(cut, optimal) << "seed " << seed;
+  }
+}
+
+TEST(Tempering, BipartiteFullCut) {
+  std::vector<ising::WeightedEdge> edges;
+  for (ising::SpinIndex a = 0; a < 10; ++a) {
+    for (ising::SpinIndex b = 10; b < 20; ++b) edges.push_back({a, b, 1});
+  }
+  const ising::MaxCutProblem k("k1010", 20, std::move(edges));
+  EXPECT_EQ(ParallelTempering(base_config()).solve_maxcut(k), 100);
+}
+
+TEST(Tempering, ExchangesHappenAtHealthyRate) {
+  const auto problem = ising::random_maxcut(60, 0.1, 7, 3);
+  TemperingResult details;
+  ParallelTempering(base_config()).solve_maxcut(problem, &details);
+  EXPECT_GT(details.exchanges_attempted, 0U);
+  // A reasonable ladder accepts a meaningful fraction of exchanges.
+  EXPECT_GT(details.exchange_rate(), 0.1);
+  EXPECT_LE(details.exchange_rate(), 1.0);
+}
+
+TEST(Tempering, BestEnergyMatchesBestSpins) {
+  const auto problem = ising::random_maxcut(40, 0.2, 9, 2);
+  const ising::IsingModel model = problem.to_ising();
+  TemperingResult details;
+  ParallelTempering(base_config()).solve_maxcut(problem, &details);
+  EXPECT_NEAR(model.hamiltonian(details.best_spins), details.best_energy,
+              1e-9);
+  EXPECT_EQ(details.final_energies.size(), 6U);
+}
+
+TEST(Tempering, DeterministicPerSeed) {
+  const auto problem = ising::random_maxcut(50, 0.15, 11, 3);
+  const long long a = ParallelTempering(base_config()).solve_maxcut(problem);
+  const long long b = ParallelTempering(base_config()).solve_maxcut(problem);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Tempering, BeatsOrMatchesSingleTemperatureAnnealing) {
+  // PT's whole point: on rugged instances the exchange ladder beats the
+  // same budget spent at one temperature. Compare total-sweep-matched
+  // budgets over a few seeds.
+  long long pt_total = 0;
+  long long sa_total = 0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto problem = ising::complete_maxcut(48, 70 + seed);
+    auto pt_config = base_config();
+    pt_config.seed = seed + 1;
+    pt_total += ParallelTempering(pt_config).solve_maxcut(problem);
+
+    MaxCutConfig sa_config;
+    sa_config.schedule.total_iterations =
+        pt_config.sweeps * pt_config.replicas;
+    sa_config.schedule.iterations_per_step =
+        sa_config.schedule.total_iterations / 8;
+    sa_config.seed = seed + 1;
+    sa_total += MaxCutAnnealer(sa_config).solve(problem).best_cut;
+  }
+  EXPECT_GE(pt_total, sa_total);
+}
+
+TEST(Tempering, InvalidConfigsThrow) {
+  TemperingConfig one;
+  one.replicas = 1;
+  EXPECT_THROW(ParallelTempering{one}, ConfigError);
+  TemperingConfig inverted = base_config();
+  inverted.t_cold_factor = 2.0;
+  EXPECT_THROW(ParallelTempering{inverted}, ConfigError);
+  TemperingConfig no_sweeps = base_config();
+  no_sweeps.sweeps = 0;
+  EXPECT_THROW(ParallelTempering{no_sweeps}, ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::anneal

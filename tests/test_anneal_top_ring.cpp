@@ -1,0 +1,86 @@
+#include "anneal/top_ring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace cim::anneal {
+namespace {
+
+std::vector<geo::Point> random_centroids(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) {
+    p = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+  }
+  return pts;
+}
+
+double brute_force_best(const std::vector<geo::Point>& pts) {
+  std::vector<std::uint32_t> perm(pts.size());
+  std::iota(perm.begin(), perm.end(), 0U);
+  double best = std::numeric_limits<double>::infinity();
+  std::sort(perm.begin() + 1, perm.end());
+  do {
+    best = std::min(best, ring_length(pts, perm));
+  } while (std::next_permutation(perm.begin() + 1, perm.end()));
+  return best;
+}
+
+TEST(TopRing, IsAlwaysAPermutation) {
+  for (std::size_t n : {1U, 2U, 3U, 4U, 6U, 7U, 8U, 15U}) {
+    const auto pts = random_centroids(n, n * 3);
+    const auto ring = order_top_ring(pts);
+    ASSERT_EQ(ring.size(), n);
+    std::vector<char> seen(n, 0);
+    for (const auto v : ring) {
+      ASSERT_LT(v, n);
+      EXPECT_FALSE(seen[v]);
+      seen[v] = 1;
+    }
+  }
+}
+
+class TopRingExhaustive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopRingExhaustive, OptimalForSmallTops) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto pts = random_centroids(n, 100 + seed);
+    const auto ring = order_top_ring(pts);
+    EXPECT_NEAR(ring_length(pts, ring), brute_force_best(pts), 1e-9)
+        << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopRingExhaustive,
+                         ::testing::Values<std::size_t>(4, 5, 6, 7));
+
+TEST(TopRing, LargerTopsAreTwoOptClean) {
+  const auto pts = random_centroids(12, 9);
+  const auto ring = order_top_ring(pts);
+  // 2-opt local optimality: no uncrossing move can improve.
+  const double len = ring_length(pts, ring);
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+    for (std::size_t j = i + 1; j < ring.size(); ++j) {
+      auto candidate = ring;
+      std::reverse(candidate.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                   candidate.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+      EXPECT_GE(ring_length(pts, candidate), len - 1e-9);
+    }
+  }
+}
+
+TEST(TopRing, RingLengthBasics) {
+  const std::vector<geo::Point> square{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  EXPECT_DOUBLE_EQ(ring_length(square, {0, 1, 2, 3}), 40.0);
+  EXPECT_GT(ring_length(square, {0, 2, 1, 3}), 40.0);
+  const std::vector<geo::Point> single{{5, 5}};
+  EXPECT_DOUBLE_EQ(ring_length(single, {0}), 0.0);
+}
+
+}  // namespace
+}  // namespace cim::anneal

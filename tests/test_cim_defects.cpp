@@ -1,0 +1,148 @@
+// Stuck-at manufacturing-defect tests: hard faults override writes at any
+// supply voltage and must degrade solution quality gracefully, never
+// correctness.
+#include <gtest/gtest.h>
+
+#include "anneal/clustered_annealer.hpp"
+#include "cim/storage.hpp"
+#include "noise/sram_model.hpp"
+#include "test_helpers.hpp"
+#include "util/random.hpp"
+
+namespace cim {
+namespace {
+
+noise::SramCellModel defective_model(double rate, std::uint64_t seed) {
+  noise::SramNoiseParams params;
+  params.stuck_cell_rate = rate;
+  return noise::SramCellModel(params, seed);
+}
+
+std::vector<std::uint8_t> random_image(std::uint32_t rows,
+                                       std::uint32_t cols,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(rows) * cols);
+  for (auto& w : image) w = static_cast<std::uint8_t>(rng.below(256));
+  return image;
+}
+
+TEST(Defects, StuckMaskIsDeterministicAndDensityCorrect) {
+  const auto model = defective_model(0.05, 1);
+  std::size_t stuck = 0;
+  constexpr std::uint64_t kCells = 50000;
+  for (std::uint64_t c = 0; c < kCells; ++c) {
+    if (model.is_stuck(c)) {
+      ++stuck;
+      EXPECT_TRUE(model.is_stuck(c));  // deterministic
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(stuck) / kCells, 0.05, 0.005);
+}
+
+TEST(Defects, ZeroRateHasNoStuckCells) {
+  const auto model = defective_model(0.0, 2);
+  for (std::uint64_t c = 0; c < 1000; ++c) {
+    EXPECT_FALSE(model.is_stuck(c));
+  }
+}
+
+TEST(Defects, StuckCellsIgnoreWritesEvenAtNominalVdd) {
+  const auto model = defective_model(0.2, 3);
+  // A stuck cell settles to its preferred value regardless of the written
+  // bit, the epoch, and the supply voltage.
+  std::size_t checked = 0;
+  for (std::uint64_t c = 0; c < 2000 && checked < 50; ++c) {
+    if (!model.is_stuck(c)) continue;
+    const bool preferred = model.traits(c).preferred_bit;
+    for (const bool written : {false, true}) {
+      EXPECT_EQ(model.settled_value(c, 0, 0.80, written), preferred);
+      EXPECT_EQ(model.settled_value(c, 5, 0.30, written), preferred);
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 50U);
+}
+
+TEST(Defects, StoragePersistsFaultsAcrossWriteBacks) {
+  const auto model = defective_model(0.1, 4);
+  for (const bool bit_level : {false, true}) {
+    auto storage =
+        bit_level ? hw::make_bit_level_storage(15, 9, &model, 0)
+                  : hw::make_fast_storage(15, 9, &model, 0);
+    const auto image = random_image(15, 9, 5);
+    storage->write(image);
+
+    // Noise-free write-back at nominal supply: only stuck bits differ
+    // from golden, and they differ identically on every write-back.
+    noise::SchedulePhase nominal;
+    nominal.vdd = 0.80;
+    nominal.noisy_lsbs = 0;
+    storage->write_back(nominal);
+    std::vector<std::uint8_t> first;
+    std::size_t faulty_bits = 0;
+    for (std::uint32_t r = 0; r < 15; ++r) {
+      for (std::uint32_t c = 0; c < 9; ++c) {
+        first.push_back(storage->weight(r, c));
+        faulty_bits += static_cast<std::size_t>(__builtin_popcount(
+            storage->weight(r, c) ^ image[r * 9 + c]));
+      }
+    }
+    EXPECT_GT(faulty_bits, 0U) << (bit_level ? "bit" : "fast");
+    storage->write_back(nominal);
+    std::size_t i = 0;
+    for (std::uint32_t r = 0; r < 15; ++r) {
+      for (std::uint32_t c = 0; c < 9; ++c, ++i) {
+        EXPECT_EQ(storage->weight(r, c), first[i]);
+      }
+    }
+  }
+}
+
+TEST(Defects, BackendsAgreeOnFaultPatterns) {
+  const auto model = defective_model(0.15, 6);
+  auto fast = hw::make_fast_storage(15, 9, &model, 99);
+  auto bits = hw::make_bit_level_storage(15, 9, &model, 99);
+  const auto image = random_image(15, 9, 7);
+  fast->write(image);
+  bits->write(image);
+  for (std::uint32_t r = 0; r < 15; ++r) {
+    for (std::uint32_t c = 0; c < 9; ++c) {
+      EXPECT_EQ(fast->weight(r, c), bits->weight(r, c));
+    }
+  }
+}
+
+TEST(Defects, AnnealerSurvivesDefectiveDie) {
+  const auto inst = test::random_instance(150, 8);
+  for (const double rate : {0.001, 0.01, 0.05}) {
+    anneal::AnnealerConfig config;
+    config.clustering.p = 3;
+    config.sram.stuck_cell_rate = rate;
+    config.seed = 9;
+    const auto result = anneal::ClusteredAnnealer(config).solve(inst);
+    EXPECT_TRUE(result.tour.is_valid(150)) << "rate " << rate;
+  }
+}
+
+TEST(Defects, QualityDegradesGracefully) {
+  // Averaged over seeds, a heavily defective die is no better than a
+  // healthy one (and a healthy one is at least as good).
+  const auto inst = test::random_instance(250, 10);
+  const auto mean_length = [&](double rate) {
+    double acc = 0.0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      anneal::AnnealerConfig config;
+      config.clustering.p = 3;
+      config.sram.stuck_cell_rate = rate;
+      config.seed = seed;
+      acc += static_cast<double>(
+          anneal::ClusteredAnnealer(config).solve(inst).length);
+    }
+    return acc / 4.0;
+  };
+  EXPECT_LE(mean_length(0.0), mean_length(0.10) * 1.02);
+}
+
+}  // namespace
+}  // namespace cim

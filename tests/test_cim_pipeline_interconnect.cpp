@@ -1,0 +1,132 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cim/interconnect.hpp"
+#include "cim/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace cim::hw {
+namespace {
+
+TEST(Pipeline, StageStructure) {
+  const PipelineModel model(WindowShape::hardware(3));
+  // IF + RD + 4 tree levels (15 rows → depth 4) + SA + CMP = 8 stages.
+  EXPECT_EQ(model.depth(), 8U);
+  EXPECT_EQ(model.stages().front().kind, StageKind::kInputFetch);
+  EXPECT_EQ(model.stages().back().kind, StageKind::kCompare);
+}
+
+TEST(Pipeline, DepthGrowsWithWindowHeight) {
+  const PipelineModel p2(WindowShape::hardware(2));   // 8 rows → depth 3
+  const PipelineModel p4(WindowShape::hardware(4));   // 24 rows → depth 5
+  EXPECT_LT(p2.depth(), p4.depth());
+}
+
+TEST(Pipeline, ThroughputMatchesAggregateModel) {
+  // The aggregate timing model charges 4 cycles per update (issue rate);
+  // the pipeline must issue its 4 MACs in exactly 4 consecutive cycles.
+  const PipelineModel model(WindowShape::hardware(3));
+  EXPECT_EQ(model.issue_interval(), 1U);
+  const auto timeline = model.trace_update();
+  std::vector<std::uint64_t> issue_cycles;
+  for (const auto& event : timeline.events) {
+    if (event.stage == StageKind::kInputFetch) {
+      issue_cycles.push_back(event.cycle);
+    }
+  }
+  ASSERT_EQ(issue_cycles.size(), 4U);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(issue_cycles[i], i);
+  }
+}
+
+TEST(Pipeline, UpdateLatencyCoversFillPlusCompare) {
+  const PipelineModel model(WindowShape::hardware(3));
+  EXPECT_EQ(model.update_latency(), 3 + model.mac_latency() + 1);
+  const auto timeline = model.trace_update();
+  EXPECT_EQ(timeline.total_cycles, model.update_latency());
+}
+
+TEST(Pipeline, TwoComparesPerUpdate) {
+  const PipelineModel model(WindowShape::hardware(3));
+  const auto timeline = model.trace_update();
+  const auto compares = std::count_if(
+      timeline.events.begin(), timeline.events.end(), [](const auto& e) {
+        return e.stage == StageKind::kCompare;
+      });
+  EXPECT_EQ(compares, 2);
+}
+
+TEST(Pipeline, StageNames) {
+  EXPECT_STREQ(stage_name(StageKind::kInputFetch), "IF");
+  EXPECT_STREQ(stage_name(StageKind::kAdderTree), "AT");
+  EXPECT_STREQ(stage_name(StageKind::kCompare), "CMP");
+}
+
+TEST(Interconnect, OnlyBoundaryBitsMove) {
+  InterconnectConfig config;
+  config.clusters = 100;
+  config.p = 3;
+  const auto report = simulate_iteration(config);
+  // Every cluster fetches exactly p boundary bits per iteration.
+  EXPECT_EQ(report.total_bits_per_iteration, 100U * 3U);
+  EXPECT_EQ(report.arrays, 10U);
+  EXPECT_EQ(report.links, 9U);
+}
+
+TEST(Interconnect, LinkLoadIsAtMostPPerPhase) {
+  // The paper's claim: per update phase a chain link carries p bits.
+  for (std::size_t clusters : {20U, 95U, 100U, 1000U}) {
+    InterconnectConfig config;
+    config.clusters = clusters;
+    config.p = 3;
+    const auto report = simulate_iteration(config);
+    EXPECT_LE(report.max_link_bits_per_phase, 3U) << clusters;
+    EXPECT_TRUE(report.contention_free);
+  }
+}
+
+TEST(Interconnect, DirectionsSeparateByPhase) {
+  InterconnectConfig config;
+  config.clusters = 200;
+  config.p = 4;
+  const auto report = simulate_iteration(config);
+  // Even windows_per_array ⇒ boundary clusters alternate parity, so
+  // every active link sees downstream traffic in the solid phase and
+  // upstream in the dash phase.
+  for (const auto& link : report.per_link) {
+    EXPECT_LE(link.downstream_bits, 4U);
+    EXPECT_LE(link.upstream_bits, 4U);
+  }
+}
+
+TEST(Interconnect, SingleArrayHasNoLinks) {
+  InterconnectConfig config;
+  config.clusters = 8;
+  const auto report = simulate_iteration(config);
+  EXPECT_EQ(report.arrays, 1U);
+  EXPECT_EQ(report.links, 0U);
+  EXPECT_EQ(report.max_link_bits_per_phase, 0U);
+}
+
+TEST(Interconnect, TrafficIndependentOfWindowContents) {
+  // Link traffic depends only on p, never on the window payload size
+  // ((p²+2p)·p²·8 bits) — the compact mapping's locality win.
+  InterconnectConfig config;
+  config.clusters = 1000;
+  config.p = 4;
+  const auto report = simulate_iteration(config);
+  const std::uint64_t window_bits = (16 + 8) * 16 * 8;
+  EXPECT_LT(report.total_bits_per_iteration,
+            config.clusters * window_bits / 100);
+}
+
+TEST(Interconnect, InvalidConfigThrows) {
+  InterconnectConfig bad;
+  bad.clusters = 0;
+  EXPECT_THROW(simulate_iteration(bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::hw

@@ -1,0 +1,268 @@
+#include "cim/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::hw {
+namespace {
+
+std::vector<std::uint8_t> random_image(std::uint32_t rows, std::uint32_t cols,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(rows) * cols);
+  for (auto& w : image) w = static_cast<std::uint8_t>(rng.below(256));
+  return image;
+}
+
+noise::SchedulePhase phase(std::uint64_t epoch, double vdd,
+                           unsigned noisy_lsbs) {
+  noise::SchedulePhase p;
+  p.epoch = epoch;
+  p.vdd = vdd;
+  p.noisy_lsbs = noisy_lsbs;
+  p.write_back = true;
+  return p;
+}
+
+TEST(Storage, NoiseFreeMacIsExactDotProduct) {
+  const auto image = random_image(15, 9, 1);
+  for (const bool bit_level : {false, true}) {
+    auto storage = bit_level
+                       ? make_bit_level_storage(15, 9, nullptr, 0)
+                       : make_fast_storage(15, 9, nullptr, 0);
+    storage->write(image);
+    util::Rng rng(2);
+    for (int trial = 0; trial < 30; ++trial) {
+      std::vector<std::uint8_t> input(15);
+      for (auto& b : input) b = rng.chance(0.5) ? 1 : 0;
+      const auto col = static_cast<std::uint32_t>(rng.below(9));
+      std::int64_t expected = 0;
+      for (std::uint32_t r = 0; r < 15; ++r) {
+        if (input[r]) expected += image[r * 9 + col];
+      }
+      EXPECT_EQ(storage->mac(col, input), expected)
+          << (bit_level ? "bit-level" : "fast");
+    }
+  }
+}
+
+TEST(Storage, BackendsProduceIdenticalErrorPatterns) {
+  // The headline equivalence property: identical (model, cell_base, epoch,
+  // vdd) must corrupt both backends identically, bit for bit.
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 99);
+  const auto image = random_image(15, 9, 3);
+  auto fast = make_fast_storage(15, 9, &model, 4096);
+  auto bits = make_bit_level_storage(15, 9, &model, 4096);
+  fast->write(image);
+  bits->write(image);
+  for (std::uint64_t epoch = 0; epoch < 6; ++epoch) {
+    const auto p = phase(epoch, 0.30 + 0.04 * static_cast<double>(epoch),
+                         6 - static_cast<unsigned>(epoch));
+    fast->write_back(p);
+    bits->write_back(p);
+    for (std::uint32_t r = 0; r < 15; ++r) {
+      for (std::uint32_t c = 0; c < 9; ++c) {
+        ASSERT_EQ(fast->weight(r, c), bits->weight(r, c))
+            << "epoch " << epoch << " cell " << r << "," << c;
+      }
+    }
+    EXPECT_EQ(fast->counters().pseudo_read_flips,
+              bits->counters().pseudo_read_flips);
+  }
+}
+
+TEST(Storage, LowVddCorruptsManyCells) {
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 7);
+  const auto image = random_image(24, 16, 5);
+  auto storage = make_fast_storage(24, 16, &model, 0);
+  storage->write(image);
+  storage->write_back(phase(0, 0.25, 6));
+  EXPECT_GT(storage->counters().pseudo_read_flips, 50U);
+}
+
+TEST(Storage, NominalVddIsClean) {
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 7);
+  const auto image = random_image(24, 16, 6);
+  auto storage = make_fast_storage(24, 16, &model, 0);
+  storage->write(image);
+  storage->write_back(phase(0, 0.80, 6));
+  EXPECT_EQ(storage->counters().pseudo_read_flips, 0U);
+  for (std::uint32_t r = 0; r < 24; ++r) {
+    for (std::uint32_t c = 0; c < 16; ++c) {
+      EXPECT_EQ(storage->weight(r, c), image[r * 16 + c]);
+    }
+  }
+}
+
+TEST(Storage, ZeroNoisyLsbsIsClean) {
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 7);
+  const auto image = random_image(15, 9, 7);
+  auto storage = make_fast_storage(15, 9, &model, 0);
+  storage->write(image);
+  storage->write_back(phase(0, 0.20, 0));
+  EXPECT_EQ(storage->counters().pseudo_read_flips, 0U);
+}
+
+TEST(Storage, NoiseConfinedToLsbs) {
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 11);
+  const auto image = random_image(15, 9, 8);
+  for (unsigned lsbs : {1U, 3U, 6U}) {
+    auto storage = make_fast_storage(15, 9, &model, 0);
+    storage->write(image);
+    storage->write_back(phase(0, 0.22, lsbs));
+    const std::uint8_t mask = static_cast<std::uint8_t>(~((1U << lsbs) - 1U));
+    for (std::uint32_t r = 0; r < 15; ++r) {
+      for (std::uint32_t c = 0; c < 9; ++c) {
+        EXPECT_EQ(storage->weight(r, c) & mask, image[r * 9 + c] & mask)
+            << "MSBs must stay intact with " << lsbs << " noisy LSBs";
+      }
+    }
+  }
+}
+
+TEST(Storage, WriteBackRestoresBeforeCorrupting) {
+  // Consecutive write-backs must not accumulate: the error pattern of
+  // epoch k is applied to the GOLDEN image, not to epoch k-1's corruption.
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 13);
+  const auto image = random_image(15, 9, 9);
+  auto a = make_fast_storage(15, 9, &model, 0);
+  a->write(image);
+  a->write_back(phase(5, 0.30, 6));
+  std::vector<std::uint8_t> after_direct;
+  for (std::uint32_t r = 0; r < 15; ++r) {
+    for (std::uint32_t c = 0; c < 9; ++c) {
+      after_direct.push_back(a->weight(r, c));
+    }
+  }
+  auto b = make_fast_storage(15, 9, &model, 0);
+  b->write(image);
+  b->write_back(phase(0, 0.20, 6));  // heavy corruption first
+  b->write_back(phase(5, 0.30, 6));  // then the same epoch-5 pattern
+  std::size_t i = 0;
+  for (std::uint32_t r = 0; r < 15; ++r) {
+    for (std::uint32_t c = 0; c < 9; ++c, ++i) {
+      EXPECT_EQ(b->weight(r, c), after_direct[i]);
+    }
+  }
+}
+
+TEST(Storage, DisjointCellBasesDecorrelate) {
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 17);
+  const auto image = random_image(15, 9, 10);
+  auto a = make_fast_storage(15, 9, &model, 0);
+  auto b = make_fast_storage(15, 9, &model, 15 * 9 * 8);
+  a->write(image);
+  b->write(image);
+  a->write_back(phase(0, 0.25, 6));
+  b->write_back(phase(0, 0.25, 6));
+  std::size_t differing = 0;
+  for (std::uint32_t r = 0; r < 15; ++r) {
+    for (std::uint32_t c = 0; c < 9; ++c) {
+      if (a->weight(r, c) != b->weight(r, c)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0U);
+}
+
+TEST(Storage, CountersAccumulate) {
+  auto storage = make_fast_storage(10, 4, nullptr, 0, 8);
+  storage->write(random_image(10, 4, 11));
+  const std::vector<std::uint8_t> input(10, 1);
+  storage->mac(0, input);
+  storage->mac(1, input);
+  storage->write_back(phase(0, 0.8, 0));
+  const auto& c = storage->counters();
+  EXPECT_EQ(c.macs, 2U);
+  EXPECT_EQ(c.mac_bit_reads, 2U * 10U * 8U);
+  EXPECT_EQ(c.writeback_events, 1U);
+  EXPECT_EQ(c.writeback_bits, 10U * 4U * 8U);
+  storage->reset_counters();
+  EXPECT_EQ(storage->counters().macs, 0U);
+}
+
+TEST(Storage, FlipOnAccessOnlyTouchesAccessedCells) {
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 19);
+  const auto image = random_image(15, 9, 12);
+  auto lazy = make_bit_level_storage(15, 9, &model, 0, 8,
+                                     PseudoReadPolicy::kFlipOnAccess);
+  lazy->write(image);
+  lazy->write_back(phase(0, 0.22, 6));
+  // Nothing accessed yet: weights must still be golden.
+  for (std::uint32_t r = 0; r < 15; ++r) {
+    for (std::uint32_t c = 0; c < 9; ++c) {
+      EXPECT_EQ(lazy->weight(r, c), image[r * 9 + c]);
+    }
+  }
+  // Access column 3: exactly that column may corrupt.
+  std::vector<std::uint8_t> input(15, 1);
+  lazy->mac(3, input);
+  for (std::uint32_t r = 0; r < 15; ++r) {
+    for (std::uint32_t c = 0; c < 9; ++c) {
+      if (c != 3) {
+        EXPECT_EQ(lazy->weight(r, c), image[r * 9 + c]);
+      }
+    }
+  }
+}
+
+TEST(Storage, FlipOnAccessConvergesToSettledPattern) {
+  // After touching every column, the lazy policy must match the settle
+  // policy exactly (same hash-derived pattern).
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 23);
+  const auto image = random_image(15, 9, 13);
+  auto lazy = make_bit_level_storage(15, 9, &model, 77, 8,
+                                     PseudoReadPolicy::kFlipOnAccess);
+  auto settle = make_bit_level_storage(15, 9, &model, 77, 8,
+                                       PseudoReadPolicy::kSettleAtWriteBack);
+  lazy->write(image);
+  settle->write(image);
+  const auto p = phase(2, 0.30, 6);
+  lazy->write_back(p);
+  settle->write_back(p);
+  const std::vector<std::uint8_t> input(15, 1);
+  for (std::uint32_t c = 0; c < 9; ++c) lazy->mac(c, input);
+  for (std::uint32_t r = 0; r < 15; ++r) {
+    for (std::uint32_t c = 0; c < 9; ++c) {
+      EXPECT_EQ(lazy->weight(r, c), settle->weight(r, c));
+    }
+  }
+}
+
+TEST(Storage, StickyWithinEpoch) {
+  // Two MACs in the same epoch read the same corrupted values.
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 29);
+  auto storage = make_bit_level_storage(15, 9, &model, 0, 8,
+                                        PseudoReadPolicy::kFlipOnAccess);
+  storage->write(random_image(15, 9, 14));
+  storage->write_back(phase(0, 0.25, 6));
+  const std::vector<std::uint8_t> input(15, 1);
+  const auto first = storage->mac(4, input);
+  const auto second = storage->mac(4, input);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Storage, ValidationErrors) {
+  EXPECT_THROW(make_fast_storage(0, 4, nullptr, 0), ConfigError);
+  EXPECT_THROW(make_fast_storage(4, 4, nullptr, 0, 9), ConfigError);
+  auto storage = make_fast_storage(4, 4, nullptr, 0);
+  EXPECT_THROW(storage->write(std::vector<std::uint8_t>(3)), ConfigError);
+  storage->write(std::vector<std::uint8_t>(16, 1));
+  // Wrong input size trips the invariant.
+  EXPECT_THROW(storage->mac(0, std::vector<std::uint8_t>(3)),
+               InvariantError);
+}
+
+TEST(Storage, ReducedPrecision) {
+  // 4-bit weights: values above 15 are never produced by MACs of 4-bit
+  // images.
+  auto storage = make_fast_storage(8, 2, nullptr, 0, 4);
+  std::vector<std::uint8_t> image(16, 0x0F);
+  storage->write(image);
+  const std::vector<std::uint8_t> input(8, 1);
+  EXPECT_EQ(storage->mac(0, input), 8 * 0x0F);
+}
+
+}  // namespace
+}  // namespace cim::hw

@@ -1,0 +1,182 @@
+#include "cim/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cim/storage.hpp"
+
+namespace cim::hw {
+namespace {
+
+// A hand-built 3-cluster scenario: the middle cluster has members {A,B,C}
+// at integer positions, the predecessor contributes boundary members
+// {P0,P1}, the successor {S0,S1,S2}. Distances are filled directly as
+// quantised weights so MAC results can be checked by hand.
+class WindowScenario : public ::testing::Test {
+ protected:
+  WindowScenario() : shape_{3, 2, 3}, builder_(shape_) {
+    // Own member distances: d(A,B)=10, d(A,C)=20, d(B,C)=5.
+    builder_.set_own_distance(0, 1, 10);
+    builder_.set_own_distance(0, 2, 20);
+    builder_.set_own_distance(1, 2, 5);
+    // Predecessor boundary distances to own members.
+    builder_.set_prev_distance(0, 0, 7);   // P0–A
+    builder_.set_prev_distance(0, 1, 8);   // P0–B
+    builder_.set_prev_distance(0, 2, 9);   // P0–C
+    builder_.set_prev_distance(1, 0, 17);  // P1–A
+    builder_.set_prev_distance(1, 1, 18);
+    builder_.set_prev_distance(1, 2, 19);
+    // Successor boundary distances.
+    builder_.set_next_distance(0, 0, 30);  // S0–A
+    builder_.set_next_distance(0, 1, 31);
+    builder_.set_next_distance(0, 2, 32);
+    builder_.set_next_distance(1, 0, 40);
+    builder_.set_next_distance(1, 1, 41);
+    builder_.set_next_distance(1, 2, 42);
+    builder_.set_next_distance(2, 0, 50);
+    builder_.set_next_distance(2, 1, 51);
+    builder_.set_next_distance(2, 2, 52);
+    image_ = builder_.build();
+  }
+
+  std::uint8_t weight(std::uint32_t row, std::uint32_t col) const {
+    return image_[static_cast<std::size_t>(row) * shape_.cols() + col];
+  }
+
+  WindowShape shape_;
+  WindowBuilder builder_;
+  std::vector<std::uint8_t> image_;
+};
+
+TEST_F(WindowScenario, Dimensions) {
+  EXPECT_EQ(shape_.own_rows(), 9U);
+  EXPECT_EQ(shape_.rows(), 9U + 2U + 3U);
+  EXPECT_EQ(shape_.cols(), 9U);
+  EXPECT_EQ(shape_.weights(), 14U * 9U);
+}
+
+TEST_F(WindowScenario, HardwareShapeIsPaperFormula) {
+  const WindowShape hw = WindowShape::hardware(3);
+  EXPECT_EQ(hw.rows(), 15U);  // p²+2p = 15
+  EXPECT_EQ(hw.cols(), 9U);   // p² = 9
+  const WindowShape hw4 = WindowShape::hardware(4);
+  EXPECT_EQ(hw4.rows(), 24U);
+  EXPECT_EQ(hw4.cols(), 16U);
+}
+
+TEST_F(WindowScenario, OwnCouplingsOnlyBetweenAdjacentOrders) {
+  for (std::uint32_t ri = 0; ri < 3; ++ri) {
+    for (std::uint32_t rk = 0; rk < 3; ++rk) {
+      for (std::uint32_t si = 0; si < 3; ++si) {
+        for (std::uint32_t sk = 0; sk < 3; ++sk) {
+          const std::uint8_t w =
+              weight(builder_.own_row(ri, rk), builder_.col(si, sk));
+          const bool adjacent = (ri + 1 == si) || (si + 1 == ri);
+          if (!adjacent || rk == sk) {
+            EXPECT_EQ(w, 0U) << ri << rk << si << sk;
+          }
+        }
+      }
+    }
+  }
+  // Spot-check a present coupling: member A at order 0 ↔ member B at
+  // order 1 must carry d(A,B)=10 in both directions.
+  EXPECT_EQ(weight(builder_.own_row(0, 0), builder_.col(1, 1)), 10U);
+  EXPECT_EQ(weight(builder_.own_row(1, 1), builder_.col(0, 0)), 10U);
+}
+
+TEST_F(WindowScenario, BoundaryRowsTargetFirstAndLastOrderOnly) {
+  for (std::uint32_t j = 0; j < shape_.p_prev; ++j) {
+    for (std::uint32_t si = 0; si < 3; ++si) {
+      for (std::uint32_t sk = 0; sk < 3; ++sk) {
+        const std::uint8_t w = weight(builder_.prev_row(j),
+                                      builder_.col(si, sk));
+        if (si != 0) EXPECT_EQ(w, 0U);
+      }
+    }
+  }
+  for (std::uint32_t j = 0; j < shape_.p_next; ++j) {
+    for (std::uint32_t si = 0; si < 3; ++si) {
+      for (std::uint32_t sk = 0; sk < 3; ++sk) {
+        const std::uint8_t w = weight(builder_.next_row(j),
+                                      builder_.col(si, sk));
+        if (si != 2) EXPECT_EQ(w, 0U);
+      }
+    }
+  }
+  EXPECT_EQ(weight(builder_.prev_row(1), builder_.col(0, 2)), 19U);
+  EXPECT_EQ(weight(builder_.next_row(2), builder_.col(2, 0)), 50U);
+}
+
+// The MAC of a column must equal the spin's local energy: distance to the
+// members at adjacent orders (or boundary members for edge orders).
+TEST_F(WindowScenario, MacComputesLocalEnergy) {
+  auto storage = make_fast_storage(shape_.rows(), shape_.cols(), nullptr, 0);
+  storage->write(image_);
+
+  // Permutation: order 0 → member B(1), order 1 → A(0), order 2 → C(2).
+  // Prev boundary = P1 (index 1), next boundary = S0 (index 0).
+  std::vector<std::uint8_t> input(shape_.rows(), 0);
+  input[builder_.own_row(0, 1)] = 1;
+  input[builder_.own_row(1, 0)] = 1;
+  input[builder_.own_row(2, 2)] = 1;
+  input[builder_.prev_row(1)] = 1;
+  input[builder_.next_row(0)] = 1;
+
+  // Local energy of spin (order 0, member B): d(P1,B) + d(B,A) = 18+10.
+  EXPECT_EQ(storage->mac(builder_.col(0, 1), input), 28);
+  // Spin (order 1, member A): d(B,A) + d(A,C) = 10+20.
+  EXPECT_EQ(storage->mac(builder_.col(1, 0), input), 30);
+  // Spin (order 2, member C): d(A,C) + d(S0,C) = 20+32.
+  EXPECT_EQ(storage->mac(builder_.col(2, 2), input), 52);
+}
+
+// The paper's key §III.B argument: after compact relocation, an analog
+// array would sum the ENTIRE physical column — including rows that belong
+// to other (relocated) windows stacked above/below — and produce a wrong
+// energy, while the digital adder tree sums only this window's section.
+TEST_F(WindowScenario, AnalogFullColumnSumIsWrongAfterRelocation) {
+  // Simulate two windows sharing a physical column: our window's section
+  // plus a second window's section stacked below with its own (active)
+  // inputs.
+  auto upper = make_fast_storage(shape_.rows(), shape_.cols(), nullptr, 0);
+  upper->write(image_);
+  auto lower = make_fast_storage(shape_.rows(), shape_.cols(), nullptr, 1000);
+  lower->write(image_);
+
+  std::vector<std::uint8_t> input_upper(shape_.rows(), 0);
+  input_upper[builder_.own_row(0, 1)] = 1;
+  input_upper[builder_.own_row(1, 0)] = 1;
+  input_upper[builder_.own_row(2, 2)] = 1;
+  input_upper[builder_.prev_row(1)] = 1;
+  input_upper[builder_.next_row(0)] = 1;
+  const std::vector<std::uint8_t> input_lower = input_upper;
+
+  // Digital: sectioned sums, each window independent and correct.
+  const auto digital_upper = upper->mac(builder_.col(0, 1), input_upper);
+  EXPECT_EQ(digital_upper, 28);
+
+  // Analog: the column current accumulates across both sections.
+  const auto analog = upper->mac(builder_.col(0, 1), input_upper) +
+                      lower->mac(builder_.col(0, 1), input_lower);
+  EXPECT_NE(analog, digital_upper);
+  EXPECT_EQ(analog, 2 * 28);  // corrupted by the other window's section
+}
+
+TEST(WindowBuilder, SingleMemberCluster) {
+  // p=1: no own couplings, only boundary rows into the single column.
+  WindowBuilder builder(WindowShape{1, 1, 1});
+  builder.set_prev_distance(0, 0, 11);
+  builder.set_next_distance(0, 0, 22);
+  const auto image = builder.build();
+  ASSERT_EQ(image.size(), 3U);  // (1+1+1) rows × 1 col
+  EXPECT_EQ(image[0], 0U);      // own row: no self coupling
+  EXPECT_EQ(image[1], 11U);
+  EXPECT_EQ(image[2], 22U);
+}
+
+TEST(WindowBuilder, InvalidShapeThrows) {
+  EXPECT_THROW(WindowBuilder(WindowShape{0, 1, 1}), cim::ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::hw

@@ -1,0 +1,146 @@
+// Lightweight fuzzing: randomly mutated inputs and random operation
+// sequences must never crash, corrupt state, or escape the typed
+// exception hierarchy. (Deterministic seeds — these run in CI, not as an
+// open-ended fuzzer.)
+#include <gtest/gtest.h>
+
+#include "cim/storage.hpp"
+#include "noise/sram_model.hpp"
+#include "tsp/tour_io.hpp"
+#include "tsp/tsplib.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim {
+namespace {
+
+const std::string kValidTsp =
+    "NAME : fuzz\nTYPE : TSP\nDIMENSION : 5\nEDGE_WEIGHT_TYPE : EUC_2D\n"
+    "NODE_COORD_SECTION\n1 0 0\n2 1 0\n3 2 1\n4 0 2\n5 3 3\nEOF\n";
+
+/// Applies `count` random single-character mutations.
+std::string mutate(const std::string& base, util::Rng& rng,
+                   std::size_t count) {
+  std::string text = base;
+  for (std::size_t m = 0; m < count && !text.empty(); ++m) {
+    const std::size_t pos = rng.below(text.size());
+    switch (rng.below(3)) {
+      case 0:  // replace
+        text[pos] = static_cast<char>(rng.range(32, 126));
+        break;
+      case 1:  // delete
+        text.erase(pos, 1);
+        break;
+      default:  // insert
+        text.insert(pos, 1, static_cast<char>(rng.range(32, 126)));
+    }
+  }
+  return text;
+}
+
+TEST(Fuzz, TsplibParserNeverEscapesTypedErrors) {
+  util::Rng rng(0xF022);
+  std::size_t parsed_ok = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto text = mutate(kValidTsp, rng, 1 + rng.below(8));
+    try {
+      const auto inst = tsp::parse_tsplib(text);
+      // If it parsed, the instance must be internally consistent.
+      EXPECT_GE(inst.size(), 1U);
+      EXPECT_LE(inst.distance(0, 0), 0);
+      ++parsed_ok;
+    } catch (const Error&) {
+      // Typed rejection is the expected outcome for most mutations.
+    }
+  }
+  // Small mutations often leave the file valid; both paths must occur.
+  EXPECT_GT(parsed_ok, 0U);
+}
+
+TEST(Fuzz, TourParserNeverEscapesTypedErrors) {
+  const std::string valid =
+      "TYPE : TOUR\nDIMENSION : 4\nTOUR_SECTION\n1\n2\n3\n4\n-1\nEOF\n";
+  util::Rng rng(0xF033);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto text = mutate(valid, rng, 1 + rng.below(6));
+    try {
+      const auto tour = tsp::parse_tour(text);
+      EXPECT_TRUE(tour.is_valid(tour.size()));
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, StorageRandomOperationSequences) {
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 0xF044);
+  util::Rng rng(0xF055);
+  for (int round = 0; round < 20; ++round) {
+    const auto rows = static_cast<std::uint32_t>(rng.range(1, 24));
+    const auto cols = static_cast<std::uint32_t>(rng.range(1, 16));
+    const auto bits = static_cast<std::uint32_t>(rng.range(1, 8));
+    auto storage = rng.chance(0.5)
+                       ? hw::make_fast_storage(rows, cols, &model,
+                                               rng(), bits)
+                       : hw::make_bit_level_storage(rows, cols, &model,
+                                                    rng(), bits);
+    // Write a valid image first (write_back before write is a separate,
+    // tested invariant).
+    std::vector<std::uint8_t> image(
+        static_cast<std::size_t>(rows) * cols);
+    for (auto& w : image) {
+      w = static_cast<std::uint8_t>(rng.below(1U << bits));
+    }
+    storage->write(image);
+
+    for (int op = 0; op < 50; ++op) {
+      switch (rng.below(3)) {
+        case 0: {
+          noise::SchedulePhase phase;
+          phase.epoch = rng.below(16);
+          phase.vdd = rng.uniform(0.18, 0.8);
+          phase.noisy_lsbs = static_cast<unsigned>(rng.below(bits + 1));
+          storage->write_back(phase);
+          break;
+        }
+        case 1: {
+          std::vector<std::uint8_t> input(rows);
+          for (auto& b : input) b = rng.chance(0.5) ? 1 : 0;
+          const auto col = static_cast<std::uint32_t>(rng.below(cols));
+          const std::int64_t value = storage->mac(col, input);
+          EXPECT_GE(value, 0);
+          EXPECT_LE(value, static_cast<std::int64_t>(rows) * 255);
+          break;
+        }
+        default: {
+          const auto r = static_cast<std::uint32_t>(rng.below(rows));
+          const auto c = static_cast<std::uint32_t>(rng.below(cols));
+          EXPECT_LT(storage->weight(r, c), 1U << bits);
+        }
+      }
+    }
+  }
+}
+
+TEST(Fuzz, InstanceRoundTripUnderMutationSurvivors) {
+  // Any mutated file the parser accepts must round-trip through the
+  // writer (write → parse → identical distances).
+  util::Rng rng(0xF066);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto text = mutate(kValidTsp, rng, 1 + rng.below(4));
+    try {
+      const auto inst = tsp::parse_tsplib(text);
+      if (!inst.has_coords()) continue;
+      const auto back = tsp::parse_tsplib(tsp::write_tsplib(inst));
+      ASSERT_EQ(back.size(), inst.size());
+      for (tsp::CityId a = 0; a < inst.size(); ++a) {
+        for (tsp::CityId b = 0; b < inst.size(); ++b) {
+          EXPECT_EQ(back.distance(a, b), inst.distance(a, b));
+        }
+      }
+    } catch (const Error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cim

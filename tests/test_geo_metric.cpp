@@ -1,0 +1,126 @@
+#include "geo/metric.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cim::geo {
+namespace {
+
+TEST(Metric, ParseRoundTrip) {
+  for (const Metric m :
+       {Metric::kEuc2D, Metric::kCeil2D, Metric::kAtt, Metric::kGeo,
+        Metric::kMan2D, Metric::kMax2D, Metric::kExplicit}) {
+    EXPECT_EQ(parse_metric(metric_name(m)), m);
+  }
+}
+
+TEST(Metric, ParseUnknownThrows) {
+  EXPECT_THROW(parse_metric("EUC_3D"), ParseError);
+  EXPECT_THROW(parse_metric(""), ParseError);
+}
+
+TEST(Metric, Euc2dRoundsToNearest) {
+  // 3-4-5 triangle: exact 5.
+  EXPECT_EQ(tsplib_distance(Metric::kEuc2D, {0, 0}, {3, 4}), 5);
+  // sqrt(2) = 1.414 → 1.
+  EXPECT_EQ(tsplib_distance(Metric::kEuc2D, {0, 0}, {1, 1}), 1);
+  // sqrt(8) = 2.828 → 3.
+  EXPECT_EQ(tsplib_distance(Metric::kEuc2D, {0, 0}, {2, 2}), 3);
+}
+
+TEST(Metric, Ceil2dRoundsUp) {
+  EXPECT_EQ(tsplib_distance(Metric::kCeil2D, {0, 0}, {1, 1}), 2);
+  EXPECT_EQ(tsplib_distance(Metric::kCeil2D, {0, 0}, {3, 4}), 5);
+}
+
+TEST(Metric, ManhattanAndChebyshev) {
+  EXPECT_EQ(tsplib_distance(Metric::kMan2D, {0, 0}, {3, 4}), 7);
+  EXPECT_EQ(tsplib_distance(Metric::kMax2D, {0, 0}, {3, 4}), 4);
+}
+
+TEST(Metric, AttPseudoEuclidean) {
+  // TSPLIB: rij = sqrt((dx²+dy²)/10), tij = round(rij), +1 if tij < rij.
+  // dx=10, dy=0 → rij = sqrt(10) = 3.162 → tij = 3 < rij → 4.
+  EXPECT_EQ(tsplib_distance(Metric::kAtt, {0, 0}, {10, 0}), 4);
+  // dx=30, dy=40 → rij = sqrt(250)=15.81 → tij=16 ≥ rij → 16.
+  EXPECT_EQ(tsplib_distance(Metric::kAtt, {0, 0}, {30, 40}), 16);
+}
+
+TEST(Metric, GeoKnownDistance) {
+  // One degree of longitude along the equator:
+  // 2π·6378.388/360 ≈ 111.3 km; TSPLIB's +1.0 truncation gives 111.
+  const long long d = tsplib_distance(Metric::kGeo, {0.0, 0.0}, {0.0, 1.0});
+  EXPECT_GE(d, 111);
+  EXPECT_LE(d, 112);
+}
+
+TEST(Metric, GeoMinutesEncoding) {
+  // x = DDD.MM: 10.30 means 10 degrees 30 minutes = 10.5 degrees.
+  // Compare two encodings of the same point: distance must be 0-ish.
+  const long long d =
+      tsplib_distance(Metric::kGeo, {10.30, 20.30}, {10.30, 20.30});
+  EXPECT_EQ(d, 1);  // acos rounding in TSPLIB gives the +1.0 floor
+}
+
+TEST(Metric, SymmetryProperty) {
+  const Point a{12.5, -7.25};
+  const Point b{-3.0, 41.0};
+  for (const Metric m : {Metric::kEuc2D, Metric::kCeil2D, Metric::kAtt,
+                         Metric::kMan2D, Metric::kMax2D}) {
+    EXPECT_EQ(tsplib_distance(m, a, b), tsplib_distance(m, b, a));
+  }
+}
+
+TEST(Metric, TriangleInequalityEuc) {
+  const Point a{0, 0};
+  const Point b{100, 17};
+  const Point c{43, 91};
+  // Rounded metrics can violate the triangle inequality by ±1; allow it.
+  EXPECT_LE(tsplib_distance(Metric::kEuc2D, a, c),
+            tsplib_distance(Metric::kEuc2D, a, b) +
+                tsplib_distance(Metric::kEuc2D, b, c) + 1);
+}
+
+TEST(Metric, ExplicitDistanceThrows) {
+  EXPECT_THROW(tsplib_distance(Metric::kExplicit, {0, 0}, {1, 1}),
+               Error);
+  EXPECT_THROW(continuous_distance(Metric::kExplicit, {0, 0}, {1, 1}),
+               Error);
+}
+
+TEST(Metric, ContinuousMatchesShape) {
+  const Point a{0, 0};
+  const Point b{3, 4};
+  EXPECT_DOUBLE_EQ(continuous_distance(Metric::kEuc2D, a, b), 5.0);
+  EXPECT_DOUBLE_EQ(continuous_distance(Metric::kCeil2D, a, b), 5.0);
+  EXPECT_DOUBLE_EQ(continuous_distance(Metric::kMan2D, a, b), 7.0);
+  EXPECT_DOUBLE_EQ(continuous_distance(Metric::kMax2D, a, b), 4.0);
+  EXPECT_NEAR(continuous_distance(Metric::kAtt, a, b), std::sqrt(2.5),
+              1e-12);
+}
+
+TEST(BoundingBox, ExpandAndDistance) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  box.expand({0, 0});
+  box.expand({10, 20});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.width(), 10.0);
+  EXPECT_DOUBLE_EQ(box.height(), 20.0);
+  EXPECT_DOUBLE_EQ(box.squared_distance_to({5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.squared_distance_to({13, 24}), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(box.center().x, 5.0);
+}
+
+TEST(Centroid, WeightedAverage) {
+  const std::vector<Point> pts{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  const Point c = centroid(pts);
+  EXPECT_DOUBLE_EQ(c.x, 5.0);
+  EXPECT_DOUBLE_EQ(c.y, 5.0);
+}
+
+}  // namespace
+}  // namespace cim::geo

@@ -1,0 +1,76 @@
+// Shared fixtures and builders for the cimanneal test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+#include "util/random.hpp"
+
+namespace cim::test {
+
+/// Uniform random EUC_2D instance with a fixed seed.
+inline tsp::Instance random_instance(std::size_t n, std::uint64_t seed,
+                                     double extent = 1000.0) {
+  util::Rng rng(seed);
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) {
+    p = {rng.uniform(0.0, extent), rng.uniform(0.0, extent)};
+  }
+  return tsp::Instance("rand" + std::to_string(n), geo::Metric::kEuc2D,
+                       std::move(pts));
+}
+
+/// Cities on a w×h unit grid (known optimal structure for even w or h:
+/// boustrophedon tour of length w*h when spacing is 1... used for sanity,
+/// not exact checks).
+inline tsp::Instance grid_instance(std::size_t w, std::size_t h,
+                                   double spacing = 10.0) {
+  std::vector<geo::Point> pts;
+  pts.reserve(w * h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      pts.push_back({static_cast<double>(x) * spacing,
+                     static_cast<double>(y) * spacing});
+    }
+  }
+  return tsp::Instance("grid" + std::to_string(w) + "x" + std::to_string(h),
+                       geo::Metric::kEuc2D, std::move(pts));
+}
+
+/// Cities evenly spaced on a circle: the optimal tour is the hull order
+/// 0,1,...,n-1 — exact ground truth for solver tests.
+inline tsp::Instance circle_instance(std::size_t n, double radius = 1000.0) {
+  std::vector<geo::Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle =
+        2.0 * 3.141592653589793 * static_cast<double>(i) /
+        static_cast<double>(n);
+    pts[i] = {radius * std::cos(angle), radius * std::sin(angle)};
+  }
+  return tsp::Instance("circle" + std::to_string(n), geo::Metric::kEuc2D,
+                       std::move(pts));
+}
+
+/// Explicit-matrix instance mirroring a coordinate instance (for metric
+/// cross-checks).
+inline tsp::Instance to_explicit(const tsp::Instance& src) {
+  const std::size_t n = src.size();
+  std::vector<long long> m(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m[i * n + j] = src.distance(static_cast<tsp::CityId>(i),
+                                  static_cast<tsp::CityId>(j));
+    }
+  }
+  return tsp::Instance(src.name() + "_explicit", std::move(m), n);
+}
+
+/// Length of the identity tour 0..n-1 (circle optimum).
+inline long long identity_length(const tsp::Instance& instance) {
+  return tsp::Tour::identity(instance.size()).length(instance);
+}
+
+}  // namespace cim::test

@@ -1,0 +1,98 @@
+#include "heuristics/construct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "heuristics/exact.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::heuristics {
+namespace {
+
+TEST(NearestNeighbor, ProducesValidTour) {
+  const auto inst = test::random_instance(200, 1);
+  const auto tour = nearest_neighbor(inst);
+  EXPECT_TRUE(tour.is_valid(200));
+  EXPECT_EQ(tour.at(0), 0U);
+}
+
+TEST(NearestNeighbor, RespectsStartCity) {
+  const auto inst = test::random_instance(50, 2);
+  const auto tour = nearest_neighbor(inst, 17);
+  EXPECT_TRUE(tour.is_valid(50));
+  EXPECT_EQ(tour.at(0), 17U);
+}
+
+TEST(NearestNeighbor, StartOutOfRangeThrows) {
+  const auto inst = test::random_instance(10, 3);
+  EXPECT_THROW(nearest_neighbor(inst, 10), ConfigError);
+}
+
+TEST(NearestNeighbor, BeatsRandomTour) {
+  const auto inst = test::random_instance(300, 4);
+  const auto nn = nearest_neighbor(inst);
+  const auto rnd = random_tour(inst, 99);
+  EXPECT_LT(nn.length(inst), rnd.length(inst));
+}
+
+TEST(NearestNeighbor, ExplicitMatrixAgreesWithCoords) {
+  const auto base = test::random_instance(40, 5);
+  const auto expl = test::to_explicit(base);
+  EXPECT_EQ(nearest_neighbor(base).length(base),
+            nearest_neighbor(expl).length(expl));
+}
+
+TEST(NearestNeighbor, OptimalOnCircle) {
+  // On a circle NN from any start walks around the hull = optimal.
+  const auto inst = test::circle_instance(30);
+  const auto tour = nearest_neighbor(inst);
+  EXPECT_EQ(tour.length(inst), test::identity_length(inst));
+}
+
+TEST(GreedyEdge, ProducesValidTour) {
+  const auto inst = test::random_instance(300, 6);
+  const auto tour = greedy_edge(inst);
+  EXPECT_TRUE(tour.is_valid(300));
+}
+
+TEST(GreedyEdge, TypicallyBeatsNearestNeighbor) {
+  // Property over several seeds: greedy edge wins on average.
+  long long greedy_total = 0;
+  long long nn_total = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = test::random_instance(250, 100 + seed);
+    greedy_total += greedy_edge(inst).length(inst);
+    nn_total += nearest_neighbor(inst).length(inst);
+  }
+  EXPECT_LT(greedy_total, nn_total);
+}
+
+TEST(GreedyEdge, SmallInstances) {
+  for (std::size_t n : {1U, 2U, 3U, 4U, 5U}) {
+    const auto inst = test::random_instance(n, n);
+    const auto tour = greedy_edge(inst);
+    EXPECT_TRUE(tour.is_valid(n)) << "n=" << n;
+  }
+}
+
+TEST(GreedyEdge, NearOptimalOnSmall) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = test::random_instance(9, 40 + seed);
+    const auto greedy = greedy_edge(inst);
+    const auto optimal = held_karp(inst);
+    EXPECT_LE(greedy.length(inst), optimal.length(inst) * 13 / 10);
+  }
+}
+
+TEST(RandomTour, ValidAndSeedDeterministic) {
+  const auto inst = test::random_instance(64, 7);
+  const auto a = random_tour(inst, 5);
+  const auto b = random_tour(inst, 5);
+  const auto c = random_tour(inst, 6);
+  EXPECT_TRUE(a.is_valid(64));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace cim::heuristics

@@ -1,0 +1,107 @@
+#include "heuristics/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "heuristics/construct.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::heuristics {
+namespace {
+
+class ExactSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExactSizes, HeldKarpMatchesBruteForce) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto inst = test::random_instance(n, n * 11 + seed);
+    const auto hk = held_karp(inst);
+    const auto bf = brute_force(inst);
+    EXPECT_TRUE(hk.is_valid(n));
+    EXPECT_TRUE(bf.is_valid(n));
+    EXPECT_EQ(hk.length(inst), bf.length(inst)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExactSizes,
+                         ::testing::Values<std::size_t>(4, 5, 6, 7, 8, 9,
+                                                        10));
+
+TEST(HeldKarp, OptimalOnCircle) {
+  const auto inst = test::circle_instance(12);
+  const auto tour = held_karp(inst);
+  EXPECT_EQ(tour.length(inst), test::identity_length(inst));
+}
+
+TEST(HeldKarp, NoWorseThanAnyHeuristic) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto inst = test::random_instance(12, 500 + seed);
+    const auto optimal = held_karp(inst);
+    EXPECT_LE(optimal.length(inst), nearest_neighbor(inst).length(inst));
+    EXPECT_LE(optimal.length(inst), greedy_edge(inst).length(inst));
+  }
+}
+
+TEST(HeldKarp, ExplicitMatrixAgrees) {
+  const auto base = test::random_instance(9, 13);
+  const auto expl = test::to_explicit(base);
+  EXPECT_EQ(held_karp(base).length(base), held_karp(expl).length(expl));
+}
+
+TEST(HeldKarp, TinyInstances) {
+  for (std::size_t n : {1U, 2U, 3U}) {
+    const auto inst = test::random_instance(n, n);
+    const auto tour = held_karp(inst);
+    EXPECT_TRUE(tour.is_valid(n));
+  }
+}
+
+TEST(HeldKarp, SizeLimitEnforced) {
+  const auto inst = test::random_instance(21, 1);
+  EXPECT_THROW(held_karp(inst), ConfigError);
+}
+
+TEST(BruteForce, SizeLimitEnforced) {
+  const auto inst = test::random_instance(13, 1);
+  EXPECT_THROW(brute_force(inst), ConfigError);
+}
+
+TEST(OptimalPath, MatchesExhaustiveOnSmall) {
+  const auto inst = test::random_instance(8, 77);
+  // Path 0 → {1..6 in some order} → 7; exhaust over permutations.
+  std::vector<tsp::CityId> cities{0, 1, 2, 3, 4, 5, 6, 7};
+  const long long dp = optimal_path_length(inst, cities);
+
+  std::vector<tsp::CityId> mid{1, 2, 3, 4, 5, 6};
+  std::sort(mid.begin(), mid.end());
+  long long best = std::numeric_limits<long long>::max();
+  do {
+    long long len = inst.distance(0, mid.front());
+    for (std::size_t i = 0; i + 1 < mid.size(); ++i) {
+      len += inst.distance(mid[i], mid[i + 1]);
+    }
+    len += inst.distance(mid.back(), 7);
+    best = std::min(best, len);
+  } while (std::next_permutation(mid.begin(), mid.end()));
+  EXPECT_EQ(dp, best);
+}
+
+TEST(OptimalPath, TwoCitiesIsDirectDistance) {
+  const auto inst = test::random_instance(5, 3);
+  EXPECT_EQ(optimal_path_length(inst, {1, 4}), inst.distance(1, 4));
+}
+
+TEST(OptimalPath, Validation) {
+  const auto inst = test::random_instance(25, 4);
+  EXPECT_THROW(optimal_path_length(inst, {0}), ConfigError);
+  std::vector<tsp::CityId> too_many(21);
+  for (tsp::CityId i = 0; i < 21; ++i) too_many[i] = i;
+  EXPECT_THROW(optimal_path_length(inst, too_many), ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::heuristics

@@ -1,0 +1,95 @@
+#include "heuristics/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "heuristics/exact.hpp"
+#include "heuristics/reference.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::heuristics {
+namespace {
+
+TEST(LowerBound, MstWeightByHand) {
+  // Path 0-1-2 on a line: MST = 10 + 10.
+  const tsp::Instance line("line", geo::Metric::kEuc2D,
+                           {{0, 0}, {10, 0}, {20, 0}});
+  EXPECT_DOUBLE_EQ(mst_weight(line), 20.0);
+}
+
+TEST(LowerBound, MstIsBelowOptimalTour) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto inst = test::random_instance(10, 300 + seed);
+    const auto optimal = held_karp(inst);
+    EXPECT_LT(mst_weight(inst),
+              static_cast<double>(optimal.length(inst)) + 1e-9);
+  }
+}
+
+class BoundSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BoundSizes, BoundIsValidAndTight) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto inst = test::random_instance(n, 400 + seed * 7 + n);
+    const auto optimal = held_karp(inst);
+    const auto opt_len = static_cast<double>(optimal.length(inst));
+    const auto lb = held_karp_lower_bound(inst);
+    // Valid: never above the optimum (rounding slack of 1 per edge).
+    EXPECT_LE(lb.bound, opt_len + 1e-6) << "n=" << n << " seed=" << seed;
+    // Tight: ascent reaches >= 90% of optimum on small Euclidean sets.
+    EXPECT_GE(lb.bound, 0.90 * opt_len) << "n=" << n << " seed=" << seed;
+    // Ascent never loses to the plain 1-tree.
+    EXPECT_GE(lb.bound, lb.plain_one_tree - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoundSizes,
+                         ::testing::Values<std::size_t>(6, 9, 12, 15));
+
+TEST(LowerBound, AscentImprovesPlainOneTree) {
+  const auto inst = test::random_instance(60, 11);
+  LowerBoundOptions no_ascent;
+  no_ascent.iterations = 0;
+  const auto plain = held_karp_lower_bound(inst, no_ascent);
+  const auto full = held_karp_lower_bound(inst);
+  EXPECT_GT(full.bound, plain.bound);
+}
+
+TEST(LowerBound, CircleBoundIsNearExact) {
+  // On a circle the optimal tour is the hull; the HK bound is very tight.
+  const auto inst = test::circle_instance(40);
+  const auto lb = held_karp_lower_bound(inst);
+  const auto opt = static_cast<double>(test::identity_length(inst));
+  EXPECT_GE(lb.bound, 0.97 * opt);
+  EXPECT_LE(lb.bound, opt + 1e-6);
+}
+
+TEST(LowerBound, BracketsHeuristicReference) {
+  // bound ≤ optimum ≤ reference: the certified sandwich used to validate
+  // optimal ratios on synthetic instances.
+  const auto inst = test::random_instance(300, 13);
+  const auto reference = compute_heuristic_reference(inst);
+  const auto lb = held_karp_lower_bound(inst);
+  EXPECT_LE(lb.bound, static_cast<double>(reference.length));
+  // And the reference is within a few percent of the bound.
+  EXPECT_LE(static_cast<double>(reference.length), 1.10 * lb.bound);
+}
+
+TEST(LowerBound, SizeLimitEnforced) {
+  const auto inst = test::random_instance(50, 14);
+  LowerBoundOptions options;
+  options.max_cities = 10;
+  EXPECT_THROW(held_karp_lower_bound(inst, options), ConfigError);
+}
+
+TEST(LowerBound, ExplicitMatrixSupported) {
+  const auto base = test::random_instance(12, 15);
+  const auto expl = test::to_explicit(base);
+  const auto a = held_karp_lower_bound(base);
+  const auto b = held_karp_lower_bound(expl);
+  EXPECT_NEAR(a.bound, b.bound, 1e-9);
+}
+
+}  // namespace
+}  // namespace cim::heuristics

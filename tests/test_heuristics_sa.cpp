@@ -1,0 +1,95 @@
+#include "heuristics/sa_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "heuristics/construct.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::heuristics {
+namespace {
+
+TEST(SaBaseline, ImprovesRandomTour) {
+  const auto inst = test::random_instance(200, 1);
+  const auto initial = random_tour(inst, 2);
+  SaOptions opt;
+  opt.sweeps = 100;
+  const auto result = simulated_annealing(inst, initial, opt);
+  EXPECT_LT(result.final_length, result.initial_length);
+  EXPECT_TRUE(result.tour.is_valid(200));
+  EXPECT_EQ(result.final_length, result.tour.length(inst));
+}
+
+TEST(SaBaseline, SeedDeterminism) {
+  const auto inst = test::random_instance(100, 3);
+  const auto initial = random_tour(inst, 4);
+  SaOptions opt;
+  opt.sweeps = 50;
+  opt.seed = 77;
+  const auto a = simulated_annealing(inst, initial, opt);
+  const auto b = simulated_annealing(inst, initial, opt);
+  EXPECT_EQ(a.final_length, b.final_length);
+  EXPECT_EQ(a.tour, b.tour);
+  opt.seed = 78;
+  const auto c = simulated_annealing(inst, initial, opt);
+  EXPECT_NE(a.tour, c.tour);
+}
+
+TEST(SaBaseline, TraceHasOneEntryPerSweep) {
+  const auto inst = test::random_instance(80, 5);
+  SaOptions opt;
+  opt.sweeps = 37;
+  const auto result = simulated_annealing(inst, random_tour(inst, 1), opt);
+  EXPECT_EQ(result.trace.size(), 37U);
+  // Converging: the last recorded length is below the first.
+  EXPECT_LT(result.trace.back(), result.trace.front());
+}
+
+TEST(SaBaseline, TraceDisabled) {
+  const auto inst = test::random_instance(60, 6);
+  SaOptions opt;
+  opt.sweeps = 10;
+  opt.record_trace = false;
+  const auto result = simulated_annealing(inst, random_tour(inst, 1), opt);
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(SaBaseline, AcceptanceCountsConsistent) {
+  const auto inst = test::random_instance(100, 7);
+  SaOptions opt;
+  opt.sweeps = 20;
+  const auto result = simulated_annealing(inst, random_tour(inst, 2), opt);
+  EXPECT_EQ(result.attempted, 20U * 100U);
+  EXPECT_LE(result.accepted, result.attempted);
+  EXPECT_GT(result.accepted, 0U);
+}
+
+TEST(SaBaseline, InvalidInitialTourThrows) {
+  const auto inst = test::random_instance(10, 8);
+  EXPECT_THROW(
+      simulated_annealing(inst, tsp::Tour({0, 1, 2}), SaOptions{}),
+      ConfigError);
+}
+
+TEST(SaBaseline, TinyInstanceNoCrash) {
+  const auto inst = test::random_instance(3, 9);
+  const auto result =
+      simulated_annealing(inst, tsp::Tour::identity(3), SaOptions{});
+  EXPECT_TRUE(result.tour.is_valid(3));
+}
+
+TEST(SaBaseline, HotterStartAcceptsMore) {
+  const auto inst = test::random_instance(150, 11);
+  const auto initial = nearest_neighbor(inst);
+  SaOptions cold;
+  cold.sweeps = 20;
+  cold.t_start_factor = 0.001;
+  SaOptions hot = cold;
+  hot.t_start_factor = 2.0;
+  const auto cold_result = simulated_annealing(inst, initial, cold);
+  const auto hot_result = simulated_annealing(inst, initial, hot);
+  EXPECT_GT(hot_result.accepted, cold_result.accepted);
+}
+
+}  // namespace
+}  // namespace cim::heuristics

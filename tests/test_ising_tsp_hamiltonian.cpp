@@ -1,0 +1,134 @@
+#include "ising/tsp_hamiltonian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "heuristics/construct.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::ising {
+namespace {
+
+TEST(TspHamiltonian, ObjectiveEqualsTourLength) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = test::random_instance(8, 200 + seed);
+    const TspHamiltonian h(inst);
+    const auto tour = heuristics::random_tour(inst, seed);
+    const auto sigma = h.assignment_from_tour(tour);
+    EXPECT_DOUBLE_EQ(h.objective(sigma),
+                     static_cast<double>(tour.length(inst)));
+  }
+}
+
+TEST(TspHamiltonian, FeasibleAssignmentHasZeroPenalty) {
+  const auto inst = test::random_instance(6, 1);
+  const TspHamiltonian h(inst);
+  const auto sigma =
+      h.assignment_from_tour(heuristics::random_tour(inst, 3));
+  EXPECT_TRUE(h.feasible(sigma));
+  EXPECT_DOUBLE_EQ(h.penalty(sigma), 0.0);
+  EXPECT_DOUBLE_EQ(h.energy(sigma), h.objective(sigma));
+}
+
+TEST(TspHamiltonian, InfeasiblePenaltyDominates) {
+  const auto inst = test::random_instance(5, 2);
+  const TspHamiltonian h(inst);
+  auto sigma = h.assignment_from_tour(tsp::Tour::identity(5));
+  // Visit city 3 twice (also at order 0).
+  sigma[TspHamiltonian::spin_index(0, 3, 5)] = 1;
+  EXPECT_FALSE(h.feasible(sigma));
+  EXPECT_GT(h.penalty(sigma), 0.0);
+  // The auto-scaled b/c penalties exceed any single tour edge.
+  EXPECT_GT(h.penalty(sigma),
+            static_cast<double>(inst.distance_upper_bound()));
+}
+
+TEST(TspHamiltonian, AllZeroAssignmentPenalty) {
+  const auto inst = test::random_instance(4, 3);
+  const TspHamiltonian h(inst, {1.0, 10.0, 20.0});
+  const std::vector<std::uint8_t> sigma(16, 0);
+  // Each of the 4 order rows and 4 city columns misses its one-hot by 1.
+  EXPECT_DOUBLE_EQ(h.penalty(sigma), 4.0 * 10.0 + 4.0 * 20.0);
+}
+
+TEST(TspHamiltonian, TourRoundTrip) {
+  const auto inst = test::random_instance(9, 4);
+  const TspHamiltonian h(inst);
+  const auto tour = heuristics::random_tour(inst, 9);
+  const auto sigma = h.assignment_from_tour(tour);
+  const auto back = h.tour_from_assignment(sigma);
+  EXPECT_EQ(back, tour);
+}
+
+TEST(TspHamiltonian, InfeasibleRoundTripThrows) {
+  const auto inst = test::random_instance(4, 5);
+  const TspHamiltonian h(inst);
+  const std::vector<std::uint8_t> sigma(16, 0);
+  EXPECT_THROW(h.tour_from_assignment(sigma), ConfigError);
+}
+
+TEST(TspHamiltonian, LocalEnergyIsAdjacentDistanceSum) {
+  const auto inst = test::random_instance(7, 6);
+  const TspHamiltonian h(inst);
+  const auto tour = heuristics::random_tour(inst, 11);
+  const auto sigma = h.assignment_from_tour(tour);
+  for (std::size_t order = 0; order < 7; ++order) {
+    const tsp::CityId city = tour.at(order);
+    const tsp::CityId prev = tour.predecessor(order);
+    const tsp::CityId next = tour.successor(order);
+    const double expected = static_cast<double>(
+        inst.distance(city, prev) + inst.distance(city, next));
+    EXPECT_DOUBLE_EQ(h.local_energy(sigma, order, city), expected);
+  }
+}
+
+TEST(TspHamiltonian, LocalEnergyZeroForUnsetSpin) {
+  const auto inst = test::random_instance(5, 7);
+  const TspHamiltonian h(inst);
+  const auto sigma = h.assignment_from_tour(tsp::Tour::identity(5));
+  // Spin (0, 3) is 0 in the identity assignment (city 0 is at order 0).
+  EXPECT_DOUBLE_EQ(h.local_energy(sigma, 0, 3), 0.0);
+}
+
+TEST(TspHamiltonian, SwapDeltaViaLocalEnergies) {
+  // The paper's 4-spin swap evaluation: ΔH = H(σ'_il)+H(σ'_jk)
+  // −H(σ_ik)−H(σ_jl) must equal the true objective change.
+  const auto inst = test::random_instance(10, 8);
+  const TspHamiltonian h(inst);
+  util::Rng rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto tour = heuristics::random_tour(inst, 100 + trial);
+    auto sigma = h.assignment_from_tour(tour);
+    const double before_obj = h.objective(sigma);
+
+    const auto i = static_cast<std::size_t>(rng.below(10));
+    auto j = static_cast<std::size_t>(rng.below(9));
+    if (j >= i) ++j;
+    const tsp::CityId k = tour.at(i);
+    const tsp::CityId l = tour.at(j);
+
+    const double e_before =
+        h.local_energy(sigma, i, k) + h.local_energy(sigma, j, l);
+
+    auto& order = tour.mutable_order();
+    std::swap(order[i], order[j]);
+    auto sigma_after = h.assignment_from_tour(tour);
+    const double e_after = h.local_energy(sigma_after, i, l) +
+                           h.local_energy(sigma_after, j, k);
+
+    const double after_obj = h.objective(sigma_after);
+    EXPECT_NEAR(e_after - e_before, after_obj - before_obj, 1e-9)
+        << "i=" << i << " j=" << j;
+  }
+}
+
+TEST(TspHamiltonian, SpinCountScalesQuadratically) {
+  const auto inst = test::random_instance(12, 13);
+  const TspHamiltonian h(inst);
+  EXPECT_EQ(h.spins(), 144U);
+  EXPECT_EQ(h.cities(), 12U);
+}
+
+}  // namespace
+}  // namespace cim::ising

@@ -1,0 +1,104 @@
+#include "noise/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cim::noise {
+namespace {
+
+TEST(Schedule, PaperDefaults) {
+  const AnnealSchedule sched;
+  EXPECT_EQ(sched.total_iterations(), 400U);
+  EXPECT_EQ(sched.epochs(), 8U);
+  EXPECT_TRUE(sched.ends_noise_free());
+}
+
+TEST(Schedule, VddRampMatchesPaper) {
+  // §V: 300 mV to 580 mV in 40 mV increments every 50 iterations.
+  const AnnealSchedule sched;
+  EXPECT_NEAR(sched.at(0).vdd, 0.30, 1e-12);
+  EXPECT_NEAR(sched.at(49).vdd, 0.30, 1e-12);
+  EXPECT_NEAR(sched.at(50).vdd, 0.34, 1e-12);
+  EXPECT_NEAR(sched.at(399).vdd, 0.58, 1e-12);
+}
+
+TEST(Schedule, LsbCountdown) {
+  const AnnealSchedule sched;
+  EXPECT_EQ(sched.at(0).noisy_lsbs, 6U);
+  EXPECT_EQ(sched.at(50).noisy_lsbs, 5U);
+  EXPECT_EQ(sched.at(250).noisy_lsbs, 1U);
+  EXPECT_EQ(sched.at(300).noisy_lsbs, 0U);
+  EXPECT_EQ(sched.at(399).noisy_lsbs, 0U);
+}
+
+TEST(Schedule, WriteBackOnEpochBoundaries) {
+  const AnnealSchedule sched;
+  EXPECT_TRUE(sched.at(0).write_back);
+  EXPECT_FALSE(sched.at(1).write_back);
+  EXPECT_FALSE(sched.at(49).write_back);
+  EXPECT_TRUE(sched.at(50).write_back);
+  EXPECT_TRUE(sched.at(350).write_back);
+}
+
+TEST(Schedule, EpochIndex) {
+  const AnnealSchedule sched;
+  EXPECT_EQ(sched.at(0).epoch, 0U);
+  EXPECT_EQ(sched.at(49).epoch, 0U);
+  EXPECT_EQ(sched.at(399).epoch, 7U);
+}
+
+TEST(Schedule, VddCappedAtNominal) {
+  AnnealSchedule::Params params;
+  params.total_iterations = 2000;
+  params.iterations_per_step = 50;
+  const AnnealSchedule sched(params);
+  EXPECT_NEAR(sched.at(1999).vdd, params.vdd_nominal, 1e-12);
+}
+
+TEST(Schedule, NoiseLevelMonotonicallyDecreases) {
+  const AnnealSchedule sched;
+  double prev_vdd = 0.0;
+  unsigned prev_lsbs = 100;
+  for (std::size_t it = 0; it < sched.total_iterations(); ++it) {
+    const auto phase = sched.at(it);
+    EXPECT_GE(phase.vdd, prev_vdd);
+    EXPECT_LE(phase.noisy_lsbs, prev_lsbs);
+    prev_vdd = phase.vdd;
+    prev_lsbs = phase.noisy_lsbs;
+  }
+}
+
+TEST(Schedule, PartialFinalEpoch) {
+  AnnealSchedule::Params params;
+  params.total_iterations = 120;
+  params.iterations_per_step = 50;
+  const AnnealSchedule sched(params);
+  EXPECT_EQ(sched.epochs(), 3U);
+  EXPECT_EQ(sched.at(119).epoch, 2U);
+}
+
+TEST(Schedule, DescribeMentionsKeyNumbers) {
+  const AnnealSchedule sched;
+  const std::string desc = sched.describe();
+  EXPECT_NE(desc.find("400"), std::string::npos);
+  EXPECT_NE(desc.find("300"), std::string::npos);
+  EXPECT_NE(desc.find("50"), std::string::npos);
+}
+
+TEST(Schedule, InvalidParamsThrow) {
+  AnnealSchedule::Params zero_iters;
+  zero_iters.total_iterations = 0;
+  EXPECT_THROW(AnnealSchedule{zero_iters}, ConfigError);
+
+  AnnealSchedule::Params start_above_nominal;
+  start_above_nominal.vdd_start = 0.9;
+  EXPECT_THROW(AnnealSchedule{start_above_nominal}, ConfigError);
+
+  AnnealSchedule::Params too_many_lsbs;
+  too_many_lsbs.lsb_start = 9;
+  EXPECT_THROW(AnnealSchedule{too_many_lsbs}, ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::noise

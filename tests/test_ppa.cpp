@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "ppa/area.hpp"
+#include "ppa/capacity.hpp"
+#include "ppa/energy.hpp"
+#include "ppa/report.hpp"
+#include "ppa/sota.hpp"
+#include "ppa/timing.hpp"
+#include "util/error.hpp"
+
+namespace cim::ppa {
+namespace {
+
+TEST(Capacity, Table1AllEntries) {
+  const CapacityModel cap;
+  // pcb3038 column (kB, 8-bit weights → bytes = weights).
+  EXPECT_NEAR(cap.compact_weights_fixed(3038, 2) / 1e3, 48.6, 0.1);
+  EXPECT_NEAR(cap.compact_weights_fixed(3038, 4) / 1e3, 291.8, 0.5);
+  EXPECT_NEAR(cap.compact_weights_semiflex(3038, 2) / 1e3, 64.8, 0.1);
+  EXPECT_NEAR(cap.compact_weights_semiflex(3038, 3) / 1e3, 205.1, 0.1);
+  EXPECT_NEAR(cap.compact_weights_semiflex(3038, 4) / 1e3, 466.9, 0.5);
+  // rl5915 column.
+  EXPECT_NEAR(cap.compact_weights_fixed(5915, 2) / 1e3, 94.7, 0.1);
+  EXPECT_NEAR(cap.compact_weights_fixed(5915, 4) / 1e3, 567.9, 0.1);
+  EXPECT_NEAR(cap.compact_weights_semiflex(5915, 2) / 1e3, 126.2, 0.1);
+  EXPECT_NEAR(cap.compact_weights_semiflex(5915, 3) / 1e3, 399.3, 0.1);
+  EXPECT_NEAR(cap.compact_weights_semiflex(5915, 4) / 1e3, 908.5, 0.1);
+}
+
+TEST(Capacity, Pla85900Headline) {
+  const CapacityModel cap;
+  // §VI: 46.4 Mb SRAM for pla85900 at p_max = 3.
+  EXPECT_NEAR(cap.bits(cap.compact_weights_semiflex(85900, 3)) / 1e6, 46.4,
+              0.1);
+}
+
+TEST(Capacity, ComplexityOrdering) {
+  const CapacityModel cap;
+  // Fig. 1: O(N⁴) ≫ O(N²) ≫ O(N) at scale, and the gap widens with N.
+  for (const double n : {1e3, 1e4, 1e5}) {
+    EXPECT_GT(cap.naive_weights(n), cap.clustered_weights(n, 3));
+    EXPECT_GT(cap.clustered_weights(n, 3),
+              cap.compact_weights_semiflex(n, 3));
+  }
+  const double gap_small = cap.naive_weights(1e3) /
+                           cap.compact_weights_semiflex(1e3, 3);
+  const double gap_large = cap.naive_weights(1e5) /
+                           cap.compact_weights_semiflex(1e5, 3);
+  EXPECT_GT(gap_large, gap_small * 1e5);
+}
+
+TEST(Area, Table2ArrayAreas) {
+  // Fitted constants must reproduce Table II within ~3%.
+  const auto check = [](std::uint32_t p, double want_h, double want_w) {
+    hw::ArrayGeometry geom;
+    geom.p_max = p;
+    const ArrayArea area = array_area(geom);
+    EXPECT_NEAR(area.height_um, want_h, want_h * 0.03) << "p=" << p;
+    EXPECT_NEAR(area.width_um, want_w, want_w * 0.03) << "p=" << p;
+  };
+  check(2, 57.0, 55.0);
+  check(3, 102.0, 98.0);
+  check(4, 161.0, 162.0);
+}
+
+TEST(Area, FlagshipChipArea) {
+  // pla85900 @ p_max=3 → 43.7 mm² (Table III).
+  hw::ChipConfig config;
+  config.n_cities = 85900;
+  config.p = 3;
+  hw::ArrayGeometry geom;
+  geom.p_max = 3;
+  const double area = chip_area_um2(plan_chip(config), geom);
+  EXPECT_NEAR(area / 1e6, 43.7, 1.5);
+}
+
+TEST(Timing, DepthEstimate) {
+  // Semi-flexible p=3: mean size 2 → log2(N/4) levels.
+  EXPECT_EQ(estimate_depth(85900, 2.0), 15U);
+  EXPECT_EQ(estimate_depth(5934, 2.0), 11U);
+  EXPECT_EQ(estimate_depth(4, 2.0), 1U);
+  EXPECT_THROW(estimate_depth(100, 1.0), ConfigError);
+}
+
+TEST(Timing, Rl5934AnnealingTimeNearPaper) {
+  // §VI: rl5934 annealing in 44 µs. Our analytic model should land in
+  // the same few-tens-of-µs regime.
+  noise::AnnealSchedule::Params schedule;
+  const std::size_t depth = estimate_depth(5934, 2.0);
+  const auto cycles = analytic_cycles(depth, schedule, 15);
+  const auto latency = latency_from_cycles(cycles);
+  EXPECT_GT(latency.total_s(), 20e-6);
+  EXPECT_LT(latency.total_s(), 80e-6);
+}
+
+TEST(Timing, WriteShareIsSmall) {
+  noise::AnnealSchedule::Params schedule;
+  const auto cycles = analytic_cycles(12, schedule, 15);
+  const auto latency = latency_from_cycles(cycles);
+  EXPECT_LT(latency.write_s, latency.read_compute_s);
+}
+
+TEST(Energy, MacEnergyScalesWithWindow) {
+  EXPECT_GT(mac_energy_j(24, 8), mac_energy_j(15, 8));
+  EXPECT_GT(mac_energy_j(15, 8), mac_energy_j(15, 4));
+}
+
+TEST(Energy, WriteShareIsSmall) {
+  // Fig. 7(c)/(d): writes happen every 50 iterations, so their share is
+  // far below reads.
+  hw::ChipConfig config;
+  config.n_cities = 10000;
+  config.p = 3;
+  const auto layout = plan_chip(config);
+  noise::AnnealSchedule::Params schedule;
+  const auto activity =
+      analytic_activity(layout.windows, 2.0, 12, schedule, 3);
+  const auto energy = energy_from_analytic(activity, layout, 15, 8, 50e-6);
+  EXPECT_GT(energy.read_compute_j, energy.write_j);
+  EXPECT_GT(energy.read_compute_j, 0.0);
+  EXPECT_GT(energy.write_j, 0.0);
+}
+
+TEST(Report, FlagshipPowerNearPaper) {
+  // Table III: 433 mW average power for pla85900 @ p_max=3. The fitted
+  // energy constants should land within a factor ~2.
+  DesignPoint point;
+  point.instance_name = "pla85900";
+  point.n_cities = 85900;
+  point.p = 3;
+  const auto report = analytic_report(point);
+  EXPECT_GT(report.average_power_w, 0.15);
+  EXPECT_LT(report.average_power_w, 0.9);
+  EXPECT_NEAR(report.capacity_mb(), 46.4, 0.1);
+  EXPECT_NEAR(report.chip_area_um2 / 1e6, 43.7, 1.5);
+}
+
+TEST(Report, PerBitMetricsNearPaper) {
+  // Table III: 0.94 µm²/bit and 9.3 nW/bit (physical normalisation).
+  DesignPoint point;
+  point.instance_name = "pla85900";
+  point.n_cities = 85900;
+  point.p = 3;
+  const auto report = analytic_report(point);
+  EXPECT_NEAR(report.area_per_weight_bit_um2(), 0.94, 0.1);
+  EXPECT_GT(report.power_per_weight_bit_w(), 2e-9);
+  EXPECT_LT(report.power_per_weight_bit_w(), 20e-9);
+}
+
+TEST(Report, AreaScalesWithCapacity) {
+  // Fig. 7(b): chip area ∝ SRAM capacity.
+  DesignPoint small;
+  small.n_cities = 3038;
+  small.p = 3;
+  DesignPoint large;
+  large.n_cities = 33810;
+  large.p = 3;
+  const auto rs = analytic_report(small);
+  const auto rl = analytic_report(large);
+  const double area_ratio = rl.chip_area_um2 / rs.chip_area_um2;
+  const double cap_ratio =
+      static_cast<double>(rl.layout.capacity_bits) /
+      static_cast<double>(rs.layout.capacity_bits);
+  EXPECT_NEAR(area_ratio, cap_ratio, cap_ratio * 0.05);
+}
+
+TEST(Report, PmaxTradeoffShape) {
+  // Fig. 7: p_max=2 smallest area but deepest hierarchy (longest
+  // latency); p_max=4 largest area.
+  DesignPoint p2;
+  p2.n_cities = 10000;
+  p2.p = 2;
+  DesignPoint p3 = p2;
+  p3.p = 3;
+  DesignPoint p4 = p2;
+  p4.p = 4;
+  const auto r2 = analytic_report(p2);
+  const auto r3 = analytic_report(p3);
+  const auto r4 = analytic_report(p4);
+  EXPECT_LT(r2.chip_area_um2, r3.chip_area_um2);
+  EXPECT_LT(r3.chip_area_um2, r4.chip_area_um2);
+  EXPECT_GT(r2.latency.total_s(), r3.latency.total_s());
+  EXPECT_GT(r3.latency.total_s(), r4.latency.total_s());
+}
+
+TEST(Sota, TableEntriesPresent) {
+  const auto& entries = sota_annealers();
+  ASSERT_EQ(entries.size(), 5U);
+  // STATICA: 12mm²/1.31Mb ≈ 9 µm²/bit (Table III).
+  EXPECT_NEAR(entries[0].area_per_bit_um2(), 9.0, 0.5);
+  // CIM-Spin: 0.4mm²/17.28kb ≈ 23 µm²/bit.
+  EXPECT_NEAR(entries[1].area_per_bit_um2(), 23.0, 1.0);
+  // Amorphica: 9mm²/8Mb ≈ 1.1 µm²/bit and 38 nW/bit.
+  EXPECT_NEAR(entries[4].area_per_bit_um2(), 1.1, 0.1);
+  ASSERT_TRUE(entries[4].power_per_bit_w().has_value());
+  EXPECT_NEAR(*entries[4].power_per_bit_w() * 1e9, 39.0, 2.0);
+  // One entry has no published power.
+  EXPECT_FALSE(entries[2].power_w.has_value());
+}
+
+TEST(Sota, ThisDesignRowAndNormalization) {
+  DesignPoint point;
+  point.instance_name = "pla85900";
+  point.n_cities = 85900;
+  point.p = 3;
+  const auto report = analytic_report(point);
+  const auto row = this_design_row(report);
+
+  // Physical: 0.39M spins (p²·2N/(1+p)), 46.4Mb.
+  EXPECT_NEAR(row.physical_spins / 1e6, 0.39, 0.01);
+  EXPECT_NEAR(row.physical_weight_bits / 1e6, 46.4, 0.1);
+  // Functional: N² = 7.4G spins, N⁴·8 ≈ 4×10²⁰ b.
+  EXPECT_NEAR(row.functional_spins / 1e9, 7.38, 0.05);
+  EXPECT_NEAR(row.functional_weight_bits / 1e20, 4.4, 0.2);
+
+  // Functional normalisation beats every competitor by > 10¹³.
+  for (const auto& entry : sota_annealers()) {
+    EXPECT_GT(entry.area_per_bit_um2() /
+                  row.functional_area_per_bit_um2(),
+              1e12);
+  }
+}
+
+TEST(Report, InvalidPointThrows) {
+  DesignPoint bad;
+  bad.n_cities = 0;
+  EXPECT_THROW(analytic_report(bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::ppa

@@ -1,0 +1,79 @@
+#include "ppa/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cim::ppa {
+namespace {
+
+hw::ChipLayout layout_for(std::size_t n_cities, std::uint32_t p) {
+  hw::ChipConfig config;
+  config.n_cities = n_cities;
+  config.p = p;
+  config.array.p_max = p;
+  return hw::plan_chip(config);
+}
+
+TEST(Floorplan, GridCoversAllArrays) {
+  for (std::size_t n : {100U, 3038U, 85900U}) {
+    const auto layout = layout_for(n, 3);
+    hw::ArrayGeometry geom;
+    geom.p_max = 3;
+    const auto plan = plan_floorplan(layout, geom);
+    EXPECT_GE(plan.grid_cols * plan.grid_rows, layout.arrays);
+    EXPECT_LT((plan.grid_rows - 1) * plan.grid_cols, layout.arrays);
+  }
+}
+
+TEST(Floorplan, NearSquareAspect) {
+  const auto layout = layout_for(85900, 3);
+  hw::ArrayGeometry geom;
+  geom.p_max = 3;
+  const auto plan = plan_floorplan(layout, geom);
+  EXPECT_GT(plan.aspect_ratio, 0.7);
+  EXPECT_LT(plan.aspect_ratio, 1.5);
+}
+
+TEST(Floorplan, AreaConsistentWithAggregateModel) {
+  // The floorplanned die should be close to the aggregate model's
+  // arrays × footprint × (1 + routing overhead).
+  const auto layout = layout_for(85900, 3);
+  hw::ArrayGeometry geom;
+  geom.p_max = 3;
+  const auto plan = plan_floorplan(layout, geom);
+  const double aggregate = chip_area_um2(layout, geom);
+  EXPECT_NEAR(plan.area_um2(), aggregate, aggregate * 0.12);
+  EXPECT_GT(plan.routing_fraction(), 0.0);
+  EXPECT_LT(plan.routing_fraction(), 0.15);
+}
+
+TEST(Floorplan, SingleArrayDegenerate) {
+  hw::ChipLayout tiny;
+  tiny.arrays = 1;
+  tiny.windows = 10;
+  tiny.capacity_bits = 1;
+  hw::ArrayGeometry geom;
+  geom.p_max = 2;
+  const auto plan = plan_floorplan(tiny, geom);
+  EXPECT_EQ(plan.grid_cols, 1U);
+  EXPECT_EQ(plan.grid_rows, 1U);
+  EXPECT_GT(plan.htree_wire_um, 0.0);
+}
+
+TEST(Floorplan, WireLengthGrowsWithArrayCount) {
+  hw::ArrayGeometry geom;
+  geom.p_max = 3;
+  const auto small = plan_floorplan(layout_for(3038, 3), geom);
+  const auto large = plan_floorplan(layout_for(85900, 3), geom);
+  EXPECT_GT(large.htree_wire_um, small.htree_wire_um * 5.0);
+}
+
+TEST(Floorplan, ZeroArraysThrows) {
+  hw::ChipLayout empty;
+  hw::ArrayGeometry geom;
+  EXPECT_THROW(plan_floorplan(empty, geom), ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::ppa

@@ -1,0 +1,48 @@
+#include "tsp/best_known.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::tsp {
+namespace {
+
+TEST(BestKnown, PaperInstancesPresent) {
+  // The instances the paper's evaluation uses (§V, §VI).
+  EXPECT_EQ(best_known_length("pcb3038"), 137694);
+  EXPECT_EQ(best_known_length("rl5915"), 565530);
+  EXPECT_EQ(best_known_length("rl5934"), 556045);
+  EXPECT_EQ(best_known_length("rl11849"), 923288);
+  EXPECT_EQ(best_known_length("usa13509"), 19982859);
+  EXPECT_EQ(best_known_length("d18512"), 645238);
+  EXPECT_EQ(best_known_length("pla33810"), 66048945);
+  EXPECT_EQ(best_known_length("pla85900"), 142382641);
+}
+
+TEST(BestKnown, ClassicSmallInstances) {
+  EXPECT_EQ(best_known_length("berlin52"), 7542);
+  EXPECT_EQ(best_known_length("eil51"), 426);
+  EXPECT_EQ(best_known_length("pcb442"), 50778);
+}
+
+TEST(BestKnown, UnknownReturnsEmpty) {
+  EXPECT_FALSE(best_known_length("not_an_instance").has_value());
+  EXPECT_FALSE(best_known_length("").has_value());
+}
+
+TEST(ConcordeRuntime, PaperCitations) {
+  // §VI: 22 hours, 7 days, 155 days from [13].
+  ASSERT_TRUE(concorde_runtime_seconds("pcb3038").has_value());
+  EXPECT_DOUBLE_EQ(*concorde_runtime_seconds("pcb3038"), 22.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(*concorde_runtime_seconds("rl5934"), 7.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(*concorde_runtime_seconds("rl11849"), 155.0 * 86400.0);
+  EXPECT_FALSE(concorde_runtime_seconds("pla85900").has_value());
+}
+
+TEST(BestKnown, SpeedupArithmetic) {
+  // The paper's >1e9 claim: Concorde seconds / ~44 µs anneal time.
+  const double concorde = *concorde_runtime_seconds("rl5934");
+  EXPECT_GT(concorde / 44e-6, 1e9);
+  EXPECT_GT(*concorde_runtime_seconds("rl11849") / 44e-6, 1e11);
+}
+
+}  // namespace
+}  // namespace cim::tsp

@@ -1,0 +1,98 @@
+#include "tsp/instance.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::tsp {
+namespace {
+
+TEST(Instance, CoordinateDistances) {
+  const Instance inst("t", geo::Metric::kEuc2D,
+                      {{0, 0}, {3, 4}, {3, 0}});
+  EXPECT_EQ(inst.size(), 3U);
+  EXPECT_TRUE(inst.has_coords());
+  EXPECT_EQ(inst.distance(0, 1), 5);
+  EXPECT_EQ(inst.distance(1, 0), 5);
+  EXPECT_EQ(inst.distance(0, 0), 0);
+  EXPECT_EQ(inst.distance(0, 2), 3);
+  EXPECT_EQ(inst.distance(1, 2), 4);
+}
+
+TEST(Instance, ExplicitMatrix) {
+  const std::vector<long long> m{0, 2, 9,  //
+                                 2, 0, 6,  //
+                                 9, 6, 0};
+  const Instance inst("m", m, 3);
+  EXPECT_FALSE(inst.has_coords());
+  EXPECT_EQ(inst.metric(), geo::Metric::kExplicit);
+  EXPECT_EQ(inst.distance(0, 2), 9);
+  EXPECT_EQ(inst.distance(2, 1), 6);
+  EXPECT_EQ(inst.distance_upper_bound(), 9);
+}
+
+TEST(Instance, AsymmetricMatrixThrows) {
+  const std::vector<long long> m{0, 2,  //
+                                 3, 0};
+  EXPECT_THROW(Instance("bad", m, 2), ConfigError);
+}
+
+TEST(Instance, NonzeroDiagonalThrows) {
+  const std::vector<long long> m{1, 2,  //
+                                 2, 0};
+  EXPECT_THROW(Instance("bad", m, 2), ConfigError);
+}
+
+TEST(Instance, NegativeDistanceThrows) {
+  const std::vector<long long> m{0, -2,  //
+                                 -2, 0};
+  EXPECT_THROW(Instance("bad", m, 2), ConfigError);
+}
+
+TEST(Instance, WrongMatrixSizeThrows) {
+  EXPECT_THROW(Instance("bad", std::vector<long long>{0, 1, 1, 0}, 3),
+               ConfigError);
+}
+
+TEST(Instance, EmptyThrows) {
+  EXPECT_THROW(Instance("bad", geo::Metric::kEuc2D, {}), ConfigError);
+}
+
+TEST(Instance, ExplicitMetricForCoordsThrows) {
+  EXPECT_THROW(Instance("bad", geo::Metric::kExplicit, {{0, 0}}),
+               ConfigError);
+}
+
+TEST(Instance, UpperBoundDominatesAllDistances) {
+  const auto inst = test::random_instance(100, 42);
+  const long long bound = inst.distance_upper_bound();
+  for (CityId a = 0; a < 100; ++a) {
+    for (CityId b = 0; b < 100; ++b) {
+      EXPECT_LE(inst.distance(a, b), bound);
+    }
+  }
+}
+
+TEST(Instance, CommentRoundTrip) {
+  Instance inst("t", geo::Metric::kEuc2D, {{0, 0}});
+  inst.set_comment("hello");
+  EXPECT_EQ(inst.comment(), "hello");
+}
+
+TEST(Instance, ExplicitUpperBoundFromMatrix) {
+  const auto base = test::random_instance(20, 7);
+  const auto expl = test::to_explicit(base);
+  long long max_d = 0;
+  for (CityId a = 0; a < 20; ++a) {
+    for (CityId b = 0; b < 20; ++b) {
+      max_d = std::max(max_d, expl.distance(a, b));
+    }
+  }
+  EXPECT_EQ(expl.distance_upper_bound(), max_d);
+}
+
+}  // namespace
+}  // namespace cim::tsp

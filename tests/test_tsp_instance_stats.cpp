@@ -1,0 +1,74 @@
+#include "tsp/instance_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tsp/generator.hpp"
+#include "util/error.hpp"
+
+namespace cim::tsp {
+namespace {
+
+TEST(InstanceStats, UniformLooksUniform) {
+  const auto inst = generate_uniform(3000, 1);
+  const auto stats = compute_stats(inst);
+  EXPECT_EQ(stats.n, 3000U);
+  // Poisson NN ratio ≈ 1 for uniform points.
+  EXPECT_NEAR(stats.nn_ratio, 1.0, 0.12);
+  EXPECT_LT(stats.axis_alignment, 0.05);
+}
+
+TEST(InstanceStats, ClusteredHasLowNnRatioAndHighVariation) {
+  const auto uniform = compute_stats(generate_uniform(3000, 2));
+  const auto clustered =
+      compute_stats(generate_clustered(3000, 20, 2));
+  EXPECT_LT(clustered.nn_ratio, uniform.nn_ratio * 0.8);
+  EXPECT_GT(clustered.nn_cv, uniform.nn_cv);
+}
+
+TEST(InstanceStats, DrillGridIsAxisAligned) {
+  const auto drill = compute_stats(generate_drill_grid(2000, 3));
+  EXPECT_GT(drill.axis_alignment, 0.5);
+  const auto uniform = compute_stats(generate_uniform(2000, 3));
+  EXPECT_GT(drill.axis_alignment, uniform.axis_alignment * 5.0);
+}
+
+TEST(InstanceStats, PlaRowsAreAxisAligned) {
+  const auto pla = compute_stats(generate_pla(2000, 4));
+  EXPECT_GT(pla.axis_alignment, 0.6);
+}
+
+TEST(InstanceStats, GeographicIsClustered) {
+  const auto geo_stats = compute_stats(generate_geographic(3000, 5));
+  EXPECT_LT(geo_stats.nn_ratio, 0.9);
+}
+
+TEST(InstanceStats, FamiliesAreDistinguishable) {
+  // The property matrix that justifies the synthetic substitution: each
+  // family lands in its own region of (nn_ratio, axis_alignment).
+  const auto pcb = compute_stats(make_paper_instance("pcb1173"));
+  const auto rl = compute_stats(make_paper_instance("rl1304"));
+  const auto pla = compute_stats(make_paper_instance("pla1500"));
+  EXPECT_GT(pcb.axis_alignment, rl.axis_alignment);
+  EXPECT_GT(pla.axis_alignment, rl.axis_alignment);
+  EXPECT_LT(rl.nn_ratio, 0.9);  // strongly clustered
+}
+
+TEST(InstanceStats, TinyAndDegenerateInputs) {
+  const Instance one("one", geo::Metric::kEuc2D, {{5, 5}});
+  const auto s1 = compute_stats(one);
+  EXPECT_EQ(s1.n, 1U);
+  EXPECT_EQ(s1.nn_mean, 0.0);
+
+  const Instance dup("dup", geo::Metric::kEuc2D, {{1, 1}, {1, 1}});
+  const auto s2 = compute_stats(dup);
+  EXPECT_EQ(s2.nn_mean, 0.0);
+}
+
+TEST(InstanceStats, ExplicitInstanceThrows) {
+  const auto expl = test::to_explicit(test::random_instance(5, 1));
+  EXPECT_THROW(compute_stats(expl), ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::tsp

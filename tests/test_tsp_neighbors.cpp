@@ -1,0 +1,87 @@
+#include "tsp/neighbors.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::tsp {
+namespace {
+
+std::vector<CityId> brute_k_nearest(const Instance& inst, CityId c,
+                                    std::size_t k) {
+  std::vector<CityId> others;
+  for (CityId o = 0; o < inst.size(); ++o) {
+    if (o != c) others.push_back(o);
+  }
+  std::sort(others.begin(), others.end(), [&](CityId a, CityId b) {
+    return inst.distance(c, a) < inst.distance(c, b);
+  });
+  others.resize(k);
+  return others;
+}
+
+class NeighborSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(NeighborSizes, MatchesBruteForceDistances) {
+  const auto [n, k] = GetParam();
+  const auto inst = test::random_instance(n, n * 3 + 1);
+  const NeighborLists lists(inst, k);
+  EXPECT_EQ(lists.k(), std::min(k, n - 1));
+  for (CityId c = 0; c < n; ++c) {
+    const auto got = lists.of(c);
+    const auto want = brute_k_nearest(inst, c, lists.k());
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      // Ties can permute candidates; distances must match exactly.
+      EXPECT_EQ(inst.distance(c, got[i]), inst.distance(c, want[i]));
+      EXPECT_NE(got[i], c);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NeighborSizes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 1},
+                      std::pair<std::size_t, std::size_t>{10, 3},
+                      std::pair<std::size_t, std::size_t>{50, 8},
+                      std::pair<std::size_t, std::size_t>{200, 10},
+                      std::pair<std::size_t, std::size_t>{50, 100}));
+
+TEST(Neighbors, SortedAscending) {
+  const auto inst = test::random_instance(100, 9);
+  const NeighborLists lists(inst, 10);
+  for (CityId c = 0; c < 100; ++c) {
+    const auto nb = lists.of(c);
+    for (std::size_t i = 1; i < nb.size(); ++i) {
+      EXPECT_LE(inst.distance(c, nb[i - 1]), inst.distance(c, nb[i]));
+    }
+  }
+}
+
+TEST(Neighbors, ExplicitMatrixPath) {
+  const auto base = test::random_instance(30, 21);
+  const auto expl = test::to_explicit(base);
+  const NeighborLists from_coords(base, 5);
+  const NeighborLists from_matrix(expl, 5);
+  for (CityId c = 0; c < 30; ++c) {
+    const auto a = from_coords.of(c);
+    const auto b = from_matrix.of(c);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(base.distance(c, a[i]), expl.distance(c, b[i]));
+    }
+  }
+}
+
+TEST(Neighbors, TooSmallInstanceThrows) {
+  const auto inst = test::random_instance(1, 1);
+  EXPECT_THROW(NeighborLists(inst, 3), ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::tsp

@@ -1,0 +1,96 @@
+#include "tsp/tour.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::tsp {
+namespace {
+
+TEST(Tour, IdentityIsValid) {
+  const Tour t = Tour::identity(5);
+  EXPECT_TRUE(t.is_valid(5));
+  EXPECT_FALSE(t.is_valid(4));
+  EXPECT_FALSE(t.is_valid(6));
+}
+
+TEST(Tour, InvalidTours) {
+  EXPECT_FALSE(Tour({0, 1, 1}).is_valid(3));       // duplicate
+  EXPECT_FALSE(Tour({0, 1, 5}).is_valid(3));       // out of range
+  EXPECT_FALSE(Tour({0, 1}).is_valid(3));          // missing city
+}
+
+TEST(Tour, LengthIsCyclic) {
+  const Instance inst("sq", geo::Metric::kEuc2D,
+                      {{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_EQ(Tour::identity(4).length(inst), 40);
+  // Crossing diagonal order is longer.
+  const Tour crossed({0, 2, 1, 3});
+  EXPECT_GT(crossed.length(inst), 40);
+}
+
+TEST(Tour, SingleAndPairLengths) {
+  const Instance one("one", geo::Metric::kEuc2D, {{0, 0}});
+  EXPECT_EQ(Tour::identity(1).length(one), 0);
+  const Instance two("two", geo::Metric::kEuc2D, {{0, 0}, {7, 0}});
+  // A 2-city "cycle" traverses the edge twice.
+  EXPECT_EQ(Tour::identity(2).length(two), 14);
+}
+
+TEST(Tour, SuccessorPredecessorWrap) {
+  const Tour t({3, 1, 0, 2});
+  EXPECT_EQ(t.successor(3), 3U);
+  EXPECT_EQ(t.predecessor(0), 2U);
+  EXPECT_EQ(t.successor(0), 1U);
+}
+
+TEST(Tour, PositionOfInvertsOrder) {
+  const Tour t({3, 1, 0, 2});
+  const auto pos = t.position_of();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(pos[t.at(i)], i);
+  }
+}
+
+TEST(Tour, ReverseSegment) {
+  Tour t({0, 1, 2, 3, 4});
+  t.reverse_segment(1, 3);
+  EXPECT_EQ(t.order()[1], 3U);
+  EXPECT_EQ(t.order()[2], 2U);
+  EXPECT_EQ(t.order()[3], 1U);
+  EXPECT_TRUE(t.is_valid(5));
+}
+
+TEST(Tour, ReverseWholeKeepsLength) {
+  const auto inst = test::random_instance(20, 3);
+  Tour t = Tour::identity(20);
+  const long long before = t.length(inst);
+  t.reverse_segment(0, 19);
+  EXPECT_EQ(t.length(inst), before);
+}
+
+TEST(Tour, EqualityOperator) {
+  EXPECT_EQ(Tour({0, 1, 2}), Tour({0, 1, 2}));
+  EXPECT_FALSE(Tour({0, 1, 2}) == Tour({0, 2, 1}));
+}
+
+TEST(OptimalRatio, Basics) {
+  EXPECT_DOUBLE_EQ(optimal_ratio(150, 100), 1.5);
+  EXPECT_DOUBLE_EQ(optimal_ratio(100, 100), 1.0);
+}
+
+TEST(Tour, LengthMatchesManualSum) {
+  const auto inst = test::random_instance(50, 17);
+  util::Rng rng(5);
+  auto perm = util::random_permutation(50, rng);
+  const Tour t{std::vector<CityId>(perm.begin(), perm.end())};
+  long long manual = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    manual += inst.distance(t.at(i), t.at((i + 1) % 50));
+  }
+  EXPECT_EQ(t.length(inst), manual);
+}
+
+}  // namespace
+}  // namespace cim::tsp

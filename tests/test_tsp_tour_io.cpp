@@ -1,0 +1,71 @@
+#include "tsp/tour_io.hpp"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "heuristics/construct.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::tsp {
+namespace {
+
+TEST(TourIo, RoundTrip) {
+  const auto inst = test::random_instance(50, 1);
+  const auto tour = heuristics::random_tour(inst, 2);
+  const std::string text = write_tour(tour, "t50");
+  const Tour back = parse_tour(text, 50);
+  EXPECT_EQ(back, tour);
+}
+
+TEST(TourIo, FormatStructure) {
+  const Tour tour({2, 0, 1});
+  const std::string text = write_tour(tour, "tiny");
+  EXPECT_NE(text.find("TYPE : TOUR"), std::string::npos);
+  EXPECT_NE(text.find("DIMENSION : 3"), std::string::npos);
+  EXPECT_NE(text.find("TOUR_SECTION\n3\n1\n2\n-1"), std::string::npos);
+}
+
+TEST(TourIo, ParsesMultipleIdsPerLine) {
+  const Tour back =
+      parse_tour("TYPE : TOUR\nTOUR_SECTION\n1 2 3\n4 -1\nEOF\n", 4);
+  EXPECT_EQ(back, Tour({0, 1, 2, 3}));
+}
+
+TEST(TourIo, MissingSectionThrows) {
+  EXPECT_THROW(parse_tour("TYPE : TOUR\n1 2 3\n-1\n"), ParseError);
+}
+
+TEST(TourIo, DimensionMismatchThrows) {
+  EXPECT_THROW(
+      parse_tour("DIMENSION : 5\nTOUR_SECTION\n1 2 3\n-1\nEOF\n"),
+      ParseError);
+}
+
+TEST(TourIo, NotAPermutationThrows) {
+  EXPECT_THROW(parse_tour("TOUR_SECTION\n1 1 2\n-1\nEOF\n", 3), ParseError);
+  EXPECT_THROW(parse_tour("TOUR_SECTION\n1 2\n-1\nEOF\n", 3), ParseError);
+  EXPECT_THROW(parse_tour("TOUR_SECTION\n0 1 2\n-1\nEOF\n", 3), ParseError);
+}
+
+TEST(TourIo, EmptyTourThrows) {
+  EXPECT_THROW(parse_tour("TOUR_SECTION\n-1\nEOF\n"), ParseError);
+}
+
+TEST(TourIo, FileRoundTrip) {
+  const auto inst = test::random_instance(20, 3);
+  const auto tour = heuristics::random_tour(inst, 4);
+  const std::string path = "/tmp/cimanneal_test_tour.tour";
+  save_tour(tour, "t20", path);
+  const Tour back = load_tour(path, 20);
+  EXPECT_EQ(back, tour);
+  std::remove(path.c_str());
+}
+
+TEST(TourIo, MissingFileThrows) {
+  EXPECT_THROW(load_tour("/no/such/file.tour"), Error);
+}
+
+}  // namespace
+}  // namespace cim::tsp

@@ -1,0 +1,185 @@
+#include "tsp/tsplib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::tsp {
+namespace {
+
+constexpr const char* kCoordFile = R"(NAME : tiny
+COMMENT : a tiny test instance
+TYPE : TSP
+DIMENSION : 4
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0.0 0.0
+2 3.0 0.0
+3 3.0 4.0
+4 0.0 4.0
+EOF
+)";
+
+TEST(Tsplib, ParseCoordinateFile) {
+  const Instance inst = parse_tsplib(kCoordFile);
+  EXPECT_EQ(inst.name(), "tiny");
+  EXPECT_EQ(inst.comment(), "a tiny test instance");
+  EXPECT_EQ(inst.size(), 4U);
+  EXPECT_EQ(inst.metric(), geo::Metric::kEuc2D);
+  EXPECT_EQ(inst.distance(0, 1), 3);
+  EXPECT_EQ(inst.distance(1, 2), 4);
+  EXPECT_EQ(inst.distance(0, 2), 5);
+}
+
+TEST(Tsplib, ParseWithoutSpacesAroundColon) {
+  const Instance inst = parse_tsplib(
+      "NAME:x\nTYPE:TSP\nDIMENSION:1\nEDGE_WEIGHT_TYPE:EUC_2D\n"
+      "NODE_COORD_SECTION\n1 5 5\nEOF\n");
+  EXPECT_EQ(inst.size(), 1U);
+}
+
+TEST(Tsplib, ParseFullMatrix) {
+  const Instance inst = parse_tsplib(
+      "NAME : m\nTYPE : TSP\nDIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : FULL_MATRIX\n"
+      "EDGE_WEIGHT_SECTION\n0 2 9\n2 0 6\n9 6 0\nEOF\n");
+  EXPECT_EQ(inst.distance(0, 2), 9);
+  EXPECT_EQ(inst.distance(1, 2), 6);
+}
+
+TEST(Tsplib, ParseUpperRow) {
+  const Instance inst = parse_tsplib(
+      "NAME : m\nTYPE : TSP\nDIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : UPPER_ROW\n"
+      "EDGE_WEIGHT_SECTION\n2 9 6\nEOF\n");
+  EXPECT_EQ(inst.distance(0, 1), 2);
+  EXPECT_EQ(inst.distance(0, 2), 9);
+  EXPECT_EQ(inst.distance(1, 2), 6);
+}
+
+TEST(Tsplib, ParseLowerRow) {
+  const Instance inst = parse_tsplib(
+      "NAME : m\nTYPE : TSP\nDIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : LOWER_ROW\n"
+      "EDGE_WEIGHT_SECTION\n2\n9 6\nEOF\n");
+  EXPECT_EQ(inst.distance(1, 0), 2);
+  EXPECT_EQ(inst.distance(2, 0), 9);
+  EXPECT_EQ(inst.distance(2, 1), 6);
+}
+
+TEST(Tsplib, ParseUpperDiagRow) {
+  const Instance inst = parse_tsplib(
+      "NAME : m\nTYPE : TSP\nDIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : UPPER_DIAG_ROW\n"
+      "EDGE_WEIGHT_SECTION\n0 2 9\n0 6\n0\nEOF\n");
+  EXPECT_EQ(inst.distance(0, 1), 2);
+  EXPECT_EQ(inst.distance(1, 2), 6);
+}
+
+TEST(Tsplib, ParseLowerDiagRow) {
+  const Instance inst = parse_tsplib(
+      "NAME : m\nTYPE : TSP\nDIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : LOWER_DIAG_ROW\n"
+      "EDGE_WEIGHT_SECTION\n0\n2 0\n9 6 0\nEOF\n");
+  EXPECT_EQ(inst.distance(0, 1), 2);
+  EXPECT_EQ(inst.distance(0, 2), 9);
+}
+
+TEST(Tsplib, MissingDimensionThrows) {
+  EXPECT_THROW(parse_tsplib("NAME : x\nTYPE : TSP\n"
+                            "EDGE_WEIGHT_TYPE : EUC_2D\n"
+                            "NODE_COORD_SECTION\n1 0 0\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, MissingWeightTypeThrows) {
+  EXPECT_THROW(parse_tsplib("NAME : x\nTYPE : TSP\nDIMENSION : 1\n"
+                            "NODE_COORD_SECTION\n1 0 0\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, UnsupportedTypeThrows) {
+  EXPECT_THROW(parse_tsplib("TYPE : ATSP\nDIMENSION : 1\n"
+                            "EDGE_WEIGHT_TYPE : EUC_2D\n"
+                            "NODE_COORD_SECTION\n1 0 0\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, NodeIdOutOfRangeThrows) {
+  EXPECT_THROW(parse_tsplib("TYPE : TSP\nDIMENSION : 2\n"
+                            "EDGE_WEIGHT_TYPE : EUC_2D\n"
+                            "NODE_COORD_SECTION\n1 0 0\n3 1 1\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, DuplicateNodeThrows) {
+  EXPECT_THROW(parse_tsplib("TYPE : TSP\nDIMENSION : 2\n"
+                            "EDGE_WEIGHT_TYPE : EUC_2D\n"
+                            "NODE_COORD_SECTION\n1 0 0\n1 1 1\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, MissingNodeThrows) {
+  EXPECT_THROW(parse_tsplib("TYPE : TSP\nDIMENSION : 2\n"
+                            "EDGE_WEIGHT_TYPE : EUC_2D\n"
+                            "NODE_COORD_SECTION\n1 0 0\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, MalformedCoordinateThrows) {
+  EXPECT_THROW(parse_tsplib("TYPE : TSP\nDIMENSION : 1\n"
+                            "EDGE_WEIGHT_TYPE : EUC_2D\n"
+                            "NODE_COORD_SECTION\nbogus line\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, WrongWeightCountThrows) {
+  EXPECT_THROW(parse_tsplib("TYPE : TSP\nDIMENSION : 3\n"
+                            "EDGE_WEIGHT_TYPE : EXPLICIT\n"
+                            "EDGE_WEIGHT_FORMAT : UPPER_ROW\n"
+                            "EDGE_WEIGHT_SECTION\n1 2\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, UnsupportedFormatThrows) {
+  EXPECT_THROW(parse_tsplib("TYPE : TSP\nDIMENSION : 2\n"
+                            "EDGE_WEIGHT_TYPE : EXPLICIT\n"
+                            "EDGE_WEIGHT_FORMAT : UPPER_COL\n"
+                            "EDGE_WEIGHT_SECTION\n1\nEOF\n"),
+               ParseError);
+}
+
+TEST(Tsplib, WriteParseRoundTrip) {
+  const auto inst = test::random_instance(30, 11);
+  const std::string text = write_tsplib(inst);
+  const Instance back = parse_tsplib(text);
+  ASSERT_EQ(back.size(), inst.size());
+  EXPECT_EQ(back.name(), inst.name());
+  EXPECT_EQ(back.metric(), inst.metric());
+  for (CityId a = 0; a < inst.size(); ++a) {
+    for (CityId b = 0; b < inst.size(); ++b) {
+      EXPECT_EQ(back.distance(a, b), inst.distance(a, b));
+    }
+  }
+}
+
+TEST(Tsplib, WriteExplicitThrows) {
+  const auto inst = test::to_explicit(test::random_instance(4, 1));
+  EXPECT_THROW(write_tsplib(inst), ConfigError);
+}
+
+TEST(Tsplib, LoadMissingFileThrows) {
+  EXPECT_THROW(load_tsplib("/no/such/file.tsp"), Error);
+}
+
+TEST(Tsplib, MultiLineComment) {
+  const Instance inst = parse_tsplib(
+      "NAME : c\nCOMMENT : line one\nCOMMENT : line two\nTYPE : TSP\n"
+      "DIMENSION : 1\nEDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n1 0 0\nEOF\n");
+  EXPECT_EQ(inst.comment(), "line one\nline two");
+}
+
+}  // namespace
+}  // namespace cim::tsp

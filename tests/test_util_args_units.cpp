@@ -1,0 +1,109 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace cim::util {
+namespace {
+
+Args make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, NamedWithSpace) {
+  const auto args = make_args({"--instance", "pcb3038"});
+  EXPECT_EQ(args.get_or("instance", ""), "pcb3038");
+}
+
+TEST(Args, NamedWithEquals) {
+  const auto args = make_args({"--p=4"});
+  EXPECT_EQ(args.get_int("p", 0), 4);
+}
+
+TEST(Args, BareFlag) {
+  const auto args = make_args({"--verbose", "--x", "1"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_FALSE(args.get_flag("quiet"));
+}
+
+TEST(Args, Positional) {
+  const auto args = make_args({"file1", "--opt", "v", "file2"});
+  ASSERT_EQ(args.positional().size(), 2U);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(Args, Defaults) {
+  const auto args = make_args({});
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(Args, BadIntegerThrows) {
+  const auto args = make_args({"--n", "abc"});
+  EXPECT_THROW(args.get_int("n", 0), ConfigError);
+}
+
+TEST(Args, BadDoubleThrows) {
+  const auto args = make_args({"--x", "1.2.3zz"});
+  // stod parses the 1.2 prefix; only entirely bogus strings throw.
+  const auto bogus = make_args({"--x", "zz"});
+  EXPECT_THROW(bogus.get_double("x", 0.0), ConfigError);
+}
+
+TEST(Args, EnvFlag) {
+  ::setenv("CIM_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(Args::env_flag("CIM_TEST_FLAG"));
+  ::setenv("CIM_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(Args::env_flag("CIM_TEST_FLAG"));
+  ::setenv("CIM_TEST_FLAG", "false", 1);
+  EXPECT_FALSE(Args::env_flag("CIM_TEST_FLAG"));
+  ::unsetenv("CIM_TEST_FLAG");
+  EXPECT_FALSE(Args::env_flag("CIM_TEST_FLAG"));
+}
+
+TEST(Units, Bytes) {
+  EXPECT_EQ(format_bytes(48600.0), "48.6 kB");
+  EXPECT_EQ(format_bytes(5798250.0, 2), "5.80 MB");
+  EXPECT_EQ(format_bytes(12.0, 0), "12 B");
+}
+
+TEST(Units, Bits) {
+  EXPECT_EQ(format_bits(46.4e6), "46.4 Mb");
+  EXPECT_EQ(format_bits(4e20, 0), "400000000 Tb");
+}
+
+TEST(Units, Seconds) {
+  EXPECT_EQ(format_seconds(44e-6, 0), "44 us");
+  EXPECT_EQ(format_seconds(22.0 * 3600.0, 0), "22 h");
+  EXPECT_EQ(format_seconds(155.0 * 86400.0, 0), "155 d");
+  EXPECT_EQ(format_seconds(2.5), "2.5 s");
+  EXPECT_EQ(format_seconds(90.0, 1), "1.5 min");
+}
+
+TEST(Units, WattsAndJoules) {
+  EXPECT_EQ(format_watts(0.433, 0), "433 mW");
+  EXPECT_EQ(format_watts(9.3e-9, 1), "9.3 nW");
+  EXPECT_EQ(format_joules(1.5e-6, 1), "1.5 uJ");
+  EXPECT_EQ(format_joules(2e-15, 0), "2 fJ");
+}
+
+TEST(Units, Area) {
+  EXPECT_EQ(format_area_um2(43.7e6, 1), "43.7 mm^2");
+  EXPECT_EQ(format_area_um2(102.0 * 98.0, 0), "9996 um^2");
+}
+
+TEST(Units, Factor) {
+  EXPECT_EQ(format_factor(2.5), "2.5 x");
+  const std::string big = format_factor(1.8e9);
+  EXPECT_NE(big.find("e+09"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cim::util

@@ -1,0 +1,108 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::util {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(static_cast<long long>(-7)).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, ObjectCompact) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = "two";
+  EXPECT_EQ(j.dump(-1), "{\"a\":1,\"b\":\"two\"}");
+  EXPECT_EQ(j.size(), 2U);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["z"] = 1;
+  j["a"] = 2;
+  const std::string text = j.dump(-1);
+  EXPECT_LT(text.find("\"z\""), text.find("\"a\""));
+}
+
+TEST(Json, ObjectFieldOverwrite) {
+  Json j = Json::object();
+  j["x"] = 1;
+  j["x"] = 2;
+  EXPECT_EQ(j.dump(-1), "{\"x\":2}");
+}
+
+TEST(Json, ArrayAndNesting) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  Json inner = Json::object();
+  inner["k"] = true;
+  arr.push_back(std::move(inner));
+  EXPECT_EQ(arr.dump(-1), "[1,\"two\",{\"k\":true}]");
+  EXPECT_EQ(arr.size(), 3U);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, IndentedOutput) {
+  Json j = Json::object();
+  j["a"] = 1;
+  const std::string text = j.dump(2);
+  EXPECT_NE(text.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(Json, MisuseThrows) {
+  Json scalar(1);
+  EXPECT_THROW(scalar["k"] = 2, InvariantError);
+  EXPECT_THROW(scalar.push_back(1), InvariantError);
+}
+
+TEST(Json, SaveFailsOnBadPath) {
+  EXPECT_THROW(Json(1).save("/no_such_dir_zz/x.json"), Error);
+}
+
+TEST(JsonReport, OutcomeSerialisation) {
+  const auto inst = cim::test::random_instance(80, 1);
+  cim::core::SolverConfig config;
+  config.replicas = 2;
+  const auto outcome = cim::core::CimSolver(config).solve(inst);
+  const Json j = cim::core::outcome_to_json(outcome, inst.name());
+  const std::string text = j.dump(-1);
+  EXPECT_NE(text.find("\"tour_length\""), std::string::npos);
+  EXPECT_NE(text.find("\"optimal_ratio\""), std::string::npos);
+  EXPECT_NE(text.find("\"levels\""), std::string::npos);
+  EXPECT_NE(text.find("\"pseudo_read_flips\""), std::string::npos);
+  EXPECT_NE(text.find("\"replica_lengths\""), std::string::npos);
+  EXPECT_NE(text.find("\"ppa\""), std::string::npos);
+  EXPECT_NE(text.find("\"chip_area_um2\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cim::util

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace cim::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(Table, TitleAndFootnotes) {
+  Table t({"x"});
+  t.set_title("My Table");
+  t.add_row({"v"});
+  t.add_footnote("a note");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== My Table =="), std::string::npos);
+  EXPECT_NE(out.find("* a note"), std::string::npos);
+}
+
+TEST(Table, SeparatorRow) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // 3 border rules + 1 separator = 4 "+--" lines.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4U);
+}
+
+TEST(Table, WrongArityThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvariantError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::percent(0.255, 1), "25.5%");
+  const std::string sci = Table::sci(12345.0, 2);
+  EXPECT_NE(sci.find("e+04"), std::string::npos);
+}
+
+TEST(Csv, RoundTripSimple) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "hello"});
+  w.add_row({"2", "world"});
+  const auto rows = parse_csv(w.render());
+  ASSERT_EQ(rows.size(), 3U);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"2", "world"}));
+}
+
+TEST(Csv, QuotingRoundTrip) {
+  CsvWriter w({"text"});
+  w.add_row({"has,comma"});
+  w.add_row({"has\"quote"});
+  w.add_row({"has\nnewline"});
+  const auto rows = parse_csv(w.render());
+  ASSERT_EQ(rows.size(), 4U);
+  EXPECT_EQ(rows[1][0], "has,comma");
+  EXPECT_EQ(rows[2][0], "has\"quote");
+  EXPECT_EQ(rows[3][0], "has\nnewline");
+}
+
+TEST(Csv, ParseCrlf) {
+  const auto rows = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const auto rows = parse_csv("a,,c\n");
+  ASSERT_EQ(rows.size(), 1U);
+  ASSERT_EQ(rows[0].size(), 3U);
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"oops"), ParseError);
+}
+
+TEST(Csv, WrongArityThrows) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), InvariantError);
+}
+
+TEST(Csv, SaveFailsOnBadPath) {
+  CsvWriter w({"a"});
+  w.add_row({"1"});
+  EXPECT_THROW(w.save("/nonexistent_dir_zz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace cim::util
