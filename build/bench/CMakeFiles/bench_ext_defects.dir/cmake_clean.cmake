@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_defects.dir/bench_ext_defects.cpp.o"
+  "CMakeFiles/bench_ext_defects.dir/bench_ext_defects.cpp.o.d"
+  "bench_ext_defects"
+  "bench_ext_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

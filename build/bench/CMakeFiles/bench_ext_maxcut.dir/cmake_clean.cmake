@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_maxcut.dir/bench_ext_maxcut.cpp.o"
+  "CMakeFiles/bench_ext_maxcut.dir/bench_ext_maxcut.cpp.o.d"
+  "bench_ext_maxcut"
+  "bench_ext_maxcut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_maxcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_precision.dir/bench_ext_precision.cpp.o"
+  "CMakeFiles/bench_ext_precision.dir/bench_ext_precision.cpp.o.d"
+  "bench_ext_precision"
+  "bench_ext_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

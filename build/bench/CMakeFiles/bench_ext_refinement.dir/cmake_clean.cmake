@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_refinement.dir/bench_ext_refinement.cpp.o"
+  "CMakeFiles/bench_ext_refinement.dir/bench_ext_refinement.cpp.o.d"
+  "bench_ext_refinement"
+  "bench_ext_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_schedule.dir/bench_ext_schedule.cpp.o"
+  "CMakeFiles/bench_ext_schedule.dir/bench_ext_schedule.cpp.o.d"
+  "bench_ext_schedule"
+  "bench_ext_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7bcd_ppa.dir/bench_fig7bcd_ppa.cpp.o"
+  "CMakeFiles/bench_fig7bcd_ppa.dir/bench_fig7bcd_ppa.cpp.o.d"
+  "bench_fig7bcd_ppa"
+  "bench_fig7bcd_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7bcd_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

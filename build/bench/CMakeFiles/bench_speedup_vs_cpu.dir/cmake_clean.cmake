@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_vs_cpu.dir/bench_speedup_vs_cpu.cpp.o"
+  "CMakeFiles/bench_speedup_vs_cpu.dir/bench_speedup_vs_cpu.cpp.o.d"
+  "bench_speedup_vs_cpu"
+  "bench_speedup_vs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

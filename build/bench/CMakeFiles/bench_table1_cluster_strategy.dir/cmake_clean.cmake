@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cluster_strategy.dir/bench_table1_cluster_strategy.cpp.o"
+  "CMakeFiles/bench_table1_cluster_strategy.dir/bench_table1_cluster_strategy.cpp.o.d"
+  "bench_table1_cluster_strategy"
+  "bench_table1_cluster_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cluster_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

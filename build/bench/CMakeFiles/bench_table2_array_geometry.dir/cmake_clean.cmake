@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_array_geometry.dir/bench_table2_array_geometry.cpp.o"
+  "CMakeFiles/bench_table2_array_geometry.dir/bench_table2_array_geometry.cpp.o.d"
+  "bench_table2_array_geometry"
+  "bench_table2_array_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_array_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

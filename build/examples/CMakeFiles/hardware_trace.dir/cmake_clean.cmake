@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_trace.dir/hardware_trace.cpp.o"
+  "CMakeFiles/hardware_trace.dir/hardware_trace.cpp.o.d"
+  "hardware_trace"
+  "hardware_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

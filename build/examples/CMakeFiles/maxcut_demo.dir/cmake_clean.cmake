@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxcut_demo.dir/maxcut_demo.cpp.o"
+  "CMakeFiles/maxcut_demo.dir/maxcut_demo.cpp.o.d"
+  "maxcut_demo"
+  "maxcut_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxcut_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tsplib_solver.cpp" "examples/CMakeFiles/tsplib_solver.dir/tsplib_solver.cpp.o" "gcc" "examples/CMakeFiles/tsplib_solver.dir/tsplib_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppa/CMakeFiles/cim_ppa.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/cim_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cim/CMakeFiles/cim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/cim_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ising/CMakeFiles/cim_ising.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/cim_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsp/CMakeFiles/cim_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

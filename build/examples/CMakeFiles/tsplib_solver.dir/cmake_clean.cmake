@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsplib_solver.dir/tsplib_solver.cpp.o"
+  "CMakeFiles/tsplib_solver.dir/tsplib_solver.cpp.o.d"
+  "tsplib_solver"
+  "tsplib_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsplib_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anneal/clustered_annealer.cpp" "src/anneal/CMakeFiles/cim_anneal.dir/clustered_annealer.cpp.o" "gcc" "src/anneal/CMakeFiles/cim_anneal.dir/clustered_annealer.cpp.o.d"
+  "/root/repo/src/anneal/ensemble.cpp" "src/anneal/CMakeFiles/cim_anneal.dir/ensemble.cpp.o" "gcc" "src/anneal/CMakeFiles/cim_anneal.dir/ensemble.cpp.o.d"
+  "/root/repo/src/anneal/maxcut_annealer.cpp" "src/anneal/CMakeFiles/cim_anneal.dir/maxcut_annealer.cpp.o" "gcc" "src/anneal/CMakeFiles/cim_anneal.dir/maxcut_annealer.cpp.o.d"
+  "/root/repo/src/anneal/noise_source.cpp" "src/anneal/CMakeFiles/cim_anneal.dir/noise_source.cpp.o" "gcc" "src/anneal/CMakeFiles/cim_anneal.dir/noise_source.cpp.o.d"
+  "/root/repo/src/anneal/tempering.cpp" "src/anneal/CMakeFiles/cim_anneal.dir/tempering.cpp.o" "gcc" "src/anneal/CMakeFiles/cim_anneal.dir/tempering.cpp.o.d"
+  "/root/repo/src/anneal/top_ring.cpp" "src/anneal/CMakeFiles/cim_anneal.dir/top_ring.cpp.o" "gcc" "src/anneal/CMakeFiles/cim_anneal.dir/top_ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/cim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cim/CMakeFiles/cim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/cim_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/ising/CMakeFiles/cim_ising.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsp/CMakeFiles/cim_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cim_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_anneal.dir/clustered_annealer.cpp.o"
+  "CMakeFiles/cim_anneal.dir/clustered_annealer.cpp.o.d"
+  "CMakeFiles/cim_anneal.dir/ensemble.cpp.o"
+  "CMakeFiles/cim_anneal.dir/ensemble.cpp.o.d"
+  "CMakeFiles/cim_anneal.dir/maxcut_annealer.cpp.o"
+  "CMakeFiles/cim_anneal.dir/maxcut_annealer.cpp.o.d"
+  "CMakeFiles/cim_anneal.dir/noise_source.cpp.o"
+  "CMakeFiles/cim_anneal.dir/noise_source.cpp.o.d"
+  "CMakeFiles/cim_anneal.dir/tempering.cpp.o"
+  "CMakeFiles/cim_anneal.dir/tempering.cpp.o.d"
+  "CMakeFiles/cim_anneal.dir/top_ring.cpp.o"
+  "CMakeFiles/cim_anneal.dir/top_ring.cpp.o.d"
+  "libcim_anneal.a"
+  "libcim_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cim/adder_tree.cpp" "src/cim/CMakeFiles/cim_hw.dir/adder_tree.cpp.o" "gcc" "src/cim/CMakeFiles/cim_hw.dir/adder_tree.cpp.o.d"
+  "/root/repo/src/cim/array.cpp" "src/cim/CMakeFiles/cim_hw.dir/array.cpp.o" "gcc" "src/cim/CMakeFiles/cim_hw.dir/array.cpp.o.d"
+  "/root/repo/src/cim/chip.cpp" "src/cim/CMakeFiles/cim_hw.dir/chip.cpp.o" "gcc" "src/cim/CMakeFiles/cim_hw.dir/chip.cpp.o.d"
+  "/root/repo/src/cim/dataflow.cpp" "src/cim/CMakeFiles/cim_hw.dir/dataflow.cpp.o" "gcc" "src/cim/CMakeFiles/cim_hw.dir/dataflow.cpp.o.d"
+  "/root/repo/src/cim/interconnect.cpp" "src/cim/CMakeFiles/cim_hw.dir/interconnect.cpp.o" "gcc" "src/cim/CMakeFiles/cim_hw.dir/interconnect.cpp.o.d"
+  "/root/repo/src/cim/pipeline.cpp" "src/cim/CMakeFiles/cim_hw.dir/pipeline.cpp.o" "gcc" "src/cim/CMakeFiles/cim_hw.dir/pipeline.cpp.o.d"
+  "/root/repo/src/cim/storage.cpp" "src/cim/CMakeFiles/cim_hw.dir/storage.cpp.o" "gcc" "src/cim/CMakeFiles/cim_hw.dir/storage.cpp.o.d"
+  "/root/repo/src/cim/window.cpp" "src/cim/CMakeFiles/cim_hw.dir/window.cpp.o" "gcc" "src/cim/CMakeFiles/cim_hw.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noise/CMakeFiles/cim_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_hw.dir/adder_tree.cpp.o"
+  "CMakeFiles/cim_hw.dir/adder_tree.cpp.o.d"
+  "CMakeFiles/cim_hw.dir/array.cpp.o"
+  "CMakeFiles/cim_hw.dir/array.cpp.o.d"
+  "CMakeFiles/cim_hw.dir/chip.cpp.o"
+  "CMakeFiles/cim_hw.dir/chip.cpp.o.d"
+  "CMakeFiles/cim_hw.dir/dataflow.cpp.o"
+  "CMakeFiles/cim_hw.dir/dataflow.cpp.o.d"
+  "CMakeFiles/cim_hw.dir/interconnect.cpp.o"
+  "CMakeFiles/cim_hw.dir/interconnect.cpp.o.d"
+  "CMakeFiles/cim_hw.dir/pipeline.cpp.o"
+  "CMakeFiles/cim_hw.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cim_hw.dir/storage.cpp.o"
+  "CMakeFiles/cim_hw.dir/storage.cpp.o.d"
+  "CMakeFiles/cim_hw.dir/window.cpp.o"
+  "CMakeFiles/cim_hw.dir/window.cpp.o.d"
+  "libcim_hw.a"
+  "libcim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/agglomerate.cpp" "src/cluster/CMakeFiles/cim_cluster.dir/agglomerate.cpp.o" "gcc" "src/cluster/CMakeFiles/cim_cluster.dir/agglomerate.cpp.o.d"
+  "/root/repo/src/cluster/hierarchy.cpp" "src/cluster/CMakeFiles/cim_cluster.dir/hierarchy.cpp.o" "gcc" "src/cluster/CMakeFiles/cim_cluster.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cluster/refine.cpp" "src/cluster/CMakeFiles/cim_cluster.dir/refine.cpp.o" "gcc" "src/cluster/CMakeFiles/cim_cluster.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsp/CMakeFiles/cim_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

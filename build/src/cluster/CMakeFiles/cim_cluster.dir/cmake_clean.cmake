@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_cluster.dir/agglomerate.cpp.o"
+  "CMakeFiles/cim_cluster.dir/agglomerate.cpp.o.d"
+  "CMakeFiles/cim_cluster.dir/hierarchy.cpp.o"
+  "CMakeFiles/cim_cluster.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/cim_cluster.dir/refine.cpp.o"
+  "CMakeFiles/cim_cluster.dir/refine.cpp.o.d"
+  "libcim_cluster.a"
+  "libcim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_core.dir/report.cpp.o"
+  "CMakeFiles/cim_core.dir/report.cpp.o.d"
+  "CMakeFiles/cim_core.dir/solver.cpp.o"
+  "CMakeFiles/cim_core.dir/solver.cpp.o.d"
+  "libcim_core.a"
+  "libcim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_geo.dir/kdtree.cpp.o"
+  "CMakeFiles/cim_geo.dir/kdtree.cpp.o.d"
+  "CMakeFiles/cim_geo.dir/metric.cpp.o"
+  "CMakeFiles/cim_geo.dir/metric.cpp.o.d"
+  "libcim_geo.a"
+  "libcim_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heuristics/construct.cpp" "src/heuristics/CMakeFiles/cim_heuristics.dir/construct.cpp.o" "gcc" "src/heuristics/CMakeFiles/cim_heuristics.dir/construct.cpp.o.d"
+  "/root/repo/src/heuristics/exact.cpp" "src/heuristics/CMakeFiles/cim_heuristics.dir/exact.cpp.o" "gcc" "src/heuristics/CMakeFiles/cim_heuristics.dir/exact.cpp.o.d"
+  "/root/repo/src/heuristics/lower_bound.cpp" "src/heuristics/CMakeFiles/cim_heuristics.dir/lower_bound.cpp.o" "gcc" "src/heuristics/CMakeFiles/cim_heuristics.dir/lower_bound.cpp.o.d"
+  "/root/repo/src/heuristics/or_opt.cpp" "src/heuristics/CMakeFiles/cim_heuristics.dir/or_opt.cpp.o" "gcc" "src/heuristics/CMakeFiles/cim_heuristics.dir/or_opt.cpp.o.d"
+  "/root/repo/src/heuristics/reference.cpp" "src/heuristics/CMakeFiles/cim_heuristics.dir/reference.cpp.o" "gcc" "src/heuristics/CMakeFiles/cim_heuristics.dir/reference.cpp.o.d"
+  "/root/repo/src/heuristics/sa_baseline.cpp" "src/heuristics/CMakeFiles/cim_heuristics.dir/sa_baseline.cpp.o" "gcc" "src/heuristics/CMakeFiles/cim_heuristics.dir/sa_baseline.cpp.o.d"
+  "/root/repo/src/heuristics/two_opt.cpp" "src/heuristics/CMakeFiles/cim_heuristics.dir/two_opt.cpp.o" "gcc" "src/heuristics/CMakeFiles/cim_heuristics.dir/two_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsp/CMakeFiles/cim_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_heuristics.dir/construct.cpp.o"
+  "CMakeFiles/cim_heuristics.dir/construct.cpp.o.d"
+  "CMakeFiles/cim_heuristics.dir/exact.cpp.o"
+  "CMakeFiles/cim_heuristics.dir/exact.cpp.o.d"
+  "CMakeFiles/cim_heuristics.dir/lower_bound.cpp.o"
+  "CMakeFiles/cim_heuristics.dir/lower_bound.cpp.o.d"
+  "CMakeFiles/cim_heuristics.dir/or_opt.cpp.o"
+  "CMakeFiles/cim_heuristics.dir/or_opt.cpp.o.d"
+  "CMakeFiles/cim_heuristics.dir/reference.cpp.o"
+  "CMakeFiles/cim_heuristics.dir/reference.cpp.o.d"
+  "CMakeFiles/cim_heuristics.dir/sa_baseline.cpp.o"
+  "CMakeFiles/cim_heuristics.dir/sa_baseline.cpp.o.d"
+  "CMakeFiles/cim_heuristics.dir/two_opt.cpp.o"
+  "CMakeFiles/cim_heuristics.dir/two_opt.cpp.o.d"
+  "libcim_heuristics.a"
+  "libcim_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ising/maxcut.cpp" "src/ising/CMakeFiles/cim_ising.dir/maxcut.cpp.o" "gcc" "src/ising/CMakeFiles/cim_ising.dir/maxcut.cpp.o.d"
+  "/root/repo/src/ising/model.cpp" "src/ising/CMakeFiles/cim_ising.dir/model.cpp.o" "gcc" "src/ising/CMakeFiles/cim_ising.dir/model.cpp.o.d"
+  "/root/repo/src/ising/pbm.cpp" "src/ising/CMakeFiles/cim_ising.dir/pbm.cpp.o" "gcc" "src/ising/CMakeFiles/cim_ising.dir/pbm.cpp.o.d"
+  "/root/repo/src/ising/qubo.cpp" "src/ising/CMakeFiles/cim_ising.dir/qubo.cpp.o" "gcc" "src/ising/CMakeFiles/cim_ising.dir/qubo.cpp.o.d"
+  "/root/repo/src/ising/tsp_hamiltonian.cpp" "src/ising/CMakeFiles/cim_ising.dir/tsp_hamiltonian.cpp.o" "gcc" "src/ising/CMakeFiles/cim_ising.dir/tsp_hamiltonian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsp/CMakeFiles/cim_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cim_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

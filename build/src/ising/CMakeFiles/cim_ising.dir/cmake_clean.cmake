@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_ising.dir/maxcut.cpp.o"
+  "CMakeFiles/cim_ising.dir/maxcut.cpp.o.d"
+  "CMakeFiles/cim_ising.dir/model.cpp.o"
+  "CMakeFiles/cim_ising.dir/model.cpp.o.d"
+  "CMakeFiles/cim_ising.dir/pbm.cpp.o"
+  "CMakeFiles/cim_ising.dir/pbm.cpp.o.d"
+  "CMakeFiles/cim_ising.dir/qubo.cpp.o"
+  "CMakeFiles/cim_ising.dir/qubo.cpp.o.d"
+  "CMakeFiles/cim_ising.dir/tsp_hamiltonian.cpp.o"
+  "CMakeFiles/cim_ising.dir/tsp_hamiltonian.cpp.o.d"
+  "libcim_ising.a"
+  "libcim_ising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_ising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/monte_carlo.cpp" "src/noise/CMakeFiles/cim_noise.dir/monte_carlo.cpp.o" "gcc" "src/noise/CMakeFiles/cim_noise.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/noise/schedule.cpp" "src/noise/CMakeFiles/cim_noise.dir/schedule.cpp.o" "gcc" "src/noise/CMakeFiles/cim_noise.dir/schedule.cpp.o.d"
+  "/root/repo/src/noise/sram_model.cpp" "src/noise/CMakeFiles/cim_noise.dir/sram_model.cpp.o" "gcc" "src/noise/CMakeFiles/cim_noise.dir/sram_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_noise.dir/monte_carlo.cpp.o"
+  "CMakeFiles/cim_noise.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/cim_noise.dir/schedule.cpp.o"
+  "CMakeFiles/cim_noise.dir/schedule.cpp.o.d"
+  "CMakeFiles/cim_noise.dir/sram_model.cpp.o"
+  "CMakeFiles/cim_noise.dir/sram_model.cpp.o.d"
+  "libcim_noise.a"
+  "libcim_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

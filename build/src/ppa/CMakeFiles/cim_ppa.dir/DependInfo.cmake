@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppa/area.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/area.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/area.cpp.o.d"
+  "/root/repo/src/ppa/breakdown.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/breakdown.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/breakdown.cpp.o.d"
+  "/root/repo/src/ppa/capacity.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/capacity.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/capacity.cpp.o.d"
+  "/root/repo/src/ppa/energy.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/energy.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/energy.cpp.o.d"
+  "/root/repo/src/ppa/floorplan.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/floorplan.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/floorplan.cpp.o.d"
+  "/root/repo/src/ppa/maxcut_ppa.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/maxcut_ppa.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/maxcut_ppa.cpp.o.d"
+  "/root/repo/src/ppa/report.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/report.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/report.cpp.o.d"
+  "/root/repo/src/ppa/sota.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/sota.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/sota.cpp.o.d"
+  "/root/repo/src/ppa/tech.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/tech.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/tech.cpp.o.d"
+  "/root/repo/src/ppa/timing.cpp" "src/ppa/CMakeFiles/cim_ppa.dir/timing.cpp.o" "gcc" "src/ppa/CMakeFiles/cim_ppa.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cim/CMakeFiles/cim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/cim_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/cim_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ising/CMakeFiles/cim_ising.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsp/CMakeFiles/cim_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cim_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_ppa.dir/area.cpp.o"
+  "CMakeFiles/cim_ppa.dir/area.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/breakdown.cpp.o"
+  "CMakeFiles/cim_ppa.dir/breakdown.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/capacity.cpp.o"
+  "CMakeFiles/cim_ppa.dir/capacity.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/energy.cpp.o"
+  "CMakeFiles/cim_ppa.dir/energy.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/floorplan.cpp.o"
+  "CMakeFiles/cim_ppa.dir/floorplan.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/maxcut_ppa.cpp.o"
+  "CMakeFiles/cim_ppa.dir/maxcut_ppa.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/report.cpp.o"
+  "CMakeFiles/cim_ppa.dir/report.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/sota.cpp.o"
+  "CMakeFiles/cim_ppa.dir/sota.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/tech.cpp.o"
+  "CMakeFiles/cim_ppa.dir/tech.cpp.o.d"
+  "CMakeFiles/cim_ppa.dir/timing.cpp.o"
+  "CMakeFiles/cim_ppa.dir/timing.cpp.o.d"
+  "libcim_ppa.a"
+  "libcim_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/ppa/CMakeFiles/cim_ppa.dir/tech.cpp.o: /root/repo/src/ppa/tech.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/ppa/tech.hpp

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsp/best_known.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/best_known.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/best_known.cpp.o.d"
+  "/root/repo/src/tsp/generator.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/generator.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/generator.cpp.o.d"
+  "/root/repo/src/tsp/instance.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/instance.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/instance.cpp.o.d"
+  "/root/repo/src/tsp/instance_stats.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/instance_stats.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/instance_stats.cpp.o.d"
+  "/root/repo/src/tsp/neighbors.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/neighbors.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/neighbors.cpp.o.d"
+  "/root/repo/src/tsp/tour.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/tour.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/tour.cpp.o.d"
+  "/root/repo/src/tsp/tour_compare.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/tour_compare.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/tour_compare.cpp.o.d"
+  "/root/repo/src/tsp/tour_io.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/tour_io.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/tour_io.cpp.o.d"
+  "/root/repo/src/tsp/tsplib.cpp" "src/tsp/CMakeFiles/cim_tsp.dir/tsplib.cpp.o" "gcc" "src/tsp/CMakeFiles/cim_tsp.dir/tsplib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/cim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

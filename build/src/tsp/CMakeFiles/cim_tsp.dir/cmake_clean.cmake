@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_tsp.dir/best_known.cpp.o"
+  "CMakeFiles/cim_tsp.dir/best_known.cpp.o.d"
+  "CMakeFiles/cim_tsp.dir/generator.cpp.o"
+  "CMakeFiles/cim_tsp.dir/generator.cpp.o.d"
+  "CMakeFiles/cim_tsp.dir/instance.cpp.o"
+  "CMakeFiles/cim_tsp.dir/instance.cpp.o.d"
+  "CMakeFiles/cim_tsp.dir/instance_stats.cpp.o"
+  "CMakeFiles/cim_tsp.dir/instance_stats.cpp.o.d"
+  "CMakeFiles/cim_tsp.dir/neighbors.cpp.o"
+  "CMakeFiles/cim_tsp.dir/neighbors.cpp.o.d"
+  "CMakeFiles/cim_tsp.dir/tour.cpp.o"
+  "CMakeFiles/cim_tsp.dir/tour.cpp.o.d"
+  "CMakeFiles/cim_tsp.dir/tour_compare.cpp.o"
+  "CMakeFiles/cim_tsp.dir/tour_compare.cpp.o.d"
+  "CMakeFiles/cim_tsp.dir/tour_io.cpp.o"
+  "CMakeFiles/cim_tsp.dir/tour_io.cpp.o.d"
+  "CMakeFiles/cim_tsp.dir/tsplib.cpp.o"
+  "CMakeFiles/cim_tsp.dir/tsplib.cpp.o.d"
+  "libcim_tsp.a"
+  "libcim_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_util.dir/args.cpp.o"
+  "CMakeFiles/cim_util.dir/args.cpp.o.d"
+  "CMakeFiles/cim_util.dir/csv.cpp.o"
+  "CMakeFiles/cim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cim_util.dir/json.cpp.o"
+  "CMakeFiles/cim_util.dir/json.cpp.o.d"
+  "CMakeFiles/cim_util.dir/log.cpp.o"
+  "CMakeFiles/cim_util.dir/log.cpp.o.d"
+  "CMakeFiles/cim_util.dir/random.cpp.o"
+  "CMakeFiles/cim_util.dir/random.cpp.o.d"
+  "CMakeFiles/cim_util.dir/stats.cpp.o"
+  "CMakeFiles/cim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cim_util.dir/table.cpp.o"
+  "CMakeFiles/cim_util.dir/table.cpp.o.d"
+  "CMakeFiles/cim_util.dir/units.cpp.o"
+  "CMakeFiles/cim_util.dir/units.cpp.o.d"
+  "libcim_util.a"
+  "libcim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anneal_annealer.dir/test_anneal_annealer.cpp.o"
+  "CMakeFiles/test_anneal_annealer.dir/test_anneal_annealer.cpp.o.d"
+  "test_anneal_annealer"
+  "test_anneal_annealer.pdb"
+  "test_anneal_annealer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anneal_annealer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

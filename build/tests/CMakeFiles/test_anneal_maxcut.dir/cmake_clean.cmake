@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anneal_maxcut.dir/test_anneal_maxcut.cpp.o"
+  "CMakeFiles/test_anneal_maxcut.dir/test_anneal_maxcut.cpp.o.d"
+  "test_anneal_maxcut"
+  "test_anneal_maxcut.pdb"
+  "test_anneal_maxcut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anneal_maxcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anneal_tempering.dir/test_anneal_tempering.cpp.o"
+  "CMakeFiles/test_anneal_tempering.dir/test_anneal_tempering.cpp.o.d"
+  "test_anneal_tempering"
+  "test_anneal_tempering.pdb"
+  "test_anneal_tempering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anneal_tempering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anneal_top_ring.dir/test_anneal_top_ring.cpp.o"
+  "CMakeFiles/test_anneal_top_ring.dir/test_anneal_top_ring.cpp.o.d"
+  "test_anneal_top_ring"
+  "test_anneal_top_ring.pdb"
+  "test_anneal_top_ring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anneal_top_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cim_adder_tree.dir/test_cim_adder_tree.cpp.o"
+  "CMakeFiles/test_cim_adder_tree.dir/test_cim_adder_tree.cpp.o.d"
+  "test_cim_adder_tree"
+  "test_cim_adder_tree.pdb"
+  "test_cim_adder_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cim_adder_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cim_array_chip.dir/test_cim_array_chip.cpp.o"
+  "CMakeFiles/test_cim_array_chip.dir/test_cim_array_chip.cpp.o.d"
+  "test_cim_array_chip"
+  "test_cim_array_chip.pdb"
+  "test_cim_array_chip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cim_array_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cim_defects.dir/test_cim_defects.cpp.o"
+  "CMakeFiles/test_cim_defects.dir/test_cim_defects.cpp.o.d"
+  "test_cim_defects"
+  "test_cim_defects.pdb"
+  "test_cim_defects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cim_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

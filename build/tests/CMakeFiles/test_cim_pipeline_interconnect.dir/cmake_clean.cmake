@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cim_pipeline_interconnect.dir/test_cim_pipeline_interconnect.cpp.o"
+  "CMakeFiles/test_cim_pipeline_interconnect.dir/test_cim_pipeline_interconnect.cpp.o.d"
+  "test_cim_pipeline_interconnect"
+  "test_cim_pipeline_interconnect.pdb"
+  "test_cim_pipeline_interconnect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cim_pipeline_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cim_pipeline_interconnect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cim_storage.dir/test_cim_storage.cpp.o"
+  "CMakeFiles/test_cim_storage.dir/test_cim_storage.cpp.o.d"
+  "test_cim_storage"
+  "test_cim_storage.pdb"
+  "test_cim_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_agglomerate.dir/test_cluster_agglomerate.cpp.o"
+  "CMakeFiles/test_cluster_agglomerate.dir/test_cluster_agglomerate.cpp.o.d"
+  "test_cluster_agglomerate"
+  "test_cluster_agglomerate.pdb"
+  "test_cluster_agglomerate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_agglomerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_hierarchy.dir/test_cluster_hierarchy.cpp.o"
+  "CMakeFiles/test_cluster_hierarchy.dir/test_cluster_hierarchy.cpp.o.d"
+  "test_cluster_hierarchy"
+  "test_cluster_hierarchy.pdb"
+  "test_cluster_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristics_construct.dir/test_heuristics_construct.cpp.o"
+  "CMakeFiles/test_heuristics_construct.dir/test_heuristics_construct.cpp.o.d"
+  "test_heuristics_construct"
+  "test_heuristics_construct.pdb"
+  "test_heuristics_construct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristics_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

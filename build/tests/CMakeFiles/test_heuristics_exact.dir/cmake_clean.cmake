@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristics_exact.dir/test_heuristics_exact.cpp.o"
+  "CMakeFiles/test_heuristics_exact.dir/test_heuristics_exact.cpp.o.d"
+  "test_heuristics_exact"
+  "test_heuristics_exact.pdb"
+  "test_heuristics_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristics_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

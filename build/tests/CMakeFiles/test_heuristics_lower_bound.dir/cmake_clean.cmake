@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristics_lower_bound.dir/test_heuristics_lower_bound.cpp.o"
+  "CMakeFiles/test_heuristics_lower_bound.dir/test_heuristics_lower_bound.cpp.o.d"
+  "test_heuristics_lower_bound"
+  "test_heuristics_lower_bound.pdb"
+  "test_heuristics_lower_bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristics_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristics_reference.dir/test_heuristics_reference.cpp.o"
+  "CMakeFiles/test_heuristics_reference.dir/test_heuristics_reference.cpp.o.d"
+  "test_heuristics_reference"
+  "test_heuristics_reference.pdb"
+  "test_heuristics_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristics_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

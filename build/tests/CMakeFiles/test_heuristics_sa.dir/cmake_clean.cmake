@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristics_sa.dir/test_heuristics_sa.cpp.o"
+  "CMakeFiles/test_heuristics_sa.dir/test_heuristics_sa.cpp.o.d"
+  "test_heuristics_sa"
+  "test_heuristics_sa.pdb"
+  "test_heuristics_sa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristics_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristics_two_opt.dir/test_heuristics_two_opt.cpp.o"
+  "CMakeFiles/test_heuristics_two_opt.dir/test_heuristics_two_opt.cpp.o.d"
+  "test_heuristics_two_opt"
+  "test_heuristics_two_opt.pdb"
+  "test_heuristics_two_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristics_two_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

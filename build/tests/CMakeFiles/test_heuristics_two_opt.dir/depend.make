@@ -1,0 +1,2 @@
+# Empty dependencies file for test_heuristics_two_opt.
+# This may be replaced when dependencies are built.

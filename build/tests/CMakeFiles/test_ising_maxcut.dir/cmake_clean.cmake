@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ising_maxcut.dir/test_ising_maxcut.cpp.o"
+  "CMakeFiles/test_ising_maxcut.dir/test_ising_maxcut.cpp.o.d"
+  "test_ising_maxcut"
+  "test_ising_maxcut.pdb"
+  "test_ising_maxcut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ising_maxcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ising_model.dir/test_ising_model.cpp.o"
+  "CMakeFiles/test_ising_model.dir/test_ising_model.cpp.o.d"
+  "test_ising_model"
+  "test_ising_model.pdb"
+  "test_ising_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ising_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

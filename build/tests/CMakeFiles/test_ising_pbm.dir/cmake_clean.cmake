@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ising_pbm.dir/test_ising_pbm.cpp.o"
+  "CMakeFiles/test_ising_pbm.dir/test_ising_pbm.cpp.o.d"
+  "test_ising_pbm"
+  "test_ising_pbm.pdb"
+  "test_ising_pbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ising_pbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

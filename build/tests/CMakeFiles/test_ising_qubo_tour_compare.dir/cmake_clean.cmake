@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ising_qubo_tour_compare.dir/test_ising_qubo_tour_compare.cpp.o"
+  "CMakeFiles/test_ising_qubo_tour_compare.dir/test_ising_qubo_tour_compare.cpp.o.d"
+  "test_ising_qubo_tour_compare"
+  "test_ising_qubo_tour_compare.pdb"
+  "test_ising_qubo_tour_compare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ising_qubo_tour_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ising_qubo_tour_compare.
+# This may be replaced when dependencies are built.

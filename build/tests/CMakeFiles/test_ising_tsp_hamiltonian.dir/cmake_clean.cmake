@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ising_tsp_hamiltonian.dir/test_ising_tsp_hamiltonian.cpp.o"
+  "CMakeFiles/test_ising_tsp_hamiltonian.dir/test_ising_tsp_hamiltonian.cpp.o.d"
+  "test_ising_tsp_hamiltonian"
+  "test_ising_tsp_hamiltonian.pdb"
+  "test_ising_tsp_hamiltonian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ising_tsp_hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_sram.dir/test_noise_sram.cpp.o"
+  "CMakeFiles/test_noise_sram.dir/test_noise_sram.cpp.o.d"
+  "test_noise_sram"
+  "test_noise_sram.pdb"
+  "test_noise_sram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppa_floorplan.dir/test_ppa_floorplan.cpp.o"
+  "CMakeFiles/test_ppa_floorplan.dir/test_ppa_floorplan.cpp.o.d"
+  "test_ppa_floorplan"
+  "test_ppa_floorplan.pdb"
+  "test_ppa_floorplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppa_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

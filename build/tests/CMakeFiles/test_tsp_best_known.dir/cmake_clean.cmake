@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsp_best_known.dir/test_tsp_best_known.cpp.o"
+  "CMakeFiles/test_tsp_best_known.dir/test_tsp_best_known.cpp.o.d"
+  "test_tsp_best_known"
+  "test_tsp_best_known.pdb"
+  "test_tsp_best_known[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsp_best_known.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

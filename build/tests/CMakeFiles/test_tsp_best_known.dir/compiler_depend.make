@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_tsp_best_known.
+# This may be replaced when dependencies are built.

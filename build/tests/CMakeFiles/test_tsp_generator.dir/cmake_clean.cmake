@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsp_generator.dir/test_tsp_generator.cpp.o"
+  "CMakeFiles/test_tsp_generator.dir/test_tsp_generator.cpp.o.d"
+  "test_tsp_generator"
+  "test_tsp_generator.pdb"
+  "test_tsp_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsp_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsp_instance.dir/test_tsp_instance.cpp.o"
+  "CMakeFiles/test_tsp_instance.dir/test_tsp_instance.cpp.o.d"
+  "test_tsp_instance"
+  "test_tsp_instance.pdb"
+  "test_tsp_instance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsp_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

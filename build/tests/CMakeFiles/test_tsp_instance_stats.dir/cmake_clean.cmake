@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsp_instance_stats.dir/test_tsp_instance_stats.cpp.o"
+  "CMakeFiles/test_tsp_instance_stats.dir/test_tsp_instance_stats.cpp.o.d"
+  "test_tsp_instance_stats"
+  "test_tsp_instance_stats.pdb"
+  "test_tsp_instance_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsp_instance_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsp_neighbors.dir/test_tsp_neighbors.cpp.o"
+  "CMakeFiles/test_tsp_neighbors.dir/test_tsp_neighbors.cpp.o.d"
+  "test_tsp_neighbors"
+  "test_tsp_neighbors.pdb"
+  "test_tsp_neighbors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsp_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsp_tour.dir/test_tsp_tour.cpp.o"
+  "CMakeFiles/test_tsp_tour.dir/test_tsp_tour.cpp.o.d"
+  "test_tsp_tour"
+  "test_tsp_tour.pdb"
+  "test_tsp_tour[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsp_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_json.dir/test_util_json.cpp.o"
+  "CMakeFiles/test_util_json.dir/test_util_json.cpp.o.d"
+  "test_util_json"
+  "test_util_json.pdb"
+  "test_util_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
