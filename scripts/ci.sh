@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# The full correctness gate, runnable locally and in CI with one command:
+#
+#   scripts/ci.sh [fast|full]
+#
+#   fast (default) — release preset (warnings-as-errors): configure, build,
+#                    ctest (includes lint.determinism), then clang-tidy.
+#   full           — fast + the asan-ubsan and tsan presets over the whole
+#                    test suite. This is the gate every perf PR must pass.
+#
+# Every preset builds with CIMANNEAL_WERROR=ON; the sanitizer presets skip
+# bench/examples to keep instrumented builds focused on the test suite.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+mode="${1:-fast}"
+jobs="${CIMANNEAL_CI_JOBS:-$(nproc)}"
+
+run_preset() {
+  local preset="$1"
+  echo "==== [${preset}] configure"
+  cmake --preset "${preset}"
+  echo "==== [${preset}] build"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==== [${preset}] ctest"
+  ctest --preset "${preset}" -j "${jobs}"
+}
+
+case "${mode}" in
+  fast)
+    presets=(release)
+    ;;
+  full)
+    presets=(release asan-ubsan tsan)
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [fast|full]" >&2
+    exit 2
+    ;;
+esac
+
+for preset in "${presets[@]}"; do
+  run_preset "${preset}"
+done
+
+echo "==== determinism lint (also registered as ctest 'lint.determinism')"
+python3 tools/lint.py --root "${repo_root}"
+
+echo "==== clang-tidy (skips cleanly when the binary is absent)"
+tools/run_clang_tidy.sh "${repo_root}/build/release"
+
+echo "==== ci.sh: all gates passed (${mode})"

@@ -1,7 +1,9 @@
 #include "anneal/ensemble.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <thread>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/random.hpp"
@@ -27,8 +29,32 @@ ReplicaEnsemble::ReplicaEnsemble(EnsembleConfig config)
   CIM_REQUIRE(config_.replicas >= 1, "ensemble needs at least one replica");
 }
 
+namespace {
+
+/// Joins every still-joinable thread on scope exit, so a throw while
+/// spawning (or rethrowing a replica failure) never reaches ~thread() on
+/// a joinable thread, which would std::terminate.
+class ThreadJoiner {
+ public:
+  explicit ThreadJoiner(std::vector<std::thread>& threads)
+      : threads_(threads) {}
+  ThreadJoiner(const ThreadJoiner&) = delete;
+  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
+  ~ThreadJoiner() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  std::vector<std::thread>& threads_;
+};
+
+}  // namespace
+
 EnsembleResult ReplicaEnsemble::solve(const tsp::Instance& instance) const {
   std::vector<AnnealResult> results(config_.replicas);
+  std::vector<std::exception_ptr> errors(config_.replicas);
 
   const auto run_replica = [&](std::size_t r) {
     AnnealerConfig config = config_.base;
@@ -41,11 +67,24 @@ EnsembleResult ReplicaEnsemble::solve(const tsp::Instance& instance) const {
 
   if (config_.use_threads && config_.replicas > 1) {
     std::vector<std::thread> workers;
-    workers.reserve(config_.replicas);
-    for (std::size_t r = 0; r < config_.replicas; ++r) {
-      workers.emplace_back(run_replica, r);
+    {
+      ThreadJoiner joiner(workers);
+      workers.reserve(config_.replicas);
+      for (std::size_t r = 0; r < config_.replicas; ++r) {
+        // A replica failure must not escape its thread (that would
+        // std::terminate); capture it and rethrow after the join barrier.
+        workers.emplace_back([&run_replica, &errors, r] {
+          try {
+            run_replica(r);
+          } catch (...) {
+            errors[r] = std::current_exception();
+          }
+        });
+      }
     }
-    for (auto& w : workers) w.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
   } else {
     for (std::size_t r = 0; r < config_.replicas; ++r) run_replica(r);
   }

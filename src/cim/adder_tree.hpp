@@ -44,9 +44,9 @@ class AdderTree {
   void reset_counters();
 
  private:
-  std::uint32_t fan_in_;
-  std::uint32_t depth_;
-  std::uint64_t adders_;
+  std::uint32_t fan_in_ = 1;
+  std::uint32_t depth_ = 0;
+  std::uint64_t adders_ = 0;
   std::uint64_t reductions_ = 0;
   std::uint64_t adder_ops_ = 0;
 };

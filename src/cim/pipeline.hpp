@@ -34,16 +34,16 @@ enum class StageKind : std::uint8_t {
 const char* stage_name(StageKind kind);
 
 struct PipelineStage {
-  StageKind kind;
+  StageKind kind = StageKind::kInputFetch;
   std::uint32_t cycles = 1;  ///< occupancy per MAC (1: fully pipelined)
   std::string label;
 };
 
 struct UpdateTimeline {
   struct Event {
-    std::uint64_t cycle;
-    std::uint32_t mac_index;  ///< 0..3 within the swap update
-    StageKind stage;
+    std::uint64_t cycle = 0;
+    std::uint32_t mac_index = 0;  ///< 0..3 within the swap update
+    StageKind stage = StageKind::kInputFetch;
   };
   std::vector<Event> events;
   std::uint64_t total_cycles = 0;  ///< last event cycle + 1
@@ -68,7 +68,7 @@ class PipelineModel {
 
  private:
   WindowShape shape_;
-  std::uint32_t weight_bits_;
+  std::uint32_t weight_bits_ = 8;
   std::vector<PipelineStage> stages_;
 };
 

@@ -51,7 +51,7 @@ class MaxCutProblem {
 
  private:
   std::string name_;
-  std::size_t n_;
+  std::size_t n_ = 0;
   std::vector<WeightedEdge> edges_;
   long long total_weight_ = 0;
   std::uint32_t max_degree_ = 0;

@@ -32,8 +32,8 @@ class IsingModel {
 
   /// Neighbours of spin i as (index, J) pairs.
   struct Neighbor {
-    SpinIndex index;
-    double j;
+    SpinIndex index = 0;
+    double j = 0.0;
   };
   std::span<const Neighbor> neighbors(SpinIndex i) const;
 
@@ -60,9 +60,9 @@ class IsingModel {
   void ensure_csr() const;
 
   struct Edge {
-    SpinIndex a;
-    SpinIndex b;
-    double j;
+    SpinIndex a = 0;
+    SpinIndex b = 0;
+    double j = 0.0;
   };
   std::vector<Edge> edges_;
   std::vector<double> fields_;

@@ -43,7 +43,7 @@ class PbmState {
  private:
   const tsp::Instance& instance_;
   tsp::Tour tour_;
-  long long length_;
+  long long length_ = 0;
 };
 
 }  // namespace cim::ising

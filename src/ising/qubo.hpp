@@ -37,7 +37,7 @@ class Qubo {
  private:
   std::size_t index(SpinIndex i, SpinIndex j) const;
 
-  std::size_t n_;
+  std::size_t n_ = 0;
   std::vector<double> q_;  // dense upper triangle incl. diagonal
 };
 

@@ -69,7 +69,7 @@ class TspHamiltonian {
 
  private:
   const tsp::Instance& instance_;
-  std::size_t n_;
+  std::size_t n_ = 0;
   Penalties penalties_;
 };
 

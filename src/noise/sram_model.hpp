@@ -105,7 +105,7 @@ class SramCellModel {
 
  private:
   SramNoiseParams params_;
-  std::uint64_t seed_;
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace cim::noise

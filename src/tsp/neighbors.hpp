@@ -29,7 +29,7 @@ class NeighborLists {
   }
 
  private:
-  std::size_t k_;
+  std::size_t k_ = 0;
   std::vector<CityId> lists_;  // flattened n*k
 };
 

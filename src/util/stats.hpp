@@ -50,8 +50,8 @@ class Histogram {
   std::string ascii(std::size_t width = 50) const;
 
  private:
-  double lo_;
-  double hi_;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;

@@ -90,7 +90,9 @@ TEST_F(WindowScenario, BoundaryRowsTargetFirstAndLastOrderOnly) {
       for (std::uint32_t sk = 0; sk < 3; ++sk) {
         const std::uint8_t w = weight(builder_.prev_row(j),
                                       builder_.col(si, sk));
-        if (si != 0) EXPECT_EQ(w, 0U);
+        if (si != 0) {
+          EXPECT_EQ(w, 0U);
+        }
       }
     }
   }
@@ -99,7 +101,9 @@ TEST_F(WindowScenario, BoundaryRowsTargetFirstAndLastOrderOnly) {
       for (std::uint32_t sk = 0; sk < 3; ++sk) {
         const std::uint8_t w = weight(builder_.next_row(j),
                                       builder_.col(si, sk));
-        if (si != 2) EXPECT_EQ(w, 0U);
+        if (si != 2) {
+          EXPECT_EQ(w, 0U);
+        }
       }
     }
   }

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Determinism / hygiene lint for the cimanneal tree.
+
+Annealer results are only comparable when runs are bit-reproducible, so all
+randomness must flow through the seeded cim::util::Rng (xoshiro256++). This
+lint enforces that mechanically rather than by convention:
+
+  rng-random-device   std::random_device anywhere (non-deterministic seed)
+  rng-libc-rand       rand()/srand()/rand_r() (global hidden state)
+  rng-time-seed       time(nullptr)/time(NULL)/time(0) used as entropy
+  rng-mt19937         std::mt19937 construction outside src/util/random.*
+                      (distribution implementations differ across stdlibs)
+  hdr-using-namespace `using namespace` at namespace scope in a header
+  hdr-pragma-once     header missing `#pragma once`
+
+Comments and string literals are stripped before matching, so prose that
+*mentions* a banned construct is fine. Exit status is the number of findings
+capped at 1, so it slots directly into ctest / CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HEADER_EXTS = {".hpp", ".h", ".hh"}
+SOURCE_EXTS = {".cpp", ".cc", ".cxx"} | HEADER_EXTS
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+# Files allowed to own raw PRNG machinery. Everything else must go through
+# cim::util::Rng.
+RNG_ALLOWLIST = {Path("src/util/random.hpp"), Path("src/util/random.cpp")}
+
+RULES = [
+    ("rng-random-device", re.compile(r"\bstd\s*::\s*random_device\b"),
+     "std::random_device is non-deterministic; seed cim::util::Rng explicitly"),
+    ("rng-libc-rand", re.compile(r"(?<![\w:])s?rand(_r)?\s*\("),
+     "libc rand()/srand() has hidden global state; use cim::util::Rng"),
+    ("rng-time-seed", re.compile(r"(?<![\w:])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "wall-clock seeding breaks reproducibility; pass seeds explicitly"),
+    ("rng-mt19937", re.compile(r"\bmt19937(_64)?\b"),
+     "std::mt19937 is banned outside src/util/random.*; use cim::util::Rng"),
+]
+
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b", re.MULTILINE)
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving newlines."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+        elif ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            stop = n if end == -1 else end + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:stop]))
+            i = stop
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def lint_file(root: Path, path: Path) -> list[str]:
+    rel = path.relative_to(root)
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(raw)
+    findings: list[str] = []
+
+    for rule, pattern, message in RULES:
+        if rule == "rng-mt19937" and rel in RNG_ALLOWLIST:
+            continue
+        for m in pattern.finditer(code):
+            findings.append(
+                f"{rel}:{line_of(code, m.start())}: [{rule}] {message}")
+
+    if path.suffix in HEADER_EXTS:
+        for m in USING_NAMESPACE.finditer(code):
+            findings.append(
+                f"{rel}:{line_of(code, m.start())}: [hdr-using-namespace] "
+                "`using namespace` in a header leaks into every includer")
+        if not PRAGMA_ONCE.search(raw):
+            findings.append(
+                f"{rel}:1: [hdr-pragma-once] header missing `#pragma once`")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                        help="repository root (default: repo containing tools/)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    files: list[Path] = []
+    for top in SCAN_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        files.extend(p for p in sorted(base.rglob("*"))
+                     if p.suffix in SOURCE_EXTS and p.is_file())
+    if not files:
+        # A misconfigured --root must not silently pass the gate.
+        print(f"lint.py: error: no C++ sources found under {root} "
+              f"(looked in {', '.join(SCAN_DIRS)})", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(root, path))
+
+    for finding in findings:
+        print(finding)
+    print(f"lint.py: scanned {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

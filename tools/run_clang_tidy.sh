@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over every first-party translation
+# unit using the compile_commands.json of an existing build tree.
+#
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Defaults to build/release, falling back to build/. Exits 0 with a SKIPPED
+# notice when clang-tidy is not installed (the container bakes in only the
+# gcc toolchain), so CI degrades gracefully instead of failing the gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-}"
+if [[ -z "${build_dir}" ]]; then
+  for candidate in "${repo_root}/build/release" "${repo_root}/build"; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy.sh: SKIPPED (no clang-tidy on PATH; set CLANG_TIDY=...)"
+  exit 0
+fi
+
+if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: no compile_commands.json found." >&2
+  echo "  Configure first: cmake --preset release" >&2
+  exit 2
+fi
+
+# First-party TUs only: everything under src/, tests/, bench/, examples/.
+mapfile -t files < <(cd "${repo_root}" &&
+  find src tests bench examples -name '*.cpp' 2>/dev/null | sort)
+
+echo "run_clang_tidy.sh: ${tidy_bin} on ${#files[@]} files (db: ${build_dir})"
+status=0
+for file in "${files[@]}"; do
+  if ! "${tidy_bin}" -p "${build_dir}" --quiet "${repo_root}/${file}"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "run_clang_tidy.sh: FAILED (findings above)" >&2
+else
+  echo "run_clang_tidy.sh: clean"
+fi
+exit ${status}
