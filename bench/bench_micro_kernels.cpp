@@ -2,7 +2,17 @@
 // simulator (window MACs on both backends, write-back with noise
 // injection, adder-tree reduction, swap evaluation) and the supporting
 // geometry (kd-tree queries).
+//
+// Besides the google-benchmark suite, main() times the three variants of
+// the 4-MAC swap kernel (dense rebuild-and-scan, sparse row-list rebuild,
+// incremental sparse) head-to-head and writes BENCH_swap_kernel.json —
+// see EXPERIMENTS.md for the format. CIMANNEAL_BENCH_OUT overrides the
+// output path; CIMANNEAL_BENCH_SMOKE=1 shrinks the sweep for CI.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "cim/adder_tree.hpp"
 #include "cim/storage.hpp"
@@ -11,7 +21,11 @@
 #include "ising/pbm.hpp"
 #include "noise/sram_model.hpp"
 #include "tsp/generator.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/random.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -105,6 +119,144 @@ void BM_PbmSwapDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_PbmSwapDelta);
 
+/// One fast-backend window plus the annealer's swap state (member order
+/// and the p + 2 set input rows), shared by the three swap-kernel
+/// variants. Every variant evaluates the same 4-MAC order swap and
+/// reverts, so identically-seeded runs must produce identical delta
+/// streams — checked in the JSON report.
+class SwapKernelFixture {
+ public:
+  explicit SwapKernelFixture(std::uint32_t p)
+      : p_(p), shape_(cim::hw::WindowShape::hardware(p)) {
+    storage_ = cim::hw::make_fast_storage(shape_.rows(), shape_.cols(),
+                                          nullptr, 0);
+    storage_->write(random_image(shape_.rows(), shape_.cols(), 11));
+    perm_.resize(p);
+    for (std::uint32_t i = 0; i < p; ++i) perm_[i] = i;
+    input_.assign(shape_.rows(), 0);
+    active_.resize(p_ + 2ULL);
+    rebuild_active();
+  }
+
+  std::uint32_t rows() const { return shape_.rows(); }
+  std::uint32_t active_rows() const { return p_ + 2; }
+
+  /// Legacy kernel: rebuild the dense input vector and scan every row.
+  std::int64_t dense_swap(cim::util::Rng& rng) {
+    const auto [i, j] = pick_pair(rng);
+    const std::uint32_t k = perm_[i];
+    const std::uint32_t l = perm_[j];
+    rebuild_input();
+    const std::int64_t before = storage_->mac(i * p_ + k, input_) +
+                                storage_->mac(j * p_ + l, input_);
+    std::swap(perm_[i], perm_[j]);
+    rebuild_input();
+    const std::int64_t after = storage_->mac(i * p_ + l, input_) +
+                               storage_->mac(j * p_ + k, input_);
+    std::swap(perm_[i], perm_[j]);
+    return after - before;
+  }
+
+  /// Sparse MAC but the row list is rebuilt from the perm per half.
+  std::int64_t sparse_swap(cim::util::Rng& rng) {
+    const auto [i, j] = pick_pair(rng);
+    const std::uint32_t k = perm_[i];
+    const std::uint32_t l = perm_[j];
+    rebuild_active();
+    const std::int64_t before = storage_->mac_sparse(i * p_ + k, active_) +
+                                storage_->mac_sparse(j * p_ + l, active_);
+    std::swap(perm_[i], perm_[j]);
+    rebuild_active();
+    const std::int64_t after = storage_->mac_sparse(i * p_ + l, active_) +
+                               storage_->mac_sparse(j * p_ + k, active_);
+    std::swap(perm_[i], perm_[j]);
+    rebuild_active();
+    return after - before;
+  }
+
+  /// The production kernel: persistent row list, O(1) entry updates.
+  std::int64_t incremental_swap(cim::util::Rng& rng) {
+    const auto [i, j] = pick_pair(rng);
+    const std::uint32_t k = perm_[i];
+    const std::uint32_t l = perm_[j];
+    const std::int64_t before = storage_->mac_sparse(i * p_ + k, active_) +
+                                storage_->mac_sparse(j * p_ + l, active_);
+    std::swap(perm_[i], perm_[j]);
+    apply_entries(i, j);
+    const std::int64_t after = storage_->mac_sparse(i * p_ + l, active_) +
+                               storage_->mac_sparse(j * p_ + k, active_);
+    std::swap(perm_[i], perm_[j]);
+    apply_entries(i, j);
+    return after - before;
+  }
+
+ private:
+  std::pair<std::uint32_t, std::uint32_t> pick_pair(cim::util::Rng& rng) {
+    std::uint32_t i = static_cast<std::uint32_t>(rng.below(p_));
+    std::uint32_t j = static_cast<std::uint32_t>(rng.below(p_ - 1));
+    if (j >= i) ++j;
+    if (i > j) std::swap(i, j);
+    return {i, j};
+  }
+
+  void rebuild_input() {
+    input_.assign(shape_.rows(), 0);
+    for (std::uint32_t i = 0; i < p_; ++i) input_[i * p_ + perm_[i]] = 1;
+    input_[shape_.own_rows() + perm_.back()] = 1;
+    input_[shape_.own_rows() + shape_.p_prev + perm_.front()] = 1;
+  }
+
+  void rebuild_active() {
+    for (std::uint32_t i = 0; i < p_; ++i) active_[i] = i * p_ + perm_[i];
+    active_[p_] = shape_.own_rows() + perm_.back();
+    active_[p_ + 1] = shape_.own_rows() + shape_.p_prev + perm_.front();
+  }
+
+  void apply_entries(std::uint32_t i, std::uint32_t j) {
+    active_[i] = i * p_ + perm_[i];
+    active_[j] = j * p_ + perm_[j];
+    active_[p_] = shape_.own_rows() + perm_.back();
+    active_[p_ + 1] = shape_.own_rows() + shape_.p_prev + perm_.front();
+  }
+
+  std::uint32_t p_;
+  cim::hw::WindowShape shape_;
+  std::unique_ptr<cim::hw::WeightStorage> storage_;
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::uint8_t> input_;
+  std::vector<std::uint32_t> active_;
+};
+
+void BM_SwapKernelDense(benchmark::State& state) {
+  SwapKernelFixture fixture(static_cast<std::uint32_t>(state.range(0)));
+  cim::util::Rng rng(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.dense_swap(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SwapKernelDense)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SwapKernelSparse(benchmark::State& state) {
+  SwapKernelFixture fixture(static_cast<std::uint32_t>(state.range(0)));
+  cim::util::Rng rng(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.sparse_swap(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SwapKernelSparse)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SwapKernelIncremental(benchmark::State& state) {
+  SwapKernelFixture fixture(static_cast<std::uint32_t>(state.range(0)));
+  cim::util::Rng rng(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.incremental_swap(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SwapKernelIncremental)->Arg(4)->Arg(8)->Arg(16);
+
 void BM_KdTreeNearest(benchmark::State& state) {
   const auto inst = cim::tsp::generate_uniform(
       static_cast<std::size_t>(state.range(0)), 9);
@@ -118,6 +270,84 @@ void BM_KdTreeNearest(benchmark::State& state) {
 }
 BENCHMARK(BM_KdTreeNearest)->Arg(1000)->Arg(100000);
 
+/// Times the three swap-kernel variants head-to-head over identical swap
+/// sequences and writes BENCH_swap_kernel.json. Aborts if the variants'
+/// accumulated energy deltas disagree (they evaluate the same swaps on
+/// the same weights, so any divergence is a kernel bug).
+void write_swap_kernel_report() {
+  const bool smoke = cim::util::Args::env_flag("CIMANNEAL_BENCH_SMOKE");
+  const char* out_env = std::getenv("CIMANNEAL_BENCH_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_swap_kernel.json";
+  const std::vector<std::uint32_t> scales =
+      smoke ? std::vector<std::uint32_t>{4}
+            : std::vector<std::uint32_t>{4, 8, 16};
+  const std::size_t iterations = smoke ? 20000 : 200000;
+
+  cim::util::Json report = cim::util::Json::object();
+  report["benchmark"] = "swap_kernel";
+  report["backend"] = "fast";
+  report["smoke"] = smoke;
+  report["iterations_per_variant"] = static_cast<std::uint64_t>(iterations);
+  cim::util::Json rows = cim::util::Json::array();
+
+  for (const std::uint32_t p : scales) {
+    // One fixture + one RNG per variant: each variant reverts every swap,
+    // so identically-seeded runs draw the exact same (i, j) sequence.
+    SwapKernelFixture dense_fx(p), sparse_fx(p), incr_fx(p);
+    cim::util::Rng dense_rng(33), sparse_rng(33), incr_rng(33);
+    const auto time_variant = [iterations](auto&& step) {
+      std::int64_t checksum = 0;
+      for (std::size_t it = 0; it < iterations / 10 + 1; ++it) {
+        checksum += step();  // warm-up
+      }
+      cim::util::Timer timer;
+      for (std::size_t it = 0; it < iterations; ++it) {
+        checksum += step();
+      }
+      const double ns = timer.seconds() * 1e9 /
+                        static_cast<double>(iterations);
+      return std::pair<double, std::int64_t>{ns, checksum};
+    };
+    const auto [dense_ns, dense_sum] =
+        time_variant([&] { return dense_fx.dense_swap(dense_rng); });
+    const auto [sparse_ns, sparse_sum] =
+        time_variant([&] { return sparse_fx.sparse_swap(sparse_rng); });
+    const auto [incr_ns, incr_sum] =
+        time_variant([&] { return incr_fx.incremental_swap(incr_rng); });
+    CIM_REQUIRE(dense_sum == sparse_sum && dense_sum == incr_sum,
+                "swap-kernel variants disagree on energy deltas");
+
+    cim::util::Json row = cim::util::Json::object();
+    row["p"] = static_cast<std::uint64_t>(p);
+    row["window_rows"] = static_cast<std::uint64_t>(dense_fx.rows());
+    row["active_rows"] = static_cast<std::uint64_t>(dense_fx.active_rows());
+    row["dense_ns_per_swap"] = dense_ns;
+    row["sparse_ns_per_swap"] = sparse_ns;
+    row["incremental_ns_per_swap"] = incr_ns;
+    row["speedup_sparse_vs_dense"] = sparse_ns > 0.0 ? dense_ns / sparse_ns
+                                                     : 0.0;
+    row["speedup_incremental_vs_dense"] =
+        incr_ns > 0.0 ? dense_ns / incr_ns : 0.0;
+    rows.push_back(std::move(row));
+    std::printf(
+        "swap_kernel p=%u rows=%u: dense %.1f ns, sparse %.1f ns, "
+        "incremental %.1f ns (%.2fx)\n",
+        p, dense_fx.rows(), dense_ns, sparse_ns, incr_ns,
+        incr_ns > 0.0 ? dense_ns / incr_ns : 0.0);
+  }
+  report["scales"] = std::move(rows);
+  report.save(out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_swap_kernel_report();
+  return 0;
+}

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
+#include <span>
+#include <thread>
 
 #include "anneal/top_ring.hpp"
 #include "cim/window.hpp"
@@ -30,7 +33,49 @@ struct Slot {
   std::uint8_t color = 0;
   std::uint64_t spin_cell_base = 0;  ///< register-cell ids for kSramSpin
 
+  /// Sparse swap-kernel state: the p + 2 currently-set input rows (own
+  /// spins at entries [0, p), then the predecessor and successor boundary
+  /// rows) plus a dense 0/1 view of the same set. Maintained
+  /// incrementally — a swap moves exactly two own entries, and the
+  /// boundary entries follow the neighbours' perms.
+  std::vector<std::uint32_t> active;
+  std::vector<std::uint8_t> in_mask;
+
+  /// kSramSpin per-epoch noise cache: the error pattern is spatially
+  /// fixed within an epoch, so the per-row settle outcomes are
+  /// precomputed once per (slot, epoch) instead of per MAC input bit.
+  /// spin_drop[r] — a written 1 reads as 0; spin_add — rows whose written
+  /// 0 reads as 1.
+  std::uint64_t spin_epoch = ~0ULL;
+  std::vector<std::uint8_t> spin_drop;
+  std::vector<std::uint32_t> spin_add;
+
   std::uint32_t p() const { return static_cast<std::uint32_t>(members.size()); }
+};
+
+/// Per-worker scratch buffers for attempt_swap (one per thread in the
+/// colour-parallel mode, so workers never share mutable state).
+struct SwapScratch {
+  std::vector<std::uint8_t> input;   ///< dense input (legacy kernel)
+  std::vector<std::uint32_t> rows;   ///< noisy row list (kSramSpin sparse)
+};
+
+/// Joins every still-joinable thread on scope exit so a throw while
+/// spawning never reaches ~thread() on a joinable thread.
+class ThreadJoiner {
+ public:
+  explicit ThreadJoiner(std::vector<std::thread>& threads)
+      : threads_(threads) {}
+  ThreadJoiner(const ThreadJoiner&) = delete;
+  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
+  ~ThreadJoiner() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  std::vector<std::thread>& threads_;
 };
 
 /// Solves the member order of every cluster at one hierarchy level.
@@ -52,6 +97,16 @@ class LevelSolver {
         epoch_base_(epoch_base) {
     build_slots(ring);
     build_windows();
+    for (Slot& slot : slots_) init_active(slot);
+    if (config_.color_threads > 1) {
+      const std::uint64_t level_stream = util::stream_seed(
+          util::hash_combine(config_.seed, 0xC0102ULL),
+          static_cast<std::uint64_t>(level_));
+      slot_rngs_.reserve(slots_.size());
+      for (std::size_t r = 0; r < slots_.size(); ++r) {
+        slot_rngs_.emplace_back(util::stream_seed(level_stream, r));
+      }
+    }
   }
 
   LevelStats run(HardwareActivity& hw, std::vector<double>* trace);
@@ -91,12 +146,34 @@ class LevelSolver {
     return static_cast<std::uint8_t>(std::clamp(q, 0.0, max_code));
   }
 
-  /// Builds the input bit-vector of `slot` from the current permutations.
+  /// Builds the input bit-vector of `slot` from the current permutations
+  /// (legacy dense kernel; the reference the sparse path must match).
   void assemble_input(const Slot& slot, std::vector<std::uint8_t>& input,
                       const SchedulePhase& phase) const;
 
+  /// Initialises the persistent active-row list of `slot` from its perm.
+  void init_active(Slot& slot);
+  /// Points active[idx] at `row`, keeping the dense mask in sync.
+  void set_active_entry(Slot& slot, std::uint32_t idx, std::uint32_t row);
+  /// Re-derives the two boundary entries from the neighbours' perms (they
+  /// change when a neighbour accepts a swap at its first/last order — or,
+  /// on a single-slot ring, when this slot does).
+  void refresh_boundary(Slot& slot);
+  /// Rebuilds the kSramSpin settle cache when the epoch changed.
+  void refresh_spin_cache(Slot& slot, const SchedulePhase& phase);
+  /// The set input rows after spin noise: the clean active list in every
+  /// mode but kSramSpin, where cached per-epoch settle outcomes drop
+  /// written-1 rows and add settled-to-1 rows.
+  std::span<const std::uint32_t> noisy_input_rows(
+      const Slot& slot, std::vector<std::uint32_t>& scratch) const;
+
   bool attempt_swap(Slot& slot, const SchedulePhase& phase,
-                    LevelStats& stats, HardwareActivity& hw);
+                    LevelStats& stats, HardwareActivity& hw, util::Rng& rng,
+                    SwapScratch& scratch);
+
+  /// Updates all slots of one colour on config_.color_threads workers.
+  void run_color_parallel(std::uint8_t color, const SchedulePhase& phase,
+                          LevelStats& stats, HardwareActivity& hw);
 
   /// Exact (noise-free, unquantised) energy delta of the swap (i, j) that
   /// has already been applied to slot.perm.
@@ -115,14 +192,18 @@ class LevelSolver {
   std::vector<Slot> slots_;
   std::uint8_t color_count_ = 1;
   double scale_ = 0.0;  ///< quantisation: weight = distance * scale_
-  mutable std::vector<std::uint8_t> input_scratch_;
+  SwapScratch scratch_;  ///< single-threaded scratch
+  /// Per-slot RNG streams (colour-parallel mode only): derived statelessly
+  /// from the level seed so results are independent of worker count and
+  /// execution order within a colour phase.
+  std::vector<util::Rng> slot_rngs_;
+  std::vector<std::size_t> color_slots_;  ///< scratch for one colour's slots
 };
 
 void LevelSolver::build_slots(const std::vector<std::uint32_t>& ring) {
   CIM_ASSERT(!ring.empty());
   const auto& clusters = hierarchy_.level(level_).clusters;
   slots_.resize(ring.size());
-  std::uint64_t spin_base = 0;
   for (std::size_t r = 0; r < ring.size(); ++r) {
     Slot& slot = slots_[r];
     const cluster::Cluster& c = clusters[ring[r]];
@@ -136,8 +217,19 @@ void LevelSolver::build_slots(const std::vector<std::uint32_t>& ring) {
     slot.prev = static_cast<std::uint32_t>((r + ring.size() - 1) %
                                            ring.size());
     slot.next = static_cast<std::uint32_t>((r + 1) % ring.size());
-    slot.spin_cell_base = 0x8000000000000000ULL | (spin_base << 8);
-    spin_base += 1;
+  }
+  // Window shapes (and from them the collision-free spin-register cell-id
+  // bases) only need the neighbour member counts, all known now.
+  for (Slot& slot : slots_) {
+    slot.shape = hw::WindowShape{slot.p(), slots_[slot.prev].p(),
+                                 slots_[slot.next].p()};
+  }
+  std::vector<hw::WindowShape> shapes;
+  shapes.reserve(slots_.size());
+  for (const Slot& slot : slots_) shapes.push_back(slot.shape);
+  const auto bases = spin_cell_bases(shapes);
+  for (std::size_t r = 0; r < slots_.size(); ++r) {
+    slots_[r].spin_cell_base = bases[r];
   }
   // Chromatic colouring of the ring: alternate parity; an odd ring (of
   // length > 1) gives its last slot a third colour so no two adjacent
@@ -192,8 +284,6 @@ void LevelSolver::build_windows() {
 
   std::uint64_t cell_base = 0;
   for (Slot& slot : slots_) {
-    slot.shape = hw::WindowShape{slot.p(), slots_[slot.prev].p(),
-                                 slots_[slot.next].p()};
     hw::WindowBuilder builder(slot.shape);
     for (std::uint32_t a = 0; a < slot.p(); ++a) {
       for (std::uint32_t b = a + 1; b < slot.p(); ++b) {
@@ -236,6 +326,8 @@ void LevelSolver::build_windows() {
 void LevelSolver::assemble_input(const Slot& slot,
                                  std::vector<std::uint8_t>& input,
                                  const SchedulePhase& phase) const {
+  // NOLINT(anneal-dense-rebuild): this full-vector rebuild is the dense
+  // reference baseline the sparse kernel is verified against.
   input.assign(slot.shape.rows(), 0);
   const std::uint32_t p = slot.p();
   for (std::uint32_t i = 0; i < p; ++i) {
@@ -259,37 +351,132 @@ void LevelSolver::assemble_input(const Slot& slot,
   }
 }
 
+void LevelSolver::init_active(Slot& slot) {
+  // NOLINT(anneal-dense-rebuild): one-time construction, not the hot path.
+  slot.in_mask.assign(slot.shape.rows(), 0);
+  slot.active.assign(slot.p() + 2ULL, 0);
+  const std::uint32_t p = slot.p();
+  for (std::uint32_t i = 0; i < p; ++i) {
+    slot.active[i] = i * p + slot.perm[i];
+    slot.in_mask[slot.active[i]] = 1;
+  }
+  const Slot& prev = slots_[slot.prev];
+  const Slot& next = slots_[slot.next];
+  slot.active[p] = slot.shape.own_rows() + prev.perm.back();
+  slot.active[p + 1] =
+      slot.shape.own_rows() + slot.shape.p_prev + next.perm.front();
+  slot.in_mask[slot.active[p]] = 1;
+  slot.in_mask[slot.active[p + 1]] = 1;
+}
+
+void LevelSolver::set_active_entry(Slot& slot, std::uint32_t idx,
+                                   std::uint32_t row) {
+  const std::uint32_t old = slot.active[idx];
+  if (old == row) return;
+  slot.in_mask[old] = 0;
+  slot.active[idx] = row;
+  slot.in_mask[row] = 1;
+}
+
+void LevelSolver::refresh_boundary(Slot& slot) {
+  const Slot& prev = slots_[slot.prev];
+  const Slot& next = slots_[slot.next];
+  set_active_entry(slot, slot.p(),
+                   slot.shape.own_rows() + prev.perm.back());
+  set_active_entry(
+      slot, slot.p() + 1,
+      slot.shape.own_rows() + slot.shape.p_prev + next.perm.front());
+}
+
+void LevelSolver::refresh_spin_cache(Slot& slot, const SchedulePhase& phase) {
+  if (slot.spin_epoch == phase.epoch) return;
+  slot.spin_epoch = phase.epoch;
+  const std::uint32_t rows = slot.shape.rows();
+  slot.spin_drop.assign(rows, 0);
+  slot.spin_add.clear();
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const std::uint64_t id = slot.spin_cell_base + r;
+    if (!filter_spin_bit(cell_model_, id, phase, true)) {
+      slot.spin_drop[r] = 1;
+    }
+    if (filter_spin_bit(cell_model_, id, phase, false)) {
+      slot.spin_add.push_back(r);
+    }
+  }
+}
+
+std::span<const std::uint32_t> LevelSolver::noisy_input_rows(
+    const Slot& slot, std::vector<std::uint32_t>& scratch) const {
+  if (config_.noise != NoiseMode::kSramSpin) return slot.active;
+  scratch.clear();
+  for (const std::uint32_t r : slot.active) {
+    if (!slot.spin_drop[r]) scratch.push_back(r);
+  }
+  for (const std::uint32_t r : slot.spin_add) {
+    if (!slot.in_mask[r]) scratch.push_back(r);
+  }
+  return scratch;
+}
+
 bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
-                               LevelStats& stats, HardwareActivity& hw) {
+                               LevelStats& stats, HardwareActivity& hw,
+                               util::Rng& rng, SwapScratch& scratch) {
   const std::uint32_t p = slot.p();
   if (p < 2) return false;
   ++stats.swaps_attempted;
   ++hw.swap_attempts;
 
-  std::uint32_t i = static_cast<std::uint32_t>(rng_.below(p));
-  std::uint32_t j = static_cast<std::uint32_t>(rng_.below(p - 1));
+  std::uint32_t i = static_cast<std::uint32_t>(rng.below(p));
+  std::uint32_t j = static_cast<std::uint32_t>(rng.below(p - 1));
   if (j >= i) ++j;
   if (i > j) std::swap(i, j);
 
   const std::uint32_t k = slot.perm[i];
   const std::uint32_t l = slot.perm[j];
-  auto& input = input_scratch_;
 
-  // Two MACs with the pre-swap spin state (Fig. 5(a), cycles 1–2).
-  assemble_input(slot, input, phase);
-  const std::int64_t before =
-      slot.storage->mac(i * p + k, input) + slot.storage->mac(j * p + l, input);
-
-  // Apply the swap, two MACs with the post-swap state (cycles 3–4).
-  std::swap(slot.perm[i], slot.perm[j]);
-  assemble_input(slot, input, phase);
-  const std::int64_t after =
-      slot.storage->mac(i * p + l, input) + slot.storage->mac(j * p + k, input);
+  std::int64_t before = 0;
+  std::int64_t after = 0;
+  if (config_.sparse_swap_kernel) {
+    // Incremental sparse kernel: the persistent active-row list holds the
+    // p + 2 set input bits; a swap moves two own entries and the boundary
+    // entries follow the neighbours' perms (refreshed O(1) here rather
+    // than invalidation-pushed from the neighbour's accept).
+    refresh_boundary(slot);
+    if (config_.noise == NoiseMode::kSramSpin) {
+      refresh_spin_cache(slot, phase);
+    }
+    // Two MACs with the pre-swap spin state (Fig. 5(a), cycles 1–2).
+    const auto rows_pre = noisy_input_rows(slot, scratch.rows);
+    before = slot.storage->mac_sparse(i * p + k, rows_pre) +
+             slot.storage->mac_sparse(j * p + l, rows_pre);
+    // Apply the swap, two MACs with the post-swap state (cycles 3–4).
+    std::swap(slot.perm[i], slot.perm[j]);
+    set_active_entry(slot, i, i * p + slot.perm[i]);
+    set_active_entry(slot, j, j * p + slot.perm[j]);
+    refresh_boundary(slot);  // a single-slot ring neighbours itself
+    const auto rows_post = noisy_input_rows(slot, scratch.rows);
+    after = slot.storage->mac_sparse(i * p + l, rows_post) +
+            slot.storage->mac_sparse(j * p + k, rows_post);
+  } else {
+    // Dense reference baseline (ablation + micro-bench): rebuild the full
+    // input vector and scan every row per MAC.
+    auto& input = scratch.input;
+    assemble_input(slot, input, phase);
+    before = slot.storage->mac(i * p + k, input) +
+             slot.storage->mac(j * p + l, input);
+    std::swap(slot.perm[i], slot.perm[j]);
+    assemble_input(slot, input, phase);
+    after = slot.storage->mac(i * p + l, input) +
+            slot.storage->mac(j * p + k, input);
+  }
 
   // Dataflow accounting: the boundary spins cross the array edge once per
-  // update, and the input register realigns by one window.
-  const auto parity = (slot.color % 2) == 0 ? hw::UpdateParity::kSolid
-                                            : hw::UpdateParity::kDash;
+  // update, and the input register realigns by one window. The extra
+  // chromatic phase of an odd ring (colour 2) is neither a solid nor a
+  // dash column and is tallied on its own.
+  const auto parity = slot.color == 0   ? hw::UpdateParity::kSolid
+                      : slot.color == 1 ? hw::UpdateParity::kDash
+                                        : hw::UpdateParity::kThird;
   hw.dataflow.record_edge_transfer(parity, p);
   hw.dataflow.record_input_shift(p);
 
@@ -305,13 +492,17 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
       const double temperature = equivalent_temperature(cell_model_, phase);
       accept = delta < 0 ||
                (temperature > 0.0 &&
-                rng_.uniform() <
+                rng.uniform() <
                     std::exp(-static_cast<double>(delta) / temperature));
       break;
     }
   }
   if (!accept) {
     std::swap(slot.perm[i], slot.perm[j]);  // revert
+    if (config_.sparse_swap_kernel) {
+      set_active_entry(slot, i, i * p + slot.perm[i]);
+      set_active_entry(slot, j, j * p + slot.perm[j]);
+    }
     return false;
   }
   ++stats.swaps_accepted;
@@ -319,6 +510,57 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
     ++stats.uphill_accepted;
   }
   return true;
+}
+
+void LevelSolver::run_color_parallel(std::uint8_t color,
+                                     const SchedulePhase& phase,
+                                     LevelStats& stats,
+                                     HardwareActivity& hw) {
+  color_slots_.clear();
+  for (std::size_t r = 0; r < slots_.size(); ++r) {
+    if (slots_[r].color == color) color_slots_.push_back(r);
+  }
+  const std::size_t workers = std::min<std::size_t>(
+      config_.color_threads, color_slots_.size());
+  if (workers <= 1) {
+    // Same per-slot streams as the threaded path, so results do not
+    // depend on how many workers a colour happens to get.
+    for (const std::size_t r : color_slots_) {
+      attempt_swap(slots_[r], phase, stats, hw, slot_rngs_[r], scratch_);
+    }
+    return;
+  }
+  std::vector<LevelStats> worker_stats(workers);
+  std::vector<HardwareActivity> worker_hw(workers);
+  std::vector<SwapScratch> worker_scratch(workers);
+  std::vector<std::exception_ptr> worker_error(workers);
+  {
+    std::vector<std::thread> threads;
+    ThreadJoiner joiner(threads);
+    threads.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      threads.emplace_back([this, t, workers, &phase, &worker_stats,
+                            &worker_hw, &worker_scratch, &worker_error] {
+        try {
+          for (std::size_t q = t; q < color_slots_.size(); q += workers) {
+            const std::size_t r = color_slots_[q];
+            attempt_swap(slots_[r], phase, worker_stats[t], worker_hw[t],
+                         slot_rngs_[r], worker_scratch[t]);
+          }
+        } catch (...) {
+          worker_error[t] = std::current_exception();
+        }
+      });
+    }
+  }
+  for (std::size_t t = 0; t < workers; ++t) {
+    if (worker_error[t]) std::rethrow_exception(worker_error[t]);
+    stats.swaps_attempted += worker_stats[t].swaps_attempted;
+    stats.swaps_accepted += worker_stats[t].swaps_accepted;
+    stats.uphill_accepted += worker_stats[t].uphill_accepted;
+    hw.swap_attempts += worker_hw[t].swap_attempts;
+    hw.dataflow += worker_hw[t].dataflow;
+  }
 }
 
 double LevelSolver::exact_swap_delta_applied(Slot& slot, std::uint32_t i,
@@ -391,8 +633,14 @@ LevelStats LevelSolver::run(HardwareActivity& hw,
       // ring neighbours hold other colours, so the frozen-neighbour reads
       // are race-free (chromatic Gibbs sampling).
       for (std::uint8_t color = 0; color < color_count_; ++color) {
-        for (Slot& slot : slots_) {
-          if (slot.color == color) attempt_swap(slot, phase, stats, hw);
+        if (!slot_rngs_.empty()) {
+          run_color_parallel(color, phase, stats, hw);
+        } else {
+          for (Slot& slot : slots_) {
+            if (slot.color == color) {
+              attempt_swap(slot, phase, stats, hw, rng_, scratch_);
+            }
+          }
         }
         hw.update_cycles += 4;
         stats.update_cycles += 4;
@@ -400,7 +648,7 @@ LevelStats LevelSolver::run(HardwareActivity& hw,
     } else {
       // Sequential Gibbs baseline: one cluster at a time.
       for (Slot& slot : slots_) {
-        attempt_swap(slot, phase, stats, hw);
+        attempt_swap(slot, phase, stats, hw, rng_, scratch_);
         hw.update_cycles += 4;
         stats.update_cycles += 4;
       }
@@ -458,10 +706,32 @@ double LevelSolver::exact_ring_length() const {
 
 }  // namespace
 
+std::vector<std::uint64_t> spin_cell_bases(
+    const std::vector<hw::WindowShape>& shapes) {
+  // High tag keeps spin-register ids disjoint from the weight-cell ids,
+  // which count up from 0.
+  constexpr std::uint64_t kTag = 0x8000000000000000ULL;
+  std::uint64_t stride = 256;  // historical stride, kept as a floor
+  for (const hw::WindowShape& shape : shapes) {
+    stride = std::max<std::uint64_t>(stride, shape.rows());
+  }
+  std::vector<std::uint64_t> bases(shapes.size());
+  for (std::size_t r = 0; r < shapes.size(); ++r) {
+    bases[r] = kTag | (static_cast<std::uint64_t>(r) * stride);
+  }
+  return bases;
+}
+
 ClusteredAnnealer::ClusteredAnnealer(AnnealerConfig config)
     : config_(std::move(config)) {
   CIM_REQUIRE(config_.weight_bits >= 1 && config_.weight_bits <= 8,
               "weight precision must be 1..8 bits");
+  CIM_REQUIRE(config_.color_threads >= 1,
+              "color_threads must be at least 1");
+  CIM_REQUIRE(config_.color_threads == 1 ||
+                  (config_.chromatic_parallel && config_.sparse_swap_kernel),
+              "color_threads > 1 requires chromatic_parallel and the sparse "
+              "swap kernel");
 }
 
 AnnealResult ClusteredAnnealer::solve(const tsp::Instance& instance) const {

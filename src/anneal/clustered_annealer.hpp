@@ -27,6 +27,7 @@
 #include "cluster/hierarchy.hpp"
 #include "cim/dataflow.hpp"
 #include "cim/storage.hpp"
+#include "cim/window.hpp"
 #include "noise/schedule.hpp"
 #include "noise/sram_model.hpp"
 #include "tsp/instance.hpp"
@@ -43,6 +44,19 @@ struct AnnealerConfig {
   NoiseMode noise = NoiseMode::kSramWeight;
   BackendKind backend = BackendKind::kFast;
   bool chromatic_parallel = true;  ///< false → sequential Gibbs (ablation)
+  /// Incremental sparse swap kernel (default): every 4-MAC swap iterates
+  /// only the p + 2 set input rows, tracked per slot and updated in place
+  /// on accept/revert. false keeps the dense rebuild-and-scan baseline —
+  /// bit-identical results and hardware counters, kept for the ablation
+  /// and the swap-kernel micro-bench.
+  bool sparse_swap_kernel = true;
+  /// >1 updates same-colour slots of each chromatic phase on this many
+  /// std::threads. Deterministic for a given seed and independent of the
+  /// thread count (per-slot RNG streams derived from the level seed), but
+  /// the streams differ from the single-threaded shared-stream sequence,
+  /// so results match across thread counts > 1, not with 1. Requires
+  /// chromatic_parallel and sparse_swap_kernel.
+  std::uint32_t color_threads = 1;
   std::uint32_t weight_bits = 8;
   std::uint64_t seed = 1;
   /// Record the level-0 ring length after every iteration (costly; for
@@ -83,6 +97,16 @@ struct AnnealResult {
   std::size_t hierarchy_depth = 0;
   std::size_t max_cluster_size = 0;
 };
+
+/// Disjoint spin-register cell-id bases for the kSramSpin mode, one per
+/// ring slot. Ids start at a high tag and stride by max(256, largest
+/// window height): a window has rows() = p² + p_prev + p_next register
+/// cells, which exceeds the historical 2⁸ stride once p ≥ 16, so striding
+/// by 2⁸ would alias adjacent slots' error patterns. The 256 floor keeps
+/// the established patterns of small windows unchanged. Exposed for
+/// tests.
+std::vector<std::uint64_t> spin_cell_bases(
+    const std::vector<hw::WindowShape>& shapes);
 
 class ClusteredAnnealer {
  public:

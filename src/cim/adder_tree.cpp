@@ -49,6 +49,20 @@ std::uint64_t AdderTree::shift_and_add(std::span<const std::uint8_t> planes,
   return acc;
 }
 
+std::uint64_t AdderTree::shift_and_add_sparse(
+    std::span<const std::uint32_t> plane_sums) {
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < plane_sums.size(); ++b) {
+    CIM_ASSERT(plane_sums[b] <= fan_in_);
+    // Counter model: the physical tree reduces all fan_in_ products of the
+    // plane regardless of how many input rows are set.
+    adder_ops_ += fan_in_ > 0 ? fan_in_ - 1 : 0;
+    ++reductions_;
+    acc += static_cast<std::uint64_t>(plane_sums[b]) << b;
+  }
+  return acc;
+}
+
 void AdderTree::reset_counters() {
   reductions_ = 0;
   adder_ops_ = 0;

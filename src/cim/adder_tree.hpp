@@ -39,6 +39,13 @@ class AdderTree {
   std::uint64_t shift_and_add(std::span<const std::uint8_t> planes,
                               std::uint32_t bits);
 
+  /// Sparse-input shift-and-add: `plane_sums[b]` is the pre-summed product
+  /// count of bit-plane b over the *set* input rows only. The hardware
+  /// tree still reduces the full fan-in every cycle (the inactive rows
+  /// contribute zero products, not zero work), so this charges exactly the
+  /// counters of a dense shift_and_add over plane_sums.size() planes.
+  std::uint64_t shift_and_add_sparse(std::span<const std::uint32_t> plane_sums);
+
   std::uint64_t reductions() const { return reductions_; }
   std::uint64_t total_adder_ops() const { return adder_ops_; }
   void reset_counters();

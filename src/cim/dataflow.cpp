@@ -9,10 +9,16 @@ void DataflowTracker::record_input_shift(std::uint32_t bits_shifted) {
 
 void DataflowTracker::record_edge_transfer(UpdateParity parity,
                                            std::uint32_t p_bits) {
-  if (parity == UpdateParity::kSolid) {
-    ++downstream_;
-  } else {
-    ++upstream_;
+  switch (parity) {
+    case UpdateParity::kSolid:
+      ++downstream_;
+      break;
+    case UpdateParity::kDash:
+      ++upstream_;
+      break;
+    case UpdateParity::kThird:
+      ++third_phase_;
+      break;
   }
   edge_bits_ += p_bits;
 }
@@ -22,6 +28,7 @@ DataflowTracker& DataflowTracker::operator+=(const DataflowTracker& other) {
   bits_shifted_ += other.bits_shifted_;
   downstream_ += other.downstream_;
   upstream_ += other.upstream_;
+  third_phase_ += other.third_phase_;
   edge_bits_ += other.edge_bits_;
   return *this;
 }

@@ -84,7 +84,12 @@ class FastStorage final : public StorageBase {
     if (!model_ || phase.noisy_lsbs == 0) return;
     const std::uint32_t noisy = std::min(phase.noisy_lsbs, bits_);
     for (std::size_t w = 0; w < weight_count(); ++w) {
-      std::uint8_t value = golden_[w];
+      // Corrupt on top of the stuck-adjusted value (current_, not
+      // golden_): a stuck bit already holds its preferred value, so the
+      // settle rule leaves it alone — matching BitLevelStorage bit for
+      // bit. Starting from golden_ would erase the hard faults
+      // apply_stuck_faults() just wrote.
+      std::uint8_t value = current_[w];
       for (std::uint32_t b = 0; b < noisy; ++b) {
         const bool bit = (value >> b) & 1U;
         const bool settled =
@@ -105,6 +110,19 @@ class FastStorage final : public StorageBase {
     std::int64_t acc = 0;
     for (std::uint32_t r = 0; r < rows_; ++r) {
       if (input[r]) acc += current_[index(r, col)];
+    }
+    ++counters_.macs;
+    counters_.mac_bit_reads += static_cast<std::uint64_t>(rows_) * bits_;
+    return acc;
+  }
+
+  std::int64_t mac_sparse(
+      std::uint32_t col,
+      std::span<const std::uint32_t> active_rows) override {
+    CIM_ASSERT(col < cols_);
+    std::int64_t acc = 0;
+    for (const std::uint32_t r : active_rows) {
+      acc += current_[index(r, col)];
     }
     ++counters_.macs;
     counters_.mac_bit_reads += static_cast<std::uint64_t>(rows_) * bits_;
@@ -218,6 +236,46 @@ class BitLevelStorage final : public StorageBase {
     return static_cast<std::int64_t>(value);
   }
 
+  std::int64_t mac_sparse(
+      std::uint32_t col,
+      std::span<const std::uint32_t> active_rows) override {
+    CIM_ASSERT(col < cols_);
+    const bool lazy_noise = model_ &&
+                            policy_ == PseudoReadPolicy::kFlipOnAccess &&
+                            phase_.noisy_lsbs > 0;
+    if (lazy_noise) {
+      // Every MAC pseudo-reads the whole addressed column: cells of
+      // inactive rows corrupt too, in the same row-major order as the
+      // dense path.
+      const std::uint32_t noisy = std::min(phase_.noisy_lsbs, bits_);
+      for (std::uint32_t r = 0; r < rows_; ++r) {
+        const std::size_t w = index(r, col);
+        for (std::uint32_t b = 0; b < noisy; ++b) {
+          const std::size_t cell = w * bits_ + b;
+          if (!touched_[cell]) {
+            corrupt_cell(w, b);
+            touched_[cell] = 1;
+          }
+        }
+      }
+    }
+    // Per-plane product counts over the set rows only; the tree model
+    // still charges the full-fan-in reduction (inactive rows feed zero
+    // products, not zero hardware).
+    plane_sums_.assign(bits_, 0);
+    for (const std::uint32_t r : active_rows) {
+      CIM_ASSERT(r < rows_);
+      const std::size_t w = index(r, col);
+      for (std::uint32_t b = 0; b < bits_; ++b) {
+        plane_sums_[b] += stored_[w * bits_ + b];
+      }
+    }
+    const std::uint64_t value = tree_.shift_and_add_sparse(plane_sums_);
+    ++counters_.macs;
+    counters_.mac_bit_reads += static_cast<std::uint64_t>(rows_) * bits_;
+    return static_cast<std::int64_t>(value);
+  }
+
   std::uint8_t weight(std::uint32_t row, std::uint32_t col) const override {
     const std::size_t w = index(row, col);
     std::uint8_t value = 0;
@@ -260,6 +318,7 @@ class BitLevelStorage final : public StorageBase {
   std::vector<std::uint8_t> golden_bits_;
   std::vector<std::uint8_t> touched_;
   std::vector<std::uint8_t> planes_;
+  std::vector<std::uint32_t> plane_sums_;
 };
 
 }  // namespace

@@ -60,6 +60,19 @@ class WeightStorage {
   virtual std::int64_t mac(std::uint32_t col,
                            std::span<const std::uint8_t> input) = 0;
 
+  /// Sparse column MAC: the same operation with the input given as the
+  /// list of set rows (distinct, each < rows()) instead of a dense 0/1
+  /// vector — the annealer's swap inputs carry exactly p + 2 set bits.
+  ///
+  /// Equivalence invariant: for any input vector and its set-row list,
+  /// mac() and mac_sparse() return the same value, leave the storage in
+  /// the same state (including lazy pseudo-read corruption, which touches
+  /// every cell of the addressed column on real hardware) and charge the
+  /// same StorageCounters. The counters model hardware row *reads*, not
+  /// simulator work, so `mac_bit_reads` still advances by rows()·bits.
+  virtual std::int64_t mac_sparse(
+      std::uint32_t col, std::span<const std::uint32_t> active_rows) = 0;
+
   /// Current (possibly corrupted) weight value — for tests and debugging.
   virtual std::uint8_t weight(std::uint32_t row, std::uint32_t col) const = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -72,7 +73,11 @@ MaxCutProblem random_maxcut(std::size_t n, double edge_probability,
   for (SpinIndex v = 0; v < n; ++v) {
     if (!touched[v]) edges.push_back({v, (v + 1) % static_cast<SpinIndex>(n), 1});
   }
-  return MaxCutProblem("g" + std::to_string(n), n, std::move(edges));
+  // Built in two steps: `"g" + std::to_string(n)` trips a spurious
+  // -Wrestrict in GCC 12's inlined string concatenation at -O3 (PR105329).
+  std::string name = "g";
+  name += std::to_string(n);
+  return MaxCutProblem(std::move(name), n, std::move(edges));
 }
 
 MaxCutProblem complete_maxcut(std::size_t n, std::uint64_t seed) {
@@ -84,7 +89,9 @@ MaxCutProblem complete_maxcut(std::size_t n, std::uint64_t seed) {
       edges.push_back({a, b, rng.chance(0.5) ? 1 : -1});
     }
   }
-  return MaxCutProblem("k" + std::to_string(n), n, std::move(edges));
+  std::string name = "k";  // two-step build: GCC 12 -Wrestrict (PR105329)
+  name += std::to_string(n);
+  return MaxCutProblem(std::move(name), n, std::move(edges));
 }
 
 MaxCutProblem ring_maxcut(std::size_t n) {

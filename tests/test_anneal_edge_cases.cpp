@@ -139,6 +139,88 @@ TEST(AnnealEdge, ClusterSeedChangesHierarchyOnly) {
             1.3 * static_cast<double>(std::min(ra.length, rb.length)));
 }
 
+TEST(AnnealEdge, SingleSlotRing) {
+  // An instance no larger than p collapses into one cluster, so the
+  // solved level is a 1-ring: the slot is its own predecessor and
+  // successor, and its boundary input rows move whenever its *own*
+  // first/last order changes — the case the sparse kernel's mid-swap
+  // boundary refresh exists for. Sparse and dense must agree.
+  const auto inst = test::random_instance(6, 12);
+  AnnealerConfig config = config_with_p(6);
+  config.clustering.strategy = cluster::Strategy::kFixed;
+  const auto sparse = ClusteredAnnealer(config).solve(inst);
+  EXPECT_EQ(sparse.levels.back().clusters, 1U);
+  config.sparse_swap_kernel = false;
+  const auto dense = ClusteredAnnealer(config).solve(inst);
+  EXPECT_TRUE(sparse.tour.is_valid(6));
+  EXPECT_TRUE(sparse.tour == dense.tour);
+  EXPECT_EQ(sparse.hw.storage.macs, dense.hw.storage.macs);
+  EXPECT_EQ(sparse.hw.storage.mac_bit_reads, dense.hw.storage.mac_bit_reads);
+}
+
+TEST(AnnealEdge, SingleSlotRingWithSpinNoise) {
+  const auto inst = test::random_instance(5, 13);
+  AnnealerConfig config = config_with_p(5);
+  config.clustering.strategy = cluster::Strategy::kFixed;
+  config.noise = NoiseMode::kSramSpin;
+  const auto sparse = ClusteredAnnealer(config).solve(inst);
+  EXPECT_EQ(sparse.levels.back().clusters, 1U);
+  config.sparse_swap_kernel = false;
+  const auto dense = ClusteredAnnealer(config).solve(inst);
+  EXPECT_TRUE(sparse.tour.is_valid(5));
+  EXPECT_TRUE(sparse.tour == dense.tour);
+}
+
+TEST(AnnealEdge, SingleMemberClusters) {
+  // p = 1: every window is degenerate (one own row) and no swap is ever
+  // possible — the solve must still stitch a valid tour from the ring.
+  const auto inst = test::random_instance(16, 14);
+  const auto result = ClusteredAnnealer(config_with_p(1)).solve(inst);
+  EXPECT_TRUE(result.tour.is_valid(16));
+}
+
+TEST(AnnealEdge, LargeWindowSpinNoiseRegression) {
+  // p = 16 gives windows of 16² + 16 + 16 = 288 > 256 rows. The spin
+  // register cell ids used to stride by 2⁸ between slots, so adjacent
+  // slots shared (aliased) error-pattern ids; the stride now follows the
+  // largest window. Sparse and dense read the same ids, so they must
+  // still agree — and the solve must stay valid.
+  const auto inst = test::random_instance(120, 15);
+  AnnealerConfig config = config_with_p(16);
+  config.noise = NoiseMode::kSramSpin;
+  config.schedule.total_iterations = 60;
+  const auto sparse = ClusteredAnnealer(config).solve(inst);
+  config.sparse_swap_kernel = false;
+  const auto dense = ClusteredAnnealer(config).solve(inst);
+  EXPECT_TRUE(sparse.tour.is_valid(120));
+  EXPECT_TRUE(sparse.tour == dense.tour);
+  EXPECT_EQ(sparse.hw.storage.macs, dense.hw.storage.macs);
+}
+
+TEST(AnnealEdge, SpinCellBasesAreDisjoint) {
+  // Unit check of the id allocator: ranges [base, base + rows) must never
+  // overlap, and the historical 256 stride survives for small windows.
+  const std::vector<hw::WindowShape> small = {
+      hw::WindowShape::hardware(3), hw::WindowShape::hardware(3),
+      hw::WindowShape::hardware(3)};
+  const auto small_bases = spin_cell_bases(small);
+  EXPECT_EQ(small_bases[1] - small_bases[0], 256U);
+  EXPECT_EQ(small_bases[2] - small_bases[1], 256U);
+
+  const std::vector<hw::WindowShape> large = {
+      hw::WindowShape::hardware(16), hw::WindowShape{4, 16, 16},
+      hw::WindowShape::hardware(16)};
+  const auto large_bases = spin_cell_bases(large);
+  for (std::size_t a = 0; a < large.size(); ++a) {
+    for (std::size_t b = a + 1; b < large.size(); ++b) {
+      const bool disjoint =
+          large_bases[a] + large[a].rows() <= large_bases[b] ||
+          large_bases[b] + large[b].rows() <= large_bases[a];
+      EXPECT_TRUE(disjoint) << a << " vs " << b;
+    }
+  }
+}
+
 TEST(AnnealEdge, VeryDeepSchedule) {
   // A 1-iteration schedule must still produce valid output (single noisy
   // greedy pass).

@@ -1,0 +1,147 @@
+// The sparse incremental swap kernel must be a pure optimisation: for
+// every noise mode and backend it has to reproduce the dense
+// rebuild-and-scan kernel bit for bit — same tours, same hardware
+// counters (which model hardware row reads, not simulator work). The
+// colour-parallel mode has its own contract: deterministic for a given
+// seed and independent of the thread count (> 1).
+#include <gtest/gtest.h>
+
+#include "anneal/clustered_annealer.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace cim::anneal {
+namespace {
+
+AnnealerConfig base_config(std::uint32_t p, std::uint64_t seed) {
+  AnnealerConfig config;
+  config.clustering.strategy = cluster::Strategy::kSemiFlexible;
+  config.clustering.p = p;
+  config.seed = seed;
+  return config;
+}
+
+void expect_identical(const AnnealResult& a, const AnnealResult& b,
+                      const char* label) {
+  EXPECT_TRUE(a.tour == b.tour) << label;
+  EXPECT_EQ(a.length, b.length) << label;
+  EXPECT_EQ(a.hw.storage.macs, b.hw.storage.macs) << label;
+  EXPECT_EQ(a.hw.storage.mac_bit_reads, b.hw.storage.mac_bit_reads) << label;
+  EXPECT_EQ(a.hw.storage.writeback_events, b.hw.storage.writeback_events)
+      << label;
+  EXPECT_EQ(a.hw.storage.writeback_bits, b.hw.storage.writeback_bits)
+      << label;
+  EXPECT_EQ(a.hw.storage.pseudo_read_flips, b.hw.storage.pseudo_read_flips)
+      << label;
+  EXPECT_EQ(a.hw.swap_attempts, b.hw.swap_attempts) << label;
+  EXPECT_EQ(a.hw.dataflow.edge_bits_transferred(),
+            b.hw.dataflow.edge_bits_transferred())
+      << label;
+  EXPECT_EQ(a.hw.dataflow.downstream_transfers(),
+            b.hw.dataflow.downstream_transfers())
+      << label;
+  EXPECT_EQ(a.hw.dataflow.upstream_transfers(),
+            b.hw.dataflow.upstream_transfers())
+      << label;
+  EXPECT_EQ(a.hw.dataflow.third_phase_transfers(),
+            b.hw.dataflow.third_phase_transfers())
+      << label;
+}
+
+class SparseKernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<NoiseMode, BackendKind>> {};
+
+TEST_P(SparseKernelEquivalence, MatchesDenseKernelExactly) {
+  const auto [mode, backend] = GetParam();
+  const auto inst = test::random_instance(60, 17);
+  AnnealerConfig config = base_config(3, 5);
+  config.noise = mode;
+  config.backend = backend;
+
+  config.sparse_swap_kernel = true;
+  const auto sparse = ClusteredAnnealer(config).solve(inst);
+  config.sparse_swap_kernel = false;
+  const auto dense = ClusteredAnnealer(config).solve(inst);
+
+  expect_identical(sparse, dense, "sparse vs dense");
+  EXPECT_TRUE(sparse.tour.is_valid(60));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndBackends, SparseKernelEquivalence,
+    ::testing::Combine(::testing::Values(NoiseMode::kNone,
+                                         NoiseMode::kSramWeight,
+                                         NoiseMode::kSramSpin,
+                                         NoiseMode::kLfsr),
+                       ::testing::Values(BackendKind::kFast,
+                                         BackendKind::kBitLevel)));
+
+TEST(SwapKernel, SequentialGibbsAlsoEquivalent) {
+  // The sequential (non-chromatic) ablation path uses the same kernel.
+  const auto inst = test::random_instance(80, 23);
+  AnnealerConfig config = base_config(3, 9);
+  config.chromatic_parallel = false;
+  config.sparse_swap_kernel = true;
+  const auto sparse = ClusteredAnnealer(config).solve(inst);
+  config.sparse_swap_kernel = false;
+  const auto dense = ClusteredAnnealer(config).solve(inst);
+  expect_identical(sparse, dense, "sequential");
+}
+
+TEST(SwapKernel, ColorThreadsIndependentOfThreadCount) {
+  // Per-slot RNG streams make the result a function of the seed alone:
+  // any thread count > 1 must produce the same tour and counters.
+  const auto inst = test::random_instance(150, 31);
+  AnnealerConfig config = base_config(4, 11);
+  config.color_threads = 2;
+  const auto two = ClusteredAnnealer(config).solve(inst);
+  config.color_threads = 3;
+  const auto three = ClusteredAnnealer(config).solve(inst);
+  config.color_threads = 8;
+  const auto eight = ClusteredAnnealer(config).solve(inst);
+  expect_identical(two, three, "2 vs 3 threads");
+  expect_identical(two, eight, "2 vs 8 threads");
+  EXPECT_TRUE(two.tour.is_valid(150));
+}
+
+TEST(SwapKernel, ColorThreadsDeterministicAcrossRuns) {
+  const auto inst = test::random_instance(120, 37);
+  AnnealerConfig config = base_config(3, 13);
+  config.color_threads = 4;
+  const auto a = ClusteredAnnealer(config).solve(inst);
+  const auto b = ClusteredAnnealer(config).solve(inst);
+  expect_identical(a, b, "repeat run");
+}
+
+TEST(SwapKernel, ColorParallelStress) {
+  // Larger ring with every noise mode's hot path exercised under
+  // threads; primarily a tsan target (scripts/ci.sh runs the suite under
+  // the tsan preset).
+  for (const NoiseMode mode :
+       {NoiseMode::kSramWeight, NoiseMode::kSramSpin, NoiseMode::kLfsr}) {
+    const auto inst = test::random_instance(300, 41);
+    AnnealerConfig config = base_config(4, 19);
+    config.noise = mode;
+    config.color_threads = 4;
+    config.schedule.total_iterations = 40;
+    const auto result = ClusteredAnnealer(config).solve(inst);
+    EXPECT_TRUE(result.tour.is_valid(300));
+  }
+}
+
+TEST(SwapKernel, ConfigValidation) {
+  AnnealerConfig config = base_config(3, 1);
+  config.color_threads = 0;
+  EXPECT_THROW(ClusteredAnnealer{config}, ConfigError);
+  config.color_threads = 2;
+  config.chromatic_parallel = false;
+  EXPECT_THROW(ClusteredAnnealer{config}, ConfigError);
+  config.chromatic_parallel = true;
+  config.sparse_swap_kernel = false;
+  EXPECT_THROW(ClusteredAnnealer{config}, ConfigError);
+  config.sparse_swap_kernel = true;
+  EXPECT_NO_THROW(ClusteredAnnealer{config});
+}
+
+}  // namespace
+}  // namespace cim::anneal

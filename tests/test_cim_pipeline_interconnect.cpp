@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "anneal/clustered_annealer.hpp"
 #include "cim/interconnect.hpp"
 #include "cim/pipeline.hpp"
+#include "test_helpers.hpp"
 #include "util/error.hpp"
 
 namespace cim::hw {
@@ -120,6 +122,27 @@ TEST(Interconnect, TrafficIndependentOfWindowContents) {
   const std::uint64_t window_bits = (16 + 8) * 16 * 8;
   EXPECT_LT(report.total_bits_per_iteration,
             config.clusters * window_bits / 100);
+}
+
+TEST(Interconnect, ParityTalliesCoverEverySwapAttempt) {
+  // Every counted swap attempt records exactly one edge transfer, and the
+  // extra chromatic phase of an odd ring goes to its own tally — colour 2
+  // must never be folded into the solid (colour-0) direction, which would
+  // skew the solid/dash split the interconnect model relies on.
+  anneal::AnnealerConfig config;
+  config.clustering.strategy = cluster::Strategy::kSemiFlexible;
+  config.clustering.p = 3;
+  config.clustering.top_size = 3;  // odd top ring → third colour exists
+  config.seed = 2;
+  const auto inst = test::random_instance(90, 44);
+  const auto result = anneal::ClusteredAnnealer(config).solve(inst);
+  const auto& df = result.hw.dataflow;
+  EXPECT_EQ(df.downstream_transfers() + df.upstream_transfers() +
+                df.third_phase_transfers(),
+            result.hw.swap_attempts);
+  EXPECT_GT(df.third_phase_transfers(), 0U);
+  EXPECT_GT(df.downstream_transfers(), 0U);
+  EXPECT_GT(df.upstream_transfers(), 0U);
 }
 
 TEST(Interconnect, InvalidConfigThrows) {

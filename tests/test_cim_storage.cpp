@@ -73,6 +73,104 @@ TEST(Storage, BackendsProduceIdenticalErrorPatterns) {
   }
 }
 
+TEST(Storage, BackendsAgreeWithStuckCellsAndNoise) {
+  // Regression: FastStorage::write_back used to corrupt on top of the
+  // golden value instead of the stuck-adjusted one, silently healing hard
+  // faults whenever noisy_lsbs > 0 and diverging from BitLevelStorage.
+  noise::SramNoiseParams params;
+  params.stuck_cell_rate = 0.05;
+  const noise::SramCellModel model(params, 99);
+  const auto image = random_image(15, 9, 3);
+  auto fast = make_fast_storage(15, 9, &model, 4096);
+  auto bits = make_bit_level_storage(15, 9, &model, 4096);
+  fast->write(image);
+  bits->write(image);
+  std::size_t stuck_divergent = 0;
+  for (std::uint64_t epoch = 0; epoch < 6; ++epoch) {
+    const auto p = phase(epoch, 0.30 + 0.04 * static_cast<double>(epoch),
+                         6 - static_cast<unsigned>(epoch));
+    fast->write_back(p);
+    bits->write_back(p);
+    for (std::uint32_t r = 0; r < 15; ++r) {
+      for (std::uint32_t c = 0; c < 9; ++c) {
+        ASSERT_EQ(fast->weight(r, c), bits->weight(r, c))
+            << "epoch " << epoch << " cell " << r << "," << c;
+        if (fast->weight(r, c) != image[r * 9 + c]) ++stuck_divergent;
+      }
+    }
+    EXPECT_EQ(fast->counters().pseudo_read_flips,
+              bits->counters().pseudo_read_flips);
+  }
+  // With a 5 % stuck rate some cells must diverge from the golden image
+  // even after the backends agree — those are the hard faults the fast
+  // backend used to erase.
+  EXPECT_GT(stuck_divergent, 0U);
+}
+
+TEST(Storage, SparseMacMatchesDense) {
+  // Equivalence invariant of mac_sparse(): same value and same counters
+  // as mac() for any input and its set-row list (counters model hardware
+  // row reads, so mac_bit_reads advances by rows·bits either way).
+  const auto image = random_image(15, 9, 21);
+  for (const bool bit_level : {false, true}) {
+    auto dense = bit_level ? make_bit_level_storage(15, 9, nullptr, 0)
+                           : make_fast_storage(15, 9, nullptr, 0);
+    auto sparse = bit_level ? make_bit_level_storage(15, 9, nullptr, 0)
+                            : make_fast_storage(15, 9, nullptr, 0);
+    dense->write(image);
+    sparse->write(image);
+    util::Rng rng(4);
+    for (int trial = 0; trial < 30; ++trial) {
+      std::vector<std::uint8_t> input(15);
+      std::vector<std::uint32_t> active;
+      for (std::uint32_t r = 0; r < 15; ++r) {
+        input[r] = rng.chance(0.4) ? 1 : 0;
+        if (input[r]) active.push_back(r);
+      }
+      const auto col = static_cast<std::uint32_t>(rng.below(9));
+      EXPECT_EQ(dense->mac(col, input), sparse->mac_sparse(col, active))
+          << (bit_level ? "bit-level" : "fast");
+    }
+    EXPECT_EQ(dense->counters().macs, sparse->counters().macs);
+    EXPECT_EQ(dense->counters().mac_bit_reads,
+              sparse->counters().mac_bit_reads);
+  }
+}
+
+TEST(Storage, SparseMacTriggersLazyCorruptionIdentically) {
+  // kFlipOnAccess corrupts every cell of the addressed column on a MAC
+  // (the pseudo-read hits the whole column on hardware); the sparse path
+  // must replicate that state change exactly, not just the sum.
+  const noise::SramCellModel model(noise::SramNoiseParams{}, 19);
+  const auto image = random_image(15, 9, 12);
+  auto dense = make_bit_level_storage(15, 9, &model, 0, 8,
+                                      PseudoReadPolicy::kFlipOnAccess);
+  auto sparse = make_bit_level_storage(15, 9, &model, 0, 8,
+                                       PseudoReadPolicy::kFlipOnAccess);
+  dense->write(image);
+  sparse->write(image);
+  const auto p = phase(1, 0.24, 6);
+  dense->write_back(p);
+  sparse->write_back(p);
+  std::vector<std::uint8_t> input(15, 0);
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t r = 0; r < 15; r += 3) {
+    input[r] = 1;
+    active.push_back(r);
+  }
+  for (std::uint32_t c = 0; c < 9; c += 2) {
+    EXPECT_EQ(dense->mac(c, input), sparse->mac_sparse(c, active));
+    for (std::uint32_t r = 0; r < 15; ++r) {
+      for (std::uint32_t cc = 0; cc < 9; ++cc) {
+        ASSERT_EQ(dense->weight(r, cc), sparse->weight(r, cc))
+            << "after column " << c << " at " << r << "," << cc;
+      }
+    }
+    EXPECT_EQ(dense->counters().pseudo_read_flips,
+              sparse->counters().pseudo_read_flips);
+  }
+}
+
 TEST(Storage, LowVddCorruptsManyCells) {
   const noise::SramCellModel model(noise::SramNoiseParams{}, 7);
   const auto image = random_image(24, 16, 5);

@@ -12,9 +12,15 @@ lint enforces that mechanically rather than by convention:
                       (distribution implementations differ across stdlibs)
   hdr-using-namespace `using namespace` at namespace scope in a header
   hdr-pragma-once     header missing `#pragma once`
+  anneal-dense-rebuild  `x.assign(...rows(), 0)`-style dense input rebuilds
+                      under src/anneal — the swap hot path must use the
+                      incremental sparse row list; suppress intentional
+                      sites with a `NOLINT(anneal-dense-rebuild)` comment
+                      on the line or the three lines above it
 
 Comments and string literals are stripped before matching, so prose that
-*mentions* a banned construct is fine. Exit status is the number of findings
+*mentions* a banned construct is fine (the NOLINT suppression is looked up
+in the raw text for the same reason). Exit status is the number of findings
 capped at 1, so it slots directly into ctest / CI.
 """
 
@@ -46,6 +52,13 @@ RULES = [
 
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b", re.MULTILINE)
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
+
+# Full-vector input rebuilds (`input.assign(shape.rows(), 0)` and friends)
+# in the annealer: the swap hot path iterates only the p + 2 set rows, so
+# a dense rebuild there is an O(rows) regression hiding in plain sight.
+DENSE_REBUILD = re.compile(r"\.assign\s*\(\s*[\w.\->]*\brows\s*\(\)\s*,")
+DENSE_REBUILD_DIR = Path("src/anneal")
+NOLINT_DENSE = "NOLINT(anneal-dense-rebuild)"
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -93,6 +106,20 @@ def lint_file(root: Path, path: Path) -> list[str]:
         for m in pattern.finditer(code):
             findings.append(
                 f"{rel}:{line_of(code, m.start())}: [{rule}] {message}")
+
+    if DENSE_REBUILD_DIR in rel.parents:
+        raw_lines = raw.splitlines()
+        for m in DENSE_REBUILD.finditer(code):
+            ln = line_of(code, m.start())
+            # The marker lives in a comment, which the stripped text has
+            # blanked — look it up in the raw line or the 3 lines above.
+            context = "\n".join(raw_lines[max(0, ln - 4):ln])
+            if NOLINT_DENSE in context:
+                continue
+            findings.append(
+                f"{rel}:{ln}: [anneal-dense-rebuild] dense input rebuild in "
+                "the anneal hot path; use the incremental sparse row list "
+                f"or suppress with {NOLINT_DENSE}")
 
     if path.suffix in HEADER_EXTS:
         for m in USING_NAMESPACE.finditer(code):
