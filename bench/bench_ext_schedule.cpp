@@ -78,8 +78,8 @@ int main() {
         point.n_cities = inst.size();
         point.p = 3;
         point.schedule = config.schedule;
-        hw_time = cim::ppa::measured_report(point, result)
-                      .latency.total_s();
+        hw_time = cim::ppa::measured_report(point, result.hw, result.hierarchy_depth)
+                      .latency.total().seconds();
       }
     }
     table.add_row(

@@ -64,23 +64,23 @@ int main() {
           {name, Table::integer(static_cast<long long>(n)),
            Table::integer(p),
            format_bits(static_cast<double>(report.layout.capacity_bits)),
-           format_area_um2(report.chip_area_um2),
-           format_seconds(report.latency.read_compute_s),
-           format_seconds(report.latency.write_s),
-           format_joules(report.energy.read_compute_j),
-           format_joules(report.energy.write_j),
-           format_watts(report.average_power_w)});
+           format_area(report.chip_area),
+           format_seconds(report.latency.read_compute),
+           format_seconds(report.latency.write),
+           format_joules(report.energy.read_compute),
+           format_joules(report.energy.write),
+           format_watts(report.average_power)});
       csv.add_row({name, Table::integer(static_cast<long long>(n)),
                    Table::integer(p),
                    Table::sci(static_cast<double>(
                                   report.layout.capacity_bits),
                               4),
-                   Table::sci(report.chip_area_um2, 4),
-                   Table::sci(report.latency.read_compute_s, 4),
-                   Table::sci(report.latency.write_s, 4),
-                   Table::sci(report.energy.read_compute_j, 4),
-                   Table::sci(report.energy.write_j, 4),
-                   Table::sci(report.average_power_w, 4)});
+                   Table::sci(report.chip_area.um2(), 4),
+                   Table::sci(report.latency.read_compute.seconds(), 4),
+                   Table::sci(report.latency.write.seconds(), 4),
+                   Table::sci(report.energy.read_compute.joules(), 4),
+                   Table::sci(report.energy.write.joules(), 4),
+                   Table::sci(report.average_power.watts(), 4)});
     }
     table.add_separator();
   }

@@ -29,6 +29,8 @@
 
 namespace {
 
+using cim::hw::ColIndex;
+
 std::vector<std::uint8_t> random_image(std::uint32_t rows,
                                        std::uint32_t cols,
                                        std::uint64_t seed) {
@@ -48,7 +50,7 @@ void BM_WindowMacFast(benchmark::State& state) {
   for (std::uint32_t i = 0; i < p; ++i) input[i * p + i % p] = 1;
   std::uint32_t col = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(storage->mac(col, input));
+    benchmark::DoNotOptimize(storage->mac(ColIndex(col), input));
     col = (col + 1) % shape.cols();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -64,7 +66,7 @@ void BM_WindowMacBitLevel(benchmark::State& state) {
   std::vector<std::uint8_t> input(shape.rows(), 1);
   std::uint32_t col = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(storage->mac(col, input));
+    benchmark::DoNotOptimize(storage->mac(ColIndex(col), input));
     col = (col + 1) % shape.cols();
   }
 }
@@ -147,12 +149,12 @@ class SwapKernelFixture {
     const std::uint32_t k = perm_[i];
     const std::uint32_t l = perm_[j];
     rebuild_input();
-    const std::int64_t before = storage_->mac(i * p_ + k, input_) +
-                                storage_->mac(j * p_ + l, input_);
+    const std::int64_t before = storage_->mac(ColIndex(i * p_ + k), input_) +
+                                storage_->mac(ColIndex(j * p_ + l), input_);
     std::swap(perm_[i], perm_[j]);
     rebuild_input();
-    const std::int64_t after = storage_->mac(i * p_ + l, input_) +
-                               storage_->mac(j * p_ + k, input_);
+    const std::int64_t after = storage_->mac(ColIndex(i * p_ + l), input_) +
+                               storage_->mac(ColIndex(j * p_ + k), input_);
     std::swap(perm_[i], perm_[j]);
     return after - before;
   }
@@ -163,12 +165,12 @@ class SwapKernelFixture {
     const std::uint32_t k = perm_[i];
     const std::uint32_t l = perm_[j];
     rebuild_active();
-    const std::int64_t before = storage_->mac_sparse(i * p_ + k, active_) +
-                                storage_->mac_sparse(j * p_ + l, active_);
+    const std::int64_t before = storage_->mac_sparse(ColIndex(i * p_ + k), active_) +
+                                storage_->mac_sparse(ColIndex(j * p_ + l), active_);
     std::swap(perm_[i], perm_[j]);
     rebuild_active();
-    const std::int64_t after = storage_->mac_sparse(i * p_ + l, active_) +
-                               storage_->mac_sparse(j * p_ + k, active_);
+    const std::int64_t after = storage_->mac_sparse(ColIndex(i * p_ + l), active_) +
+                               storage_->mac_sparse(ColIndex(j * p_ + k), active_);
     std::swap(perm_[i], perm_[j]);
     rebuild_active();
     return after - before;
@@ -179,12 +181,12 @@ class SwapKernelFixture {
     const auto [i, j] = pick_pair(rng);
     const std::uint32_t k = perm_[i];
     const std::uint32_t l = perm_[j];
-    const std::int64_t before = storage_->mac_sparse(i * p_ + k, active_) +
-                                storage_->mac_sparse(j * p_ + l, active_);
+    const std::int64_t before = storage_->mac_sparse(ColIndex(i * p_ + k), active_) +
+                                storage_->mac_sparse(ColIndex(j * p_ + l), active_);
     std::swap(perm_[i], perm_[j]);
     apply_entries(i, j);
-    const std::int64_t after = storage_->mac_sparse(i * p_ + l, active_) +
-                               storage_->mac_sparse(j * p_ + k, active_);
+    const std::int64_t after = storage_->mac_sparse(ColIndex(i * p_ + l), active_) +
+                               storage_->mac_sparse(ColIndex(j * p_ + k), active_);
     std::swap(perm_[i], perm_[j]);
     apply_entries(i, j);
     return after - before;

@@ -47,8 +47,8 @@ int main() {
     point.instance_name = name;
     point.n_cities = inst.size();
     point.p = 3;
-    const auto report = cim::ppa::measured_report(point, result);
-    const double anneal_s = report.latency.total_s();
+    const auto report = cim::ppa::measured_report(point, result.hw, result.hierarchy_depth);
+    const double anneal_s = report.latency.total().seconds();
     const double ratio = static_cast<double>(result.length) /
                          static_cast<double>(reference.length);
 

@@ -57,11 +57,11 @@ int main() {
     cim::hw::ArrayGeometry geom;
     geom.p_max = row.p;
     const auto b = cim::ppa::array_area_breakdown(geom);
-    parts.add_row({Table::integer(row.p), Table::num(b.cell_array_um2, 0),
-                   Table::num(b.adder_trees_um2, 0),
-                   Table::num(b.write_drivers_um2, 0),
-                   Table::num(b.decoders_um2, 0),
-                   Table::num(b.switch_matrix_um2, 0),
+    parts.add_row({Table::integer(row.p), Table::num(b.cell_array.um2(), 0),
+                   Table::num(b.adder_trees.um2(), 0),
+                   Table::num(b.write_drivers.um2(), 0),
+                   Table::num(b.decoders.um2(), 0),
+                   Table::num(b.switch_matrix.um2(), 0),
                    Table::percent(b.cell_fraction(), 1)});
   }
   parts.add_footnote(

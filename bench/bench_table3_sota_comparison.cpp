@@ -34,7 +34,7 @@ int main() {
          Table::sci(entry.spins, 1), format_bits(entry.weight_bits),
          Table::num(entry.chip_area_mm2, 2) + " mm^2",
          entry.power_w ? format_watts(*entry.power_w) : "n/a",
-         Table::num(entry.area_per_bit_um2(), 1) + " um^2",
+         Table::num(entry.area_per_bit().um2(), 1) + " um^2",
          entry.power_per_bit_w()
              ? format_watts(*entry.power_per_bit_w(), 1)
              : "n/a"});
@@ -43,16 +43,16 @@ int main() {
   table.add_row({"this design (physical)", "16/14nm CMOS", "TSP",
                  Table::sci(row.physical_spins, 2),
                  format_bits(row.physical_weight_bits),
-                 Table::num(row.chip_area_mm2, 1) + " mm^2",
-                 format_watts(row.power_w),
-                 Table::num(row.physical_area_per_bit_um2(), 2) + " um^2",
+                 Table::num(row.chip_area.mm2(), 1) + " mm^2",
+                 format_watts(row.power),
+                 Table::num(row.physical_area_per_bit().um2(), 2) + " um^2",
                  format_watts(row.physical_power_per_bit_w(), 1)});
   table.add_row({"this design (functional)", "16/14nm CMOS", "TSP",
                  Table::sci(row.functional_spins, 2),
                  format_bits(row.functional_weight_bits),
-                 Table::num(row.chip_area_mm2, 1) + " mm^2",
-                 format_watts(row.power_w),
-                 Table::sci(row.functional_area_per_bit_um2(), 1) + " um^2",
+                 Table::num(row.chip_area.mm2(), 1) + " mm^2",
+                 format_watts(row.power),
+                 Table::sci(row.functional_area_per_bit().um2(), 1) + " um^2",
                  Table::sci(row.functional_power_per_bit_w() * 1e9, 1) +
                      " nW"});
   // Like-for-like reference row: a 512-spin all-to-all Max-Cut macro
@@ -61,9 +61,9 @@ int main() {
   table.add_row({"this cell, Max-Cut 512*", "16/14nm CMOS", "Max-Cut",
                  Table::sci(static_cast<double>(macro.spins), 1),
                  format_bits(macro.capacity_bits),
-                 Table::num(macro.area_um2 / 1e6, 2) + " mm^2",
-                 format_watts(macro.power_w),
-                 Table::num(macro.area_per_bit_um2(), 2) + " um^2",
+                 Table::num(macro.area.mm2(), 2) + " mm^2",
+                 format_watts(macro.power),
+                 Table::num(macro.area_per_bit().um2(), 2) + " um^2",
                  format_watts(macro.power_per_bit_w(), 1)});
   table.add_footnote(
       "paper: physical 0.94 um^2/bit and 9.3 nW/bit; functional "
@@ -78,7 +78,7 @@ int main() {
   double best_area = 1e300;
   double best_power = 1e300;
   for (const auto& entry : cim::ppa::sota_annealers()) {
-    best_area = std::min(best_area, entry.area_per_bit_um2());
+    best_area = std::min(best_area, entry.area_per_bit().um2());
     if (const auto p = entry.power_per_bit_w()) {
       best_power = std::min(best_power, *p);
     }
@@ -86,7 +86,7 @@ int main() {
   std::printf(
       "\nfunctional-normalised improvement vs best competitor: area %s, "
       "power %s (paper: >1e13x)\n",
-      format_factor(best_area / row.functional_area_per_bit_um2()).c_str(),
+      format_factor(best_area / row.functional_area_per_bit().um2()).c_str(),
       format_factor(best_power / row.functional_power_per_bit_w()).c_str());
   return 0;
 }

@@ -74,10 +74,10 @@ int main(int argc, char** argv) {
            hw && ppa ? cim::util::format_bits(static_cast<double>(
                            ppa->layout.capacity_bits))
                      : "n/a",
-           hw && ppa ? cim::util::format_area_um2(ppa->chip_area_um2)
+           hw && ppa ? cim::util::format_area(ppa->chip_area)
                      : "n/a",
-           ppa ? cim::util::format_seconds(ppa->latency.total_s()) : "n/a",
-           ppa ? cim::util::format_joules(ppa->energy.total_j()) : "n/a",
+           ppa ? cim::util::format_seconds(ppa->latency.total().seconds()) : "n/a",
+           ppa ? cim::util::format_joules(ppa->energy.total()) : "n/a",
            std::to_string(depth)});
     }
     table.add_footnote(

@@ -56,13 +56,13 @@ int main(int argc, char** argv) {
                      cim::util::format_bits(
                          static_cast<double>(ppa.layout.capacity_bits))});
       table.add_row({"chip area",
-                     cim::util::format_area_um2(ppa.chip_area_um2)});
+                     cim::util::format_area(ppa.chip_area)});
       table.add_row({"annealing time",
-                     cim::util::format_seconds(ppa.latency.total_s())});
+                     cim::util::format_seconds(ppa.latency.total().seconds())});
       table.add_row({"energy-to-solution",
-                     cim::util::format_joules(ppa.energy.total_j())});
+                     cim::util::format_joules(ppa.energy.total())});
       table.add_row({"average power",
-                     cim::util::format_watts(ppa.average_power_w)});
+                     cim::util::format_watts(ppa.average_power.watts())});
     }
     table.print();
 

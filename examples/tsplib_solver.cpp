@@ -83,9 +83,9 @@ int main(int argc, char** argv) {
           cim::util::format_bits(
               static_cast<double>(outcome.ppa->layout.capacity_bits))
               .c_str(),
-          cim::util::format_area_um2(outcome.ppa->chip_area_um2).c_str(),
-          cim::util::format_seconds(outcome.ppa->latency.total_s()).c_str(),
-          cim::util::format_watts(outcome.ppa->average_power_w).c_str());
+          cim::util::format_area(outcome.ppa->chip_area).c_str(),
+          cim::util::format_seconds(outcome.ppa->latency.total().seconds()).c_str(),
+          cim::util::format_watts(outcome.ppa->average_power.watts()).c_str());
     }
 
     if (const auto out = args.get("out"); out && !out->empty()) {

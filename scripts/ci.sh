@@ -4,7 +4,8 @@
 #   scripts/ci.sh [fast|full]
 #
 #   fast (default) — release preset (warnings-as-errors): configure, build,
-#                    ctest (includes lint.determinism), then clang-tidy.
+#                    ctest (includes lint.determinism + lint.selftest),
+#                    then cimlint (archiving lint.sarif) and clang-tidy.
 #   full           — fast + the asan-ubsan and tsan presets over the whole
 #                    test suite. This is the gate every perf PR must pass.
 #
@@ -58,8 +59,12 @@ else
   echo "bench_micro_kernels not built (CIMANNEAL_BUILD_BENCH=OFF?); skipping"
 fi
 
-echo "==== determinism lint (also registered as ctest 'lint.determinism')"
-python3 tools/lint.py --root "${repo_root}"
+echo "==== cimlint (also registered as ctest 'lint.determinism'/'lint.selftest')"
+lint_out_dir="${repo_root}/build/release/lint-out"
+mkdir -p "${lint_out_dir}"
+python3 tools/lint.py --root "${repo_root}" --sarif "${lint_out_dir}/lint.sarif"
+python3 tests/lint_selftest.py
+echo "archived ${lint_out_dir}/lint.sarif"
 
 echo "==== clang-tidy (skips cleanly when the binary is absent)"
 tools/run_clang_tidy.sh "${repo_root}/build/release"

@@ -447,27 +447,27 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
     }
     // Two MACs with the pre-swap spin state (Fig. 5(a), cycles 1–2).
     const auto rows_pre = noisy_input_rows(slot, scratch.rows);
-    before = slot.storage->mac_sparse(i * p + k, rows_pre) +
-             slot.storage->mac_sparse(j * p + l, rows_pre);
+    before = slot.storage->mac_sparse(hw::ColIndex(i * p + k), rows_pre) +
+             slot.storage->mac_sparse(hw::ColIndex(j * p + l), rows_pre);
     // Apply the swap, two MACs with the post-swap state (cycles 3–4).
     std::swap(slot.perm[i], slot.perm[j]);
     set_active_entry(slot, i, i * p + slot.perm[i]);
     set_active_entry(slot, j, j * p + slot.perm[j]);
     refresh_boundary(slot);  // a single-slot ring neighbours itself
     const auto rows_post = noisy_input_rows(slot, scratch.rows);
-    after = slot.storage->mac_sparse(i * p + l, rows_post) +
-            slot.storage->mac_sparse(j * p + k, rows_post);
+    after = slot.storage->mac_sparse(hw::ColIndex(i * p + l), rows_post) +
+            slot.storage->mac_sparse(hw::ColIndex(j * p + k), rows_post);
   } else {
     // Dense reference baseline (ablation + micro-bench): rebuild the full
     // input vector and scan every row per MAC.
     auto& input = scratch.input;
     assemble_input(slot, input, phase);
-    before = slot.storage->mac(i * p + k, input) +
-             slot.storage->mac(j * p + l, input);
+    before = slot.storage->mac(hw::ColIndex(i * p + k), input) +
+             slot.storage->mac(hw::ColIndex(j * p + l), input);
     std::swap(slot.perm[i], slot.perm[j]);
     assemble_input(slot, input, phase);
-    after = slot.storage->mac(i * p + l, input) +
-            slot.storage->mac(j * p + k, input);
+    after = slot.storage->mac(hw::ColIndex(i * p + l), input) +
+            slot.storage->mac(hw::ColIndex(j * p + k), input);
   }
 
   // Dataflow accounting: the boundary spins cross the array edge once per

@@ -25,6 +25,7 @@
 
 #include "anneal/noise_source.hpp"
 #include "cluster/hierarchy.hpp"
+#include "cim/activity.hpp"
 #include "cim/dataflow.hpp"
 #include "cim/storage.hpp"
 #include "cim/window.hpp"
@@ -79,14 +80,11 @@ struct LevelStats {
   double ring_length_after = 0.0; ///< expanded ring length (level metric)
 };
 
-/// Aggregated hardware activity for the PPA models.
-struct HardwareActivity {
-  hw::StorageCounters storage;
-  hw::DataflowTracker dataflow;
-  std::uint64_t update_cycles = 0;
-  std::uint64_t writeback_cycles = 0;
-  std::uint64_t swap_attempts = 0;
-};
+/// Aggregated hardware activity for the PPA models. The struct lives in
+/// the hw layer (cim/activity.hpp) so the PPA models can consume it
+/// without depending on the annealer; the alias keeps annealer-side code
+/// reading naturally.
+using HardwareActivity = hw::HardwareActivity;
 
 struct AnnealResult {
   tsp::Tour tour;

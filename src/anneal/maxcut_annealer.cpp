@@ -77,7 +77,8 @@ MaxCutResult MaxCutAnnealer::solve(
   const auto refresh_row_sums = [&] {
     // One all-ones MAC per column per plane; static between write-backs.
     for (std::uint32_t v = 0; v < n; ++v) {
-      row_sum[v] = pos_storage->mac(v, ones) - neg_storage->mac(v, ones);
+      row_sum[v] = pos_storage->mac(hw::ColIndex(v), ones) -
+                   neg_storage->mac(hw::ColIndex(v), ones);
     }
   };
 
@@ -100,8 +101,8 @@ MaxCutResult MaxCutAnnealer::solve(
       for (std::uint32_t v = 0; v < n; ++v) {
         if (colors[v] != color) continue;
         // field_v = Σ_j w_vj σ_j = 2·(MAC+ − MAC−)(σ+) − row_sum.
-        const std::int64_t mac = pos_storage->mac(v, sigma_plus) -
-                                 neg_storage->mac(v, sigma_plus);
+        const std::int64_t mac = pos_storage->mac(hw::ColIndex(v), sigma_plus) -
+                                 neg_storage->mac(hw::ColIndex(v), sigma_plus);
         const std::int64_t field = 2 * mac - row_sum[v];
 
         ising::Spin next = result.spins[v];

@@ -1,0 +1,24 @@
+// Aggregated hardware activity of one solve — the interface between the
+// annealer (which drives the hardware and accumulates the counters) and
+// the PPA models (which charge energy/latency for them). Lives in the hw
+// layer so src/ppa never has to include the annealer: the PPA models
+// consume activity, not solver internals (the layer-dag rule enforces
+// this direction).
+#pragma once
+
+#include <cstdint>
+
+#include "cim/dataflow.hpp"
+#include "cim/storage.hpp"
+
+namespace cim::hw {
+
+struct HardwareActivity {
+  StorageCounters storage;
+  DataflowTracker dataflow;
+  std::uint64_t update_cycles = 0;
+  std::uint64_t writeback_cycles = 0;
+  std::uint64_t swap_attempts = 0;
+};
+
+}  // namespace cim::hw

@@ -46,10 +46,10 @@ const WeightStorage& CimArray::window(std::uint32_t wrow,
 }
 
 std::vector<std::int64_t> CimArray::cycle(
-    std::uint32_t wcol, std::uint32_t cell_col,
+    std::uint32_t wcol, ColIndex cell_col,
     std::span<const std::vector<std::uint8_t>> inputs) {
   CIM_ASSERT(wcol < geometry_.window_cols);
-  CIM_ASSERT(cell_col < geometry_.window().cols());
+  CIM_ASSERT(cell_col.get() < geometry_.window().cols());
   CIM_ASSERT(inputs.size() == geometry_.window_rows);
   std::vector<std::int64_t> results(geometry_.window_rows);
   for (std::uint32_t wrow = 0; wrow < geometry_.window_rows; ++wrow) {

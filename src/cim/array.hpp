@@ -55,7 +55,7 @@ class CimArray {
   /// via the cell MUX, and returns the MAC of every window row.
   /// `inputs[wrow]` is that window's input bit-vector.
   std::vector<std::int64_t> cycle(
-      std::uint32_t wcol, std::uint32_t cell_col,
+      std::uint32_t wcol, ColIndex cell_col,
       std::span<const std::vector<std::uint8_t>> inputs);
 
   /// Write-back every window (the periodic weight refresh).

@@ -26,8 +26,12 @@
 #include "cim/adder_tree.hpp"
 #include "noise/schedule.hpp"
 #include "noise/sram_model.hpp"
+#include "util/units.hpp"
 
 namespace cim::hw {
+
+using util::ColIndex;
+using util::RowIndex;
 
 /// Counters shared by all storage backends.
 struct StorageCounters {
@@ -56,8 +60,9 @@ class WeightStorage {
   virtual void write_back(const noise::SchedulePhase& phase) = 0;
 
   /// Column MAC: Σ_r input[r] · weight[r][col] over the current (possibly
-  /// corrupted) weights. input has rows() entries of 0/1.
-  virtual std::int64_t mac(std::uint32_t col,
+  /// corrupted) weights. input has rows() entries of 0/1. The column is a
+  /// tagged index (util::ColIndex) so a row count can't be passed silently.
+  virtual std::int64_t mac(ColIndex col,
                            std::span<const std::uint8_t> input) = 0;
 
   /// Sparse column MAC: the same operation with the input given as the
@@ -71,10 +76,10 @@ class WeightStorage {
   /// same StorageCounters. The counters model hardware row *reads*, not
   /// simulator work, so `mac_bit_reads` still advances by rows()·bits.
   virtual std::int64_t mac_sparse(
-      std::uint32_t col, std::span<const std::uint32_t> active_rows) = 0;
+      ColIndex col, std::span<const std::uint32_t> active_rows) = 0;
 
   /// Current (possibly corrupted) weight value — for tests and debugging.
-  virtual std::uint8_t weight(std::uint32_t row, std::uint32_t col) const = 0;
+  virtual std::uint8_t weight(RowIndex row, ColIndex col) const = 0;
 
   const StorageCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }

@@ -31,8 +31,8 @@ void WindowBuilder::set_next_distance(std::uint32_t j, std::uint32_t k,
 std::vector<std::uint8_t> WindowBuilder::build() const {
   const std::uint32_t p = shape_.p;
   std::vector<std::uint8_t> image(shape_.weights(), 0);
-  const auto at = [&](std::uint32_t r, std::uint32_t c) -> std::uint8_t& {
-    return image[static_cast<std::size_t>(r) * shape_.cols() + c];
+  const auto at = [&](RowIndex r, ColIndex c) -> std::uint8_t& {
+    return image[static_cast<std::size_t>(r.get()) * shape_.cols() + c.get()];
   };
 
   // Own-spin couplings: member rk at order ri couples with member sk at

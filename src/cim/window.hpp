@@ -23,8 +23,12 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace cim::hw {
+
+using util::ColIndex;
+using util::RowIndex;
 
 struct WindowShape {
   std::uint32_t p = 0;       ///< own member count (cluster size)
@@ -65,22 +69,23 @@ class WindowBuilder {
   /// in the first / last order columns.
   std::vector<std::uint8_t> build() const;
 
-  /// Row index helpers (match the class comment).
-  std::uint32_t own_row(std::uint32_t order, std::uint32_t member) const {
+  /// Row/column index helpers (match the class comment). The tagged types
+  /// keep the boundary-row address space from leaking into column MACs.
+  RowIndex own_row(std::uint32_t order, std::uint32_t member) const {
     CIM_ASSERT(order < shape_.p && member < shape_.p);
-    return order * shape_.p + member;
+    return RowIndex(order * shape_.p + member);
   }
-  std::uint32_t prev_row(std::uint32_t j) const {
+  RowIndex prev_row(std::uint32_t j) const {
     CIM_ASSERT(j < shape_.p_prev);
-    return shape_.own_rows() + j;
+    return RowIndex(shape_.own_rows() + j);
   }
-  std::uint32_t next_row(std::uint32_t j) const {
+  RowIndex next_row(std::uint32_t j) const {
     CIM_ASSERT(j < shape_.p_next);
-    return shape_.own_rows() + shape_.p_prev + j;
+    return RowIndex(shape_.own_rows() + shape_.p_prev + j);
   }
-  std::uint32_t col(std::uint32_t order, std::uint32_t member) const {
+  ColIndex col(std::uint32_t order, std::uint32_t member) const {
     CIM_ASSERT(order < shape_.p && member < shape_.p);
-    return order * shape_.p + member;
+    return ColIndex(order * shape_.p + member);
   }
 
  private:

@@ -13,20 +13,22 @@ util::Json ppa_to_json(const ppa::PpaReport& report) {
   j["windows"] = report.layout.windows;
   j["arrays"] = report.layout.arrays;
   j["capacity_bits"] = report.layout.capacity_bits;
-  j["chip_area_um2"] = report.chip_area_um2;
+  // JSON keys keep their explicit unit suffixes; the conversions from
+  // the strong types happen here, at the serialisation boundary.
+  j["chip_area_um2"] = report.chip_area.um2();
   j["hierarchy_depth"] = report.depth;
   j["latency_s"] = util::Json::object();
-  j["latency_s"]["read_compute"] = report.latency.read_compute_s;
-  j["latency_s"]["write"] = report.latency.write_s;
-  j["latency_s"]["total"] = report.latency.total_s();
+  j["latency_s"]["read_compute"] = report.latency.read_compute.seconds();
+  j["latency_s"]["write"] = report.latency.write.seconds();
+  j["latency_s"]["total"] = report.latency.total().seconds();
   j["energy_j"] = util::Json::object();
-  j["energy_j"]["read_compute"] = report.energy.read_compute_j;
-  j["energy_j"]["write"] = report.energy.write_j;
-  j["energy_j"]["transfer"] = report.energy.transfer_j;
-  j["energy_j"]["leakage"] = report.energy.leakage_j;
-  j["energy_j"]["total"] = report.energy.total_j();
-  j["average_power_w"] = report.average_power_w;
-  j["area_per_weight_bit_um2"] = report.area_per_weight_bit_um2();
+  j["energy_j"]["read_compute"] = report.energy.read_compute.joules();
+  j["energy_j"]["write"] = report.energy.write.joules();
+  j["energy_j"]["transfer"] = report.energy.transfer.joules();
+  j["energy_j"]["leakage"] = report.energy.leakage.joules();
+  j["energy_j"]["total"] = report.energy.total().joules();
+  j["average_power_w"] = report.average_power.watts();
+  j["area_per_weight_bit_um2"] = report.area_per_weight_bit().um2();
   j["power_per_weight_bit_w"] = report.power_per_weight_bit_w();
   return j;
 }

@@ -92,7 +92,8 @@ SolveOutcome CimSolver::solve(const tsp::Instance& instance) const {
 
   if (config_.compute_ppa) {
     outcome.ppa = ppa::measured_report(
-        design_point(instance.name(), instance.size()), outcome.anneal);
+        design_point(instance.name(), instance.size()), outcome.anneal.hw,
+        outcome.anneal.hierarchy_depth);
   }
   return outcome;
 }

@@ -11,7 +11,7 @@
 //   config.p_max = 3;
 //   core::CimSolver solver(config);
 //   auto outcome = solver.solve(tsp::make_paper_instance("pcb3038"));
-//   // outcome.optimal_ratio, outcome.ppa.chip_area_um2, ...
+//   // outcome.optimal_ratio, outcome.ppa->chip_area.mm2(), ...
 #pragma once
 
 #include <cstdint>

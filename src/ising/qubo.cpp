@@ -72,7 +72,8 @@ IsingImage to_ising(const Qubo& qubo) {
     linear[i] += qii / 2.0;
     for (SpinIndex j = i + 1; j < n; ++j) {
       const double qij = qubo.coefficient(i, j);
-      if (qij == 0.0) continue;
+      // Structural-zero skip: untouched coefficients are exactly 0.0.
+      if (qij == 0.0) continue;  // NOLINT(unit-float-eq)
       image.offset += qij / 4.0;
       linear[i] += qij / 4.0;
       linear[j] += qij / 4.0;
@@ -80,7 +81,8 @@ IsingImage to_ising(const Qubo& qubo) {
     }
   }
   for (SpinIndex i = 0; i < n; ++i) {
-    if (linear[i] != 0.0) image.model.add_field(i, -linear[i]);
+    // Structural-zero skip, same as above: avoids storing empty fields.
+    if (linear[i] != 0.0) image.model.add_field(i, -linear[i]);  // NOLINT(unit-float-eq)
   }
   return image;
 }

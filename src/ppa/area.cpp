@@ -14,11 +14,11 @@ ArrayArea array_area(const hw::ArrayGeometry& geometry,
   return area;
 }
 
-double chip_area_um2(const hw::ChipLayout& layout,
-                     const hw::ArrayGeometry& geometry,
-                     const TechnologyParams& tech) {
+SquareMicron chip_area(const hw::ChipLayout& layout,
+                       const hw::ArrayGeometry& geometry,
+                       const TechnologyParams& tech) {
   const ArrayArea one = array_area(geometry, tech);
-  return static_cast<double>(layout.arrays) * one.area_um2() *
+  return static_cast<double>(layout.arrays) * one.area() *
          (1.0 + tech.routing_overhead);
 }
 

@@ -4,22 +4,25 @@
 #include "cim/array.hpp"
 #include "cim/chip.hpp"
 #include "ppa/tech.hpp"
+#include "util/units.hpp"
 
 namespace cim::ppa {
+
+using util::SquareMicron;
 
 struct ArrayArea {
   double height_um = 0.0;
   double width_um = 0.0;
-  double area_um2() const { return height_um * width_um; }
+  SquareMicron area() const { return SquareMicron(height_um * width_um); }
 };
 
 /// Physical footprint of one array (cells + peripherals).
 ArrayArea array_area(const hw::ArrayGeometry& geometry,
                      const TechnologyParams& tech = tech16nm());
 
-/// Chip area in µm² for a planned layout (arrays + routing overhead).
-double chip_area_um2(const hw::ChipLayout& layout,
-                     const hw::ArrayGeometry& geometry,
-                     const TechnologyParams& tech = tech16nm());
+/// Chip area for a planned layout (arrays + routing overhead).
+SquareMicron chip_area(const hw::ChipLayout& layout,
+                       const hw::ArrayGeometry& geometry,
+                       const TechnologyParams& tech = tech16nm());
 
 }  // namespace cim::ppa

@@ -14,29 +14,29 @@ AreaBreakdown array_area_breakdown(const hw::ArrayGeometry& geometry,
       static_cast<double>(geometry.cell_rows()) * tech.cell_height_um;
   const double cell_w =
       static_cast<double>(geometry.cell_cols()) * tech.cell_width_um;
-  breakdown.cell_array_um2 = cell_h * cell_w;
+  breakdown.cell_array = SquareMicron(cell_h * cell_w);
 
   // Row peripherals span the full width; column peripherals the cell
   // height (the corner is attributed to the row strip, matching how the
   // aggregate model composes height × width).
-  const double row_strip = tech.row_periph_um * total.width_um;
-  const double col_strip = tech.col_periph_um * cell_h;
-  breakdown.decoders_um2 = 0.6 * row_strip;
-  breakdown.switch_matrix_um2 = 0.4 * row_strip;
-  breakdown.adder_trees_um2 = 0.8 * col_strip;
-  breakdown.write_drivers_um2 = 0.2 * col_strip;
+  const SquareMicron row_strip(tech.row_periph_um * total.width_um);
+  const SquareMicron col_strip(tech.col_periph_um * cell_h);
+  breakdown.decoders = 0.6 * row_strip;
+  breakdown.switch_matrix = 0.4 * row_strip;
+  breakdown.adder_trees = 0.8 * col_strip;
+  breakdown.write_drivers = 0.2 * col_strip;
   return breakdown;
 }
 
 MacEnergyBreakdown mac_energy_breakdown(std::size_t window_rows,
                                         unsigned weight_bits,
                                         const TechnologyParams& tech) {
-  const double total = mac_energy_j(window_rows, weight_bits, tech);
+  const Picojoule total = mac_energy(window_rows, weight_bits, tech);
   MacEnergyBreakdown breakdown;
-  breakdown.mux_j = 0.06 * total;
-  const double rest = total - breakdown.mux_j;
-  breakdown.nor_products_j = 0.5 * rest;
-  breakdown.adder_tree_j = 0.5 * rest;
+  breakdown.mux = 0.06 * total;
+  const Picojoule rest = total - breakdown.mux;
+  breakdown.nor_products = 0.5 * rest;
+  breakdown.adder_tree = 0.5 * rest;
   return breakdown;
 }
 

@@ -12,24 +12,28 @@
 #include "cim/chip.hpp"
 #include "ppa/area.hpp"
 #include "ppa/tech.hpp"
+#include "util/units.hpp"
 
 namespace cim::ppa {
 
+using util::Picojoule;
+using util::SquareMicron;
+
 struct AreaBreakdown {
-  double cell_array_um2 = 0.0;    ///< 14T cells (6T SRAM + NOR + 2 TG)
-  double adder_trees_um2 = 0.0;   ///< per-window-row reduction + shift-add
-  double write_drivers_um2 = 0.0; ///< column write path
-  double decoders_um2 = 0.0;      ///< row/MUX decode
-  double switch_matrix_um2 = 0.0; ///< cell-enable switch matrix
-  double total_um2() const {
-    return cell_array_um2 + adder_trees_um2 + write_drivers_um2 +
-           decoders_um2 + switch_matrix_um2;
+  SquareMicron cell_array;    ///< 14T cells (6T SRAM + NOR + 2 TG)
+  SquareMicron adder_trees;   ///< per-window-row reduction + shift-add
+  SquareMicron write_drivers; ///< column write path
+  SquareMicron decoders;      ///< row/MUX decode
+  SquareMicron switch_matrix; ///< cell-enable switch matrix
+  SquareMicron total() const {
+    return cell_array + adder_trees + write_drivers + decoders +
+           switch_matrix;
   }
   /// Fraction of the array that is storage (the paper's density argument:
   /// digital CIM peripheral overhead stays modest).
   double cell_fraction() const {
-    const double total = total_um2();
-    return total > 0.0 ? cell_array_um2 / total : 0.0;
+    const SquareMicron sum = total();
+    return sum.um2() > 0.0 ? cell_array / sum : 0.0;
   }
 };
 
@@ -41,12 +45,10 @@ AreaBreakdown array_area_breakdown(const hw::ArrayGeometry& geometry,
                                        tech16nm());
 
 struct MacEnergyBreakdown {
-  double nor_products_j = 0.0;  ///< one 4T-NOR evaluation per bit cell
-  double adder_tree_j = 0.0;    ///< reduction + shift-and-add bit ops
-  double mux_j = 0.0;           ///< cell/window MUX switching
-  double total_j() const {
-    return nor_products_j + adder_tree_j + mux_j;
-  }
+  Picojoule nor_products;  ///< one 4T-NOR evaluation per bit cell
+  Picojoule adder_tree;    ///< reduction + shift-and-add bit ops
+  Picojoule mux;           ///< cell/window MUX switching
+  Picojoule total() const { return nor_products + adder_tree + mux; }
 };
 
 /// Decomposes one window-column MAC. NOR products and adder ops split the

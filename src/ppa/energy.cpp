@@ -6,13 +6,14 @@
 
 namespace cim::ppa {
 
-double mac_energy_j(std::size_t window_rows, unsigned weight_bits,
-                    const TechnologyParams& tech) {
+Picojoule mac_energy(std::size_t window_rows, unsigned weight_bits,
+                     const TechnologyParams& tech) {
   // Products (one NOR per cell) + adder-tree ops (≈ one per cell across
-  // the reduction and shift-and-add stages).
+  // the reduction and shift-and-add stages). fJ → pJ is the only scale
+  // factor; Picojoule carries the unit from here on.
   const double bit_ops = 2.0 * static_cast<double>(window_rows) *
                          static_cast<double>(weight_bits);
-  return bit_ops * tech.bit_op_fj * 1e-15;
+  return Picojoule(bit_ops * tech.bit_op_fj * 1e-3);
 }
 
 AnalyticActivity analytic_activity(
@@ -38,17 +39,19 @@ namespace {
 EnergyBreakdown assemble(double macs, double writeback_epochs,
                          double edge_bits, const hw::ChipLayout& layout,
                          std::size_t window_rows, unsigned weight_bits,
-                         double runtime_s, const TechnologyParams& tech) {
+                         Nanosecond runtime, const TechnologyParams& tech) {
   EnergyBreakdown energy;
-  energy.read_compute_j =
-      macs * mac_energy_j(window_rows, weight_bits, tech);
-  energy.write_j = writeback_epochs *
-                   static_cast<double>(layout.capacity_bits) *
-                   tech.write_bit_fj * 1e-15;
-  energy.transfer_j = edge_bits * tech.transfer_bit_fj * 1e-15;
+  energy.read_compute =
+      macs * mac_energy(window_rows, weight_bits, tech);
+  energy.write = Picojoule(writeback_epochs *
+                           static_cast<double>(layout.capacity_bits) *
+                           tech.write_bit_fj * 1e-3);
+  energy.transfer = Picojoule(edge_bits * tech.transfer_bit_fj * 1e-3);
   const double capacity_mb =
       static_cast<double>(layout.capacity_bits) / 1e6;
-  energy.leakage_j = tech.leakage_w_per_mb * capacity_mb * runtime_s;
+  // leakage is a power (W per Mb); W × ns = 10³ pJ.
+  energy.leakage = Picojoule(tech.leakage_w_per_mb * capacity_mb *
+                             runtime.nanoseconds() * 1e3);
   return energy;
 }
 
@@ -57,16 +60,17 @@ EnergyBreakdown assemble(double macs, double writeback_epochs,
 EnergyBreakdown energy_from_analytic(const AnalyticActivity& activity,
                                      const hw::ChipLayout& layout,
                                      std::size_t window_rows,
-                                     unsigned weight_bits, double runtime_s,
+                                     unsigned weight_bits,
+                                     Nanosecond runtime,
                                      const TechnologyParams& tech) {
   return assemble(activity.macs, activity.writeback_epochs,
                   activity.edge_bits, layout, window_rows, weight_bits,
-                  runtime_s, tech);
+                  runtime, tech);
 }
 
 EnergyBreakdown energy_from_activity(
-    const anneal::HardwareActivity& activity, const hw::ChipLayout& layout,
-    std::size_t window_rows, unsigned weight_bits, double runtime_s,
+    const hw::HardwareActivity& activity, const hw::ChipLayout& layout,
+    std::size_t window_rows, unsigned weight_bits, Nanosecond runtime,
     const TechnologyParams& tech) {
   // writeback_events counts one event per window per epoch; convert to
   // full-capacity epochs so redundant provisioned columns are charged.
@@ -78,7 +82,7 @@ EnergyBreakdown energy_from_activity(
   return assemble(static_cast<double>(activity.storage.macs), epochs,
                   static_cast<double>(activity.dataflow
                                           .edge_bits_transferred()),
-                  layout, window_rows, weight_bits, runtime_s, tech);
+                  layout, window_rows, weight_bits, runtime, tech);
 }
 
 }  // namespace cim::ppa

@@ -10,26 +10,30 @@
 
 #include <cstdint>
 
-#include "anneal/clustered_annealer.hpp"
+#include "cim/activity.hpp"
 #include "cim/chip.hpp"
 #include "noise/schedule.hpp"
 #include "ppa/tech.hpp"
+#include "util/units.hpp"
 
 namespace cim::ppa {
 
+using util::Nanosecond;
+using util::Picojoule;
+
 struct EnergyBreakdown {
-  double read_compute_j = 0.0;
-  double write_j = 0.0;
-  double transfer_j = 0.0;
-  double leakage_j = 0.0;
-  double total_j() const {
-    return read_compute_j + write_j + transfer_j + leakage_j;
+  Picojoule read_compute;
+  Picojoule write;
+  Picojoule transfer;
+  Picojoule leakage;
+  Picojoule total() const {
+    return read_compute + write + transfer + leakage;
   }
 };
 
 /// Energy per single window MAC at the hardware window geometry.
-double mac_energy_j(std::size_t window_rows, unsigned weight_bits,
-                    const TechnologyParams& tech = tech16nm());
+Picojoule mac_energy(std::size_t window_rows, unsigned weight_bits,
+                     const TechnologyParams& tech = tech16nm());
 
 struct AnalyticActivity {
   double macs = 0.0;            ///< total window MACs
@@ -51,18 +55,19 @@ AnalyticActivity analytic_activity(std::size_t leaf_clusters,
 EnergyBreakdown energy_from_analytic(const AnalyticActivity& activity,
                                      const hw::ChipLayout& layout,
                                      std::size_t window_rows,
-                                     unsigned weight_bits, double runtime_s,
+                                     unsigned weight_bits,
+                                     Nanosecond runtime,
                                      const TechnologyParams& tech =
                                          tech16nm());
 
 /// Energy from the counters of a real solve. Charged at the *hardware*
 /// window geometry (redundant provisioned columns are written too), which
 /// is why the chip layout is required.
-EnergyBreakdown energy_from_activity(const anneal::HardwareActivity&
-                                         activity,
+EnergyBreakdown energy_from_activity(const hw::HardwareActivity& activity,
                                      const hw::ChipLayout& layout,
                                      std::size_t window_rows,
-                                     unsigned weight_bits, double runtime_s,
+                                     unsigned weight_bits,
+                                     Nanosecond runtime,
                                      const TechnologyParams& tech =
                                          tech16nm());
 

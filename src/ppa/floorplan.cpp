@@ -28,8 +28,8 @@ Floorplan plan_floorplan(const hw::ChipLayout& layout,
   plan.width_um = static_cast<double>(plan.grid_cols) * pitch_w;
   plan.height_um = static_cast<double>(plan.grid_rows) * pitch_h;
   plan.aspect_ratio = plan.width_um / plan.height_um;
-  plan.array_area_um2 = n * array.area_um2();
-  plan.channel_area_um2 = plan.area_um2() - plan.array_area_um2;
+  plan.array_area = n * array.area();
+  plan.channel_area = plan.area() - plan.array_area;
 
   // H-tree trunk: each binary level halves the span; total wire ≈
   // Σ_levels 2^level · (span / 2^ceil(level/2)) ≈ perimeter-scale for a

@@ -18,14 +18,14 @@ struct Floorplan {
   double width_um = 0.0;       ///< chip width including routing channels
   double height_um = 0.0;
   double aspect_ratio = 1.0;   ///< width / height
-  double array_area_um2 = 0.0; ///< sum of array footprints
-  double channel_area_um2 = 0.0;  ///< inter-array routing channels
+  SquareMicron array_area;     ///< sum of array footprints
+  SquareMicron channel_area;   ///< inter-array routing channels
   double htree_wire_um = 0.0;  ///< total H-tree trunk wire length
-  double area_um2() const { return width_um * height_um; }
+  SquareMicron area() const { return SquareMicron(width_um * height_um); }
   /// Fraction of the die that is routing rather than arrays.
   double routing_fraction() const {
-    const double total = area_um2();
-    return total > 0.0 ? 1.0 - array_area_um2 / total : 0.0;
+    const SquareMicron total = area();
+    return total.um2() > 0.0 ? 1.0 - array_area / total : 0.0;
   }
 };
 

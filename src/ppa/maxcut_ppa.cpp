@@ -23,14 +23,17 @@ MaxCutMacroReport maxcut_macro_report(std::size_t spins,
   const double width = n * static_cast<double>(weight_bits) *
                            tech.cell_width_um +
                        tech.col_periph_um;
-  report.area_um2 = height * width * (1.0 + tech.routing_overhead);
+  report.area =
+      SquareMicron(height * width * (1.0 + tech.routing_overhead));
 
   // Power: chromatic update streams one colour class per cycle; on dense
   // graphs that approaches one full-column MAC per spin per sweep. Charge
-  // one n-row MAC per cycle (pipelined) plus leakage.
-  const double mac_j = mac_energy_j(spins, weight_bits, tech);
-  report.power_w = mac_j * tech.clock_ghz * 1e9 +
-                   tech.leakage_w_per_mb * report.capacity_bits / 1e6;
+  // one n-row MAC per cycle (pipelined) plus leakage. pJ per 1/GHz-cycle
+  // streams as pJ·GHz = mW; leakage W → mW is the only scale factor.
+  const util::Picojoule mac = mac_energy(spins, weight_bits, tech);
+  report.power =
+      Milliwatt(mac.picojoules() * tech.clock_ghz +
+                tech.leakage_w_per_mb * report.capacity_bits / 1e6 * 1e3);
   return report;
 }
 

@@ -8,17 +8,21 @@
 #include <cstdint>
 
 #include "ppa/tech.hpp"
+#include "util/units.hpp"
 
 namespace cim::ppa {
+
+using util::Milliwatt;
+using util::SquareMicron;
 
 struct MaxCutMacroReport {
   std::size_t spins = 0;
   unsigned weight_bits = 8;
-  double capacity_bits = 0.0;   ///< n² weights × precision
-  double area_um2 = 0.0;        ///< cells + per-column adder trees + decode
-  double power_w = 0.0;         ///< all-spin update streaming at the clock
-  double area_per_bit_um2() const { return area_um2 / capacity_bits; }
-  double power_per_bit_w() const { return power_w / capacity_bits; }
+  double capacity_bits = 0.0;  ///< n² weights × precision
+  SquareMicron area;           ///< cells + per-column adder trees + decode
+  Milliwatt power;             ///< all-spin update streaming at the clock
+  SquareMicron area_per_bit() const { return area / capacity_bits; }
+  double power_per_bit_w() const { return power.watts() / capacity_bits; }
 };
 
 /// Projects an n-spin all-to-all Max-Cut macro.

@@ -27,10 +27,11 @@ double mean_cluster_size(const DesignPoint& point) {
 void finish(PpaReport& report, const TechnologyParams& tech) {
   const hw::ChipConfig config = chip_config(report.point);
   report.array = array_area(config.array, tech);
-  report.chip_area_um2 = chip_area_um2(report.layout, config.array, tech);
-  const double total_s = report.latency.total_s();
-  report.average_power_w =
-      total_s > 0.0 ? report.energy.total_j() / total_s : 0.0;
+  report.chip_area = chip_area(report.layout, config.array, tech);
+  const Nanosecond total = report.latency.total();
+  report.average_power = total.nanoseconds() > 0.0
+                             ? report.energy.total() / total
+                             : Milliwatt(0.0);
 }
 
 }  // namespace
@@ -56,26 +57,27 @@ PpaReport analytic_report(const DesignPoint& point,
                         report.depth, point.schedule, point.p);
   report.energy =
       energy_from_analytic(activity, report.layout, rows, point.weight_bits,
-                           report.latency.total_s(), tech);
+                           report.latency.total(), tech);
   finish(report, tech);
   return report;
 }
 
 PpaReport measured_report(const DesignPoint& point,
-                          const anneal::AnnealResult& result,
+                          const hw::HardwareActivity& activity,
+                          std::size_t hierarchy_depth,
                           const TechnologyParams& tech) {
   CIM_REQUIRE(point.n_cities >= 1, "design point needs a problem size");
   PpaReport report;
   report.point = point;
   const hw::ChipConfig config = chip_config(point);
   report.layout = hw::plan_chip(config);
-  report.depth = result.hierarchy_depth;
+  report.depth = hierarchy_depth;
 
   const std::size_t rows = config.array.window().rows();
-  report.latency = latency_from_cycles(measured_cycles(result.hw), tech);
+  report.latency = latency_from_cycles(measured_cycles(activity), tech);
   report.energy =
-      energy_from_activity(result.hw, report.layout, rows, point.weight_bits,
-                           report.latency.total_s(), tech);
+      energy_from_activity(activity, report.layout, rows, point.weight_bits,
+                           report.latency.total(), tech);
   finish(report, tech);
   return report;
 }

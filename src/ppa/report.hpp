@@ -6,13 +6,16 @@
 #include <optional>
 #include <string>
 
-#include "anneal/clustered_annealer.hpp"
+#include "cim/activity.hpp"
 #include "cim/chip.hpp"
 #include "ppa/area.hpp"
 #include "ppa/energy.hpp"
 #include "ppa/timing.hpp"
+#include "util/units.hpp"
 
 namespace cim::ppa {
+
+using util::Milliwatt;
 
 struct DesignPoint {
   std::string instance_name;
@@ -27,20 +30,21 @@ struct PpaReport {
   DesignPoint point;
   hw::ChipLayout layout;
   ArrayArea array;
-  double chip_area_um2 = 0.0;
+  SquareMicron chip_area;
   std::size_t depth = 0;
   LatencyBreakdown latency;
   EnergyBreakdown energy;
-  double average_power_w = 0.0;
+  Milliwatt average_power;
 
   double capacity_mb() const {
     return static_cast<double>(layout.capacity_bits) / 1e6;
   }
-  double area_per_weight_bit_um2() const {
-    return chip_area_um2 / static_cast<double>(layout.capacity_bits);
+  SquareMicron area_per_weight_bit() const {
+    return chip_area / static_cast<double>(layout.capacity_bits);
   }
   double power_per_weight_bit_w() const {
-    return average_power_w / static_cast<double>(layout.capacity_bits);
+    return average_power.watts() /
+           static_cast<double>(layout.capacity_bits);
   }
 };
 
@@ -51,9 +55,13 @@ PpaReport analytic_report(const DesignPoint& point,
                           std::optional<std::size_t> depth_override = {},
                           const TechnologyParams& tech = tech16nm());
 
-/// Report from a real solve's hardware activity.
+/// Report from a real solve's hardware activity and measured hierarchy
+/// depth (AnnealResult::hw and ::hierarchy_depth — the PPA layer takes
+/// the activity record rather than the solver result so it never depends
+/// on the annealer).
 PpaReport measured_report(const DesignPoint& point,
-                          const anneal::AnnealResult& result,
+                          const hw::HardwareActivity& activity,
+                          std::size_t hierarchy_depth,
                           const TechnologyParams& tech = tech16nm());
 
 }  // namespace cim::ppa

@@ -27,8 +27,8 @@ ThisDesignRow this_design_row(const PpaReport& report) {
       static_cast<double>(report.layout.capacity_bits);
   row.functional_weight_bits =
       n * n * n * n * static_cast<double>(report.point.weight_bits);
-  row.chip_area_mm2 = report.chip_area_um2 / 1e6;
-  row.power_w = report.average_power_w;
+  row.chip_area = report.chip_area;
+  row.power = report.average_power;
   return row;
 }
 

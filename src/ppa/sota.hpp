@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ppa/report.hpp"
+#include "util/units.hpp"
 
 namespace cim::ppa {
 
@@ -20,10 +21,10 @@ struct SotaEntry {
   std::string problem;
   double spins = 0.0;
   double weight_bits = 0.0;       ///< on-chip weight memory (bits)
-  double chip_area_mm2 = 0.0;
+  double chip_area_mm2 = 0.0;     ///< published constant, carried as-is
   std::optional<double> power_w;  ///< some papers do not report power
-  double area_per_bit_um2() const {
-    return chip_area_mm2 * 1e6 / weight_bits;
+  util::SquareMicron area_per_bit() const {
+    return util::SquareMicron::from_mm2(chip_area_mm2) / weight_bits;
   }
   std::optional<double> power_per_bit_w() const {
     if (!power_w) return std::nullopt;
@@ -39,20 +40,20 @@ struct ThisDesignRow {
   double functional_spins = 0.0;    ///< N² spins replaced
   double physical_weight_bits = 0.0;
   double functional_weight_bits = 0.0;  ///< N⁴ × precision replaced
-  double chip_area_mm2 = 0.0;
-  double power_w = 0.0;
+  util::SquareMicron chip_area;
+  util::Milliwatt power;
 
-  double physical_area_per_bit_um2() const {
-    return chip_area_mm2 * 1e6 / physical_weight_bits;
+  util::SquareMicron physical_area_per_bit() const {
+    return chip_area / physical_weight_bits;
   }
-  double functional_area_per_bit_um2() const {
-    return chip_area_mm2 * 1e6 / functional_weight_bits;
+  util::SquareMicron functional_area_per_bit() const {
+    return chip_area / functional_weight_bits;
   }
   double physical_power_per_bit_w() const {
-    return power_w / physical_weight_bits;
+    return power.watts() / physical_weight_bits;
   }
   double functional_power_per_bit_w() const {
-    return power_w / functional_weight_bits;
+    return power.watts() / functional_weight_bits;
   }
 };
 

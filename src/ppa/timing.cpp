@@ -22,7 +22,7 @@ CycleCounts analytic_cycles(std::size_t depth,
   return counts;
 }
 
-CycleCounts measured_cycles(const anneal::HardwareActivity& activity) {
+CycleCounts measured_cycles(const hw::HardwareActivity& activity) {
   CycleCounts counts;
   counts.update_cycles = static_cast<double>(activity.update_cycles);
   counts.writeback_cycles = static_cast<double>(activity.writeback_cycles);
@@ -31,10 +31,12 @@ CycleCounts measured_cycles(const anneal::HardwareActivity& activity) {
 
 LatencyBreakdown latency_from_cycles(const CycleCounts& cycles,
                                      const TechnologyParams& tech) {
-  const double period_s = 1.0e-9 / tech.clock_ghz;
+  const double period_ns = 1.0 / tech.clock_ghz;
   LatencyBreakdown lat;
-  lat.read_compute_s = cycles.update_cycles * tech.cycles_per_mac * period_s;
-  lat.write_s = cycles.writeback_cycles * tech.cycles_per_write_row * period_s;
+  lat.read_compute =
+      Nanosecond(cycles.update_cycles * tech.cycles_per_mac * period_ns);
+  lat.write = Nanosecond(cycles.writeback_cycles *
+                         tech.cycles_per_write_row * period_ns);
   return lat;
 }
 

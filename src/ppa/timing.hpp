@@ -11,11 +11,14 @@
 
 #include <cstddef>
 
-#include "anneal/clustered_annealer.hpp"
+#include "cim/activity.hpp"
 #include "noise/schedule.hpp"
 #include "ppa/tech.hpp"
+#include "util/units.hpp"
 
 namespace cim::ppa {
+
+using util::Nanosecond;
 
 struct CycleCounts {
   double update_cycles = 0.0;
@@ -24,9 +27,9 @@ struct CycleCounts {
 };
 
 struct LatencyBreakdown {
-  double read_compute_s = 0.0;
-  double write_s = 0.0;
-  double total_s() const { return read_compute_s + write_s; }
+  Nanosecond read_compute;
+  Nanosecond write;
+  Nanosecond total() const { return read_compute + write; }
 };
 
 /// Analytic cycle counts for `depth` hierarchy levels of the schedule.
@@ -37,7 +40,7 @@ CycleCounts analytic_cycles(std::size_t depth,
                             std::size_t window_rows, std::size_t phases = 2);
 
 /// Cycle counts observed by a real solve.
-CycleCounts measured_cycles(const anneal::HardwareActivity& activity);
+CycleCounts measured_cycles(const hw::HardwareActivity& activity);
 
 LatencyBreakdown latency_from_cycles(const CycleCounts& cycles,
                                      const TechnologyParams& tech =

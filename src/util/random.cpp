@@ -18,7 +18,9 @@ double Rng::normal() {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
+    // Marsaglia rejection: s == 0.0 is the exact degenerate sample that
+    // would feed log(0) below; a tolerance would bias the distribution.
+  } while (s >= 1.0 || s == 0.0);  // NOLINT(unit-float-eq)
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   spare_ = v * factor;
   has_spare_ = true;

@@ -131,7 +131,8 @@ double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
   }
   cov /= static_cast<double>(xs.size() - 1);
   const double denom = sx.stddev() * sy.stddev();
-  return denom == 0.0 ? 0.0 : cov / denom;
+  // Zero-variance sentinel guarding the division; exact by construction.
+  return denom == 0.0 ? 0.0 : cov / denom;  // NOLINT(unit-float-eq)
 }
 
 double geometric_mean(const std::vector<double>& xs) {

@@ -67,9 +67,9 @@ std::string format_joules(double joules, int precision) {
   return scaled(joules, kScales, std::size(kScales), precision);
 }
 
-std::string format_area_um2(double um2, int precision) {
-  if (um2 >= 1e6) return fixed(um2 / 1e6, precision) + " mm^2";
-  return fixed(um2, precision) + " um^2";
+std::string format_area(SquareMicron area, int precision) {
+  if (area.um2() >= 1e6) return fixed(area.mm2(), precision) + " mm^2";
+  return fixed(area.um2(), precision) + " um^2";
 }
 
 std::string format_factor(double factor, int precision) {

@@ -1,5 +1,21 @@
-// Human-readable formatting of physical quantities used throughout the PPA
-// reports (bits, bytes, seconds, joules, watts, areas).
+// Physical quantities for the PPA models, and their human-readable
+// formatting.
+//
+// The macro models mix energies, times, areas and powers that are all
+// `double` at the language level; a pJ accidentally handed to a ns
+// parameter is silent and plausible-looking. The strong types below make
+// that a compile error: each quantity is a distinct tagged type with an
+// *explicit* constructor and explicit named conversions, so values only
+// cross unit boundaries where someone wrote the conversion down
+// (`lint.py --explain unit-raw-double` has the enforcement side).
+//
+// Representation choices (exact in the model's natural scale):
+//   Picojoule    stores pJ  — bit-op energies are fJ-scale constants
+//   Nanosecond   stores ns  — the update clock is ~1 GHz, 1 cycle ≈ 1 ns
+//   SquareMicron stores µm² — cell pitches are µm-scale
+//   Milliwatt    stores mW  — chip power is the paper's 433 mW anchor
+// and the cross-type identity pJ / ns == mW holds without any scale
+// factor, so power = energy / time is exact.
 #pragma once
 
 #include <cstdint>
@@ -7,23 +23,171 @@
 
 namespace cim::util {
 
-/// "48.6 kB", "46.4 Mb", etc. `bits=true` renders bit quantities (b)
-/// instead of byte quantities (B). Uses decimal (SI) prefixes like the
-/// paper does.
+/// CRTP base for tagged scalar quantities. Derived types inherit the
+/// explicit constructor plus same-type arithmetic, scalar scaling and
+/// comparisons; the dimensionless ratio of two like quantities is a
+/// plain double.
+template <class Derived>
+class StrongQuantity {
+ public:
+  constexpr StrongQuantity() = default;
+  constexpr explicit StrongQuantity(double value) : value_(value) {}
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived(a.value_ + b.value_);
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived(a.value_ - b.value_);
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived(a.value_ * s);
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived(s * a.value_);
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived(a.value_ / s);
+  }
+  /// Ratio of like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+  Derived& operator+=(Derived other) {
+    value_ += other.value_;
+    return static_cast<Derived&>(*this);
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value_ == b.value_;  // exact identity; callers opt in
+  }
+  friend constexpr bool operator!=(Derived a, Derived b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(Derived a, Derived b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(Derived a, Derived b) { return b < a; }
+  friend constexpr bool operator<=(Derived a, Derived b) { return !(b < a); }
+  friend constexpr bool operator>=(Derived a, Derived b) { return !(a < b); }
+
+ protected:
+  double value_ = 0.0;
+};
+
+/// Energy, stored in picojoules.
+class Picojoule : public StrongQuantity<Picojoule> {
+ public:
+  using StrongQuantity::StrongQuantity;
+  static constexpr Picojoule from_joules(double joules) {
+    return Picojoule(joules * 1e12);
+  }
+  constexpr double picojoules() const { return value_; }
+  constexpr double joules() const { return value_ * 1e-12; }
+};
+
+/// Time, stored in nanoseconds.
+class Nanosecond : public StrongQuantity<Nanosecond> {
+ public:
+  using StrongQuantity::StrongQuantity;
+  static constexpr Nanosecond from_seconds(double seconds) {
+    return Nanosecond(seconds * 1e9);
+  }
+  constexpr double nanoseconds() const { return value_; }
+  constexpr double seconds() const { return value_ * 1e-9; }
+};
+
+/// Area, stored in square micrometres.
+class SquareMicron : public StrongQuantity<SquareMicron> {
+ public:
+  using StrongQuantity::StrongQuantity;
+  static constexpr SquareMicron from_mm2(double mm2) {
+    return SquareMicron(mm2 * 1e6);
+  }
+  // The strong type's own raw-double escape hatch (serialisation /
+  // formatting boundary) — the one place the suffix rule must not bite.
+  constexpr double um2() const { return value_; }  // NOLINT(unit-raw-double)
+  constexpr double mm2() const { return value_ * 1e-6; }
+};
+
+/// Power, stored in milliwatts.
+class Milliwatt : public StrongQuantity<Milliwatt> {
+ public:
+  using StrongQuantity::StrongQuantity;
+  static constexpr Milliwatt from_watts(double watts) {
+    return Milliwatt(watts * 1e3);
+  }
+  constexpr double milliwatts() const { return value_; }
+  constexpr double watts() const { return value_ * 1e-3; }
+};
+
+/// pJ / ns = mW with no scale factor — power from energy over time is
+/// exact in these representations.
+constexpr Milliwatt operator/(Picojoule energy, Nanosecond time) {
+  return Milliwatt(energy.picojoules() / time.nanoseconds());
+}
+constexpr Picojoule operator*(Milliwatt power, Nanosecond time) {
+  return Picojoule(power.milliwatts() * time.nanoseconds());
+}
+constexpr Picojoule operator*(Nanosecond time, Milliwatt power) {
+  return power * time;
+}
+
+/// Tagged array indices for the storage geometry: a window row and a
+/// weight column are both 32-bit counts, and `mac(col, ...)` vs
+/// `weight(row, col)` swaps are silent without the tags.
+template <class Tag>
+class StrongIndex {
+ public:
+  constexpr StrongIndex() = default;
+  constexpr explicit StrongIndex(std::uint32_t value) : value_(value) {}
+  constexpr std::uint32_t get() const { return value_; }
+  friend constexpr bool operator==(StrongIndex a, StrongIndex b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongIndex a, StrongIndex b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongIndex a, StrongIndex b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct RowTag {};
+struct ColTag {};
+using RowIndex = StrongIndex<RowTag>;
+using ColIndex = StrongIndex<ColTag>;
+
+// ---- formatting -------------------------------------------------------
+// "48.6 kB", "46.4 Mb", etc. `bits=true` renders bit quantities (b)
+// instead of byte quantities (B). Uses decimal (SI) prefixes like the
+// paper does.
 std::string format_bytes(double bytes, int precision = 1);
 std::string format_bits(double bits, int precision = 1);
 
-/// "44.0 us", "22.0 h", "155 d" — picks the natural scale.
+/// "44.0 us", "22.0 h", "155 d" — picks the natural scale. The raw-double
+/// overload serves host-side wall-clock measurements; hardware latencies
+/// come through the strong type.
 std::string format_seconds(double seconds, int precision = 1);
+inline std::string format_seconds(Nanosecond time, int precision = 1) {
+  return format_seconds(time.seconds(), precision);
+}
 
 /// "433 mW" / "1.2 W".
 std::string format_watts(double watts, int precision = 1);
+inline std::string format_watts(Milliwatt power, int precision = 1) {
+  return format_watts(power.watts(), precision);
+}
 
 /// "12.3 pJ" / "5.0 uJ".
 std::string format_joules(double joules, int precision = 1);
+inline std::string format_joules(Picojoule energy, int precision = 1) {
+  return format_joules(energy.joules(), precision);
+}
 
-/// "43.7 mm^2" / "102 um^2" from square micrometres.
-std::string format_area_um2(double um2, int precision = 1);
+/// "43.7 mm^2" / "102 um^2".
+std::string format_area(SquareMicron area, int precision = 1);
 
 /// "1.0e9 x" style multiplier formatting.
 std::string format_factor(double factor, int precision = 1);

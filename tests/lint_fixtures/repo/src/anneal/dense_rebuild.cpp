@@ -1,0 +1,21 @@
+// Fixture: dense input rebuild in the anneal hot path
+// (1 × anneal-dense-rebuild; the suppressed ablation twin stays silent).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Shape {
+  std::uint32_t rows() const { return 32; }
+};
+
+void hot_path(std::vector<std::uint8_t>& input, const Shape& shape) {
+  input.assign(shape.rows(), 0);  // expected: anneal-dense-rebuild
+}
+
+void ablation_kernel(std::vector<std::uint8_t>& input, const Shape& shape) {
+  // Dense reference baseline fixture, kept for A/B comparison.
+  input.assign(shape.rows(), 0);  // NOLINT(anneal-dense-rebuild)
+}
+
+}  // namespace fixture

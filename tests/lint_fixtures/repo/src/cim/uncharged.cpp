@@ -1,0 +1,35 @@
+// Fixture: hardware accesses vs. counter charging
+// (1 × cim-counter-charge; the charged and NOLINTed twins stay silent).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Storage {
+ public:
+  // expected: cim-counter-charge — reads a weight cell, never charges.
+  std::uint8_t uncharged_peek(std::size_t w) {
+    return current_[w];
+  }
+
+  // Silent: the access is charged to the hardware counters.
+  std::uint8_t charged_read(std::size_t w) {
+    ++counters_.reads;
+    return current_[w];
+  }
+
+  // Debug accessor fixture: no hardware event occurs.
+  // NOLINT(cim-counter-charge)
+  std::uint8_t suppressed_peek(std::size_t w) {
+    return current_[w];
+  }
+
+ private:
+  struct Counters {
+    std::uint64_t reads = 0;
+  };
+  Counters counters_;
+  std::vector<std::uint8_t> current_;
+};
+
+}  // namespace fixture

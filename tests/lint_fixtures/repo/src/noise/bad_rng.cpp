@@ -1,0 +1,19 @@
+// Fixture: banned randomness sources
+// (rng-mt19937, rng-random-device, rng-libc-rand ×2, rng-time-seed).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int banned_engine() {
+  std::mt19937 gen(std::random_device{}());  // expected: rng-mt19937 + rng-random-device
+  return static_cast<int>(gen());
+}
+
+int banned_libc() {
+  srand(static_cast<unsigned>(time(nullptr)));  // expected: rng-libc-rand + rng-time-seed
+  return rand();  // expected: rng-libc-rand
+}
+
+}  // namespace fixture

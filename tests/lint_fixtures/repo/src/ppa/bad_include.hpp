@@ -1,0 +1,12 @@
+// Fixture: include against the layering DAG (1 × layer-dag).
+// tools/cimlint/layers.toml allows ppa -> {cim, noise, util} only; the
+// anneal include below is the exact inversion PR 3 removed.
+#pragma once
+
+#include "anneal/clustered_annealer.hpp"  // expected: layer-dag
+#include "cim/activity.hpp"               // allowed: ppa -> cim
+#include "util/units.hpp"                 // allowed: ppa -> util
+
+namespace fixture {
+struct Report {};
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: header hygiene (hdr-pragma-once + hdr-using-namespace).
+// Deliberately missing #pragma once.
+
+#include <string>
+
+using namespace std;  // expected: hdr-using-namespace
+
+namespace fixture {
+inline string greet() { return "hi"; }
+}  // namespace fixture

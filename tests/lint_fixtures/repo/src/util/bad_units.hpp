@@ -1,0 +1,17 @@
+// Fixture: unit-suffixed raw doubles in a header (2 × unit-raw-double).
+#pragma once
+
+namespace fixture {
+
+struct Costs {
+  double energy_pj = 0.0;  // expected: unit-raw-double
+};
+
+double latency_ns();  // expected: unit-raw-double
+
+// Strong-typed twin: silent (no raw double carries a unit suffix).
+struct TypedCosts {
+  int epochs = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: exact float comparisons and the suppression distance window
+// (2 × unit-float-eq fire; 2 are suppressed).
+namespace fixture {
+
+bool bare(double x) { return x == 0.5; }  // expected: unit-float-eq
+
+bool inline_suppressed(double y) {
+  return y != 1.0;  // NOLINT(unit-float-eq): sentinel fixture
+}
+
+// NOLINT(unit-float-eq): marker two lines above the comparison,
+// inside the 3-line suppression window.
+bool above_suppressed(double z) { return z == 2.0; }
+
+// NOLINT(unit-float-eq): this marker sits four lines above the
+// comparison — one past the window — so the finding still fires,
+// proving the window does not creep.
+//
+bool too_far(double w) { return w == 3.0; }  // expected: unit-float-eq
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: tokenizer regressions — digit separators and raw strings
+// (1 × unit-float-eq; everything else must stay silent).
+namespace fixture {
+
+// A digit separator must not open a character literal: a stripper that
+// treats 1'000'000 as `'0...'` blanks the rest of the statement and the
+// comparison below silently vanishes from the scan.
+bool digit_separator(double v) {
+  const long big = 1'000'000;
+  return big > 0 && v == 2.5;  // expected: unit-float-eq
+}
+
+// Raw-string contents are data, not code: neither the comparison text
+// nor the directive-looking line may produce findings (raw strings are
+// blanked in every scan view, including the directives view).
+const char* raw_string() {
+  return R"(x == 3.5
+#include "anneal/fake.hpp")";
+}
+
+// Ordinary string literals are visible to the directives view, but an
+// include must start a preprocessor line to count:
+const char* plain_string() { return "#include \"anneal/fake.hpp\""; }
+
+// Comments are blanked in every view, include scanning included:
+// #include "anneal/fake.hpp"
+
+}  // namespace fixture

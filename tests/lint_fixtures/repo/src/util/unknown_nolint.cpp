@@ -1,0 +1,11 @@
+// Fixture: malformed suppressions the audit must catch
+// (2 × nolint-unknown-rule; the clang-tidy marker passes untouched).
+namespace fixture {
+
+int bare_marker() { return 1; }  // NOLINT
+
+int typo_marker() { return 2; }  // NOLINT(unit-flaot-eq)
+
+int tidy_marker() { return 3; }  // NOLINT(readability-magic-numbers)
+
+}  // namespace fixture

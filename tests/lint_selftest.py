@@ -1,0 +1,209 @@
+"""cimlint self-test (ctest: lint.selftest).
+
+Runs tools/lint.py against the fixture corpus in tests/lint_fixtures/repo
+and asserts exact finding counts, line numbers, exit codes, suppression
+behaviour, baseline round-trips and SARIF shape — so a lint regression
+(a rule silently going blind, a tokenizer bug swallowing code, an exit
+code drifting) fails the build, not a code review six months later.
+
+Run directly: python3 tests/lint_selftest.py
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "lint.py"
+FIXTURES = REPO / "tests" / "lint_fixtures" / "repo"
+
+# The contract with tests/lint_fixtures/repo: every rule fires the exact
+# number of times the fixture files promise in their comments.
+EXPECTED_COUNTS = {
+    "anneal-dense-rebuild": 1,
+    "cim-counter-charge": 1,
+    "hdr-pragma-once": 1,
+    "hdr-using-namespace": 1,
+    "layer-dag": 1,
+    "nolint-unknown-rule": 2,
+    "rng-libc-rand": 2,
+    "rng-mt19937": 1,
+    "rng-random-device": 1,
+    "rng-time-seed": 1,
+    "unit-float-eq": 3,
+    "unit-raw-double": 2,
+}
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True, check=False)
+
+
+def fixture_findings(*extra: str) -> tuple[list[dict], int]:
+    proc = run_lint("--root", str(FIXTURES), "--no-baseline",
+                    "--format", "json", *extra)
+    data = json.loads(proc.stdout)
+    return data["findings"], proc.returncode
+
+
+class FixtureScan(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.findings, cls.exit_code = fixture_findings()
+
+    def test_exit_code_signals_findings(self):
+        self.assertEqual(self.exit_code, 1)
+
+    def test_exact_per_rule_counts(self):
+        counts = collections.Counter(f["rule"] for f in self.findings)
+        self.assertEqual(dict(counts), EXPECTED_COUNTS)
+
+    def test_total_count(self):
+        self.assertEqual(len(self.findings), sum(EXPECTED_COUNTS.values()))
+
+    def at(self, rule: str) -> list[tuple[str, int]]:
+        return sorted((f["path"], f["line"])
+                      for f in self.findings if f["rule"] == rule)
+
+    def test_layer_dag_location(self):
+        self.assertEqual(self.at("layer-dag"),
+                         [("src/ppa/bad_include.hpp", 5)])
+
+    def test_float_eq_nolint_window(self):
+        # Lines 5 and 19 fire; the inline (8) and two-above (13) markers
+        # suppress; the four-above marker does not reach line 19.
+        self.assertEqual(self.at("unit-float-eq"),
+                         [("src/util/float_eq.cpp", 5),
+                          ("src/util/float_eq.cpp", 19),
+                          ("src/util/tokenizer_cases.cpp", 10)])
+
+    def test_digit_separator_not_swallowed(self):
+        # The comparison after `1'000'000` must survive the stripper.
+        self.assertIn(("src/util/tokenizer_cases.cpp", 10),
+                      self.at("unit-float-eq"))
+
+    def test_raw_string_include_does_not_fire(self):
+        # R"(... #include "anneal/fake.hpp" ...)" is data, not a directive.
+        for path, _ in self.at("layer-dag"):
+            self.assertNotEqual(path, "src/util/tokenizer_cases.cpp")
+
+    def test_counter_charge_reports_at_signature(self):
+        self.assertEqual(self.at("cim-counter-charge"),
+                         [("src/cim/uncharged.cpp", 11)])
+
+    def test_unknown_nolint_audit(self):
+        self.assertEqual(self.at("nolint-unknown-rule"),
+                         [("src/util/unknown_nolint.cpp", 5),
+                          ("src/util/unknown_nolint.cpp", 7)])
+
+
+class Sarif(unittest.TestCase):
+    def test_sarif_shape(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            sarif_path = Path(tmp) / "lint.sarif"
+            proc = run_lint("--root", str(FIXTURES), "--no-baseline",
+                            "--sarif", str(sarif_path))
+            self.assertEqual(proc.returncode, 1)
+            doc = json.loads(sarif_path.read_text(encoding="utf-8"))
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        results = run["results"]
+        self.assertEqual(len(results), sum(EXPECTED_COUNTS.values()))
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        used = {r["ruleId"] for r in results}
+        self.assertTrue(used <= declared,
+                        f"results reference undeclared rules: {used - declared}")
+        loc = results[0]["locations"][0]["physicalLocation"]
+        self.assertIn("artifactLocation", loc)
+        self.assertIn("region", loc)
+
+
+class BaselineRoundTrip(unittest.TestCase):
+    def test_update_then_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = Path(tmp) / "baseline.txt"
+            update = run_lint("--root", str(FIXTURES),
+                              "--baseline", str(baseline),
+                              "--update-baseline")
+            self.assertEqual(update.returncode, 0, update.stderr)
+            rerun = run_lint("--root", str(FIXTURES),
+                             "--baseline", str(baseline))
+            self.assertEqual(rerun.returncode, 0, rerun.stdout)
+            self.assertIn("17 baselined", rerun.stdout)
+
+
+class CliContracts(unittest.TestCase):
+    def test_list_rules_complete(self):
+        proc = run_lint("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in EXPECTED_COUNTS:
+            self.assertIn(rule, proc.stdout)
+
+    def test_explain_known_rule(self):
+        proc = run_lint("--explain", "unit-float-eq")
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("unit-float-eq", proc.stdout)
+
+    def test_explain_unknown_rule_is_usage_error(self):
+        proc = run_lint("--explain", "no-such-rule")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_empty_root_is_configuration_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            proc = run_lint("--root", tmp)
+        self.assertEqual(proc.returncode, 2)
+
+
+class TokenizerUnit(unittest.TestCase):
+    """Direct regression checks on the stripper (satellite 1)."""
+
+    @classmethod
+    def setUpClass(cls):
+        sys.path.insert(0, str(REPO / "tools"))
+        from cimlint.tokenizer import strip_comments_and_strings
+        cls.strip = staticmethod(strip_comments_and_strings)
+
+    def test_digit_separator_is_not_char_literal(self):
+        out = self.strip("int x = 1'000'000; int y = f();")
+        self.assertIn("1'000'000", out)
+        self.assertIn("f()", out)
+
+    def test_char_literal_still_blanked(self):
+        out = self.strip("char c = 'x'; g();")
+        self.assertNotIn("'x'", out)
+        self.assertIn("g()", out)
+
+    def test_raw_string_blanked_without_desync(self):
+        out = self.strip('auto s = R"(a "quoted" thing)"; h();')
+        self.assertNotIn("quoted", out)
+        self.assertIn("h()", out)
+
+    def test_raw_string_blanked_even_with_keep_strings(self):
+        out = self.strip('auto s = R"(\n#include "anneal/x.hpp"\n)"; i();',
+                         keep_strings=True)
+        self.assertNotIn("#include", out)
+        self.assertIn("i()", out)
+
+    def test_keep_strings_preserves_include_paths(self):
+        out = self.strip('#include "cim/storage.hpp"  // comment',
+                         keep_strings=True)
+        self.assertIn('"cim/storage.hpp"', out)
+        self.assertNotIn("comment", out)
+
+    def test_newlines_and_columns_preserved(self):
+        src = 'int a; /* multi\nline */ "str"\n'
+        out = self.strip(src)
+        self.assertEqual(len(out), len(src))
+        self.assertEqual(out.count("\n"), src.count("\n"))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -50,14 +50,14 @@ TEST(CimArray, CycleMatchesPerWindowMacs) {
   }
 
   const std::uint32_t wcol = 1;
-  const std::uint32_t cell_col = 4;
+  const ColIndex cell_col{4};
   const auto results = array.cycle(wcol, cell_col, inputs);
   ASSERT_EQ(results.size(), geom.window_rows);
   for (std::uint32_t wr = 0; wr < geom.window_rows; ++wr) {
     std::int64_t expected = 0;
     const auto& image = images[wr * geom.window_cols + wcol];
     for (std::uint32_t r = 0; r < shape.rows(); ++r) {
-      if (inputs[wr][r]) expected += image[r * shape.cols() + cell_col];
+      if (inputs[wr][r]) expected += image[r * shape.cols() + cell_col.get()];
     }
     EXPECT_EQ(results[wr], expected);
   }
@@ -106,8 +106,8 @@ TEST(CimArray, WindowsHaveDisjointNoise) {
   std::size_t differing = 0;
   for (std::uint32_t r = 0; r < shape.rows(); ++r) {
     for (std::uint32_t c = 0; c < shape.cols(); ++c) {
-      if (array.window(0, 0).weight(r, c) !=
-          array.window(0, 1).weight(r, c)) {
+      if (array.window(0, 0).weight(RowIndex(r), ColIndex(c)) !=
+          array.window(0, 1).weight(RowIndex(r), ColIndex(c))) {
         ++differing;
       }
     }

@@ -83,9 +83,9 @@ TEST(Defects, StoragePersistsFaultsAcrossWriteBacks) {
     std::size_t faulty_bits = 0;
     for (std::uint32_t r = 0; r < 15; ++r) {
       for (std::uint32_t c = 0; c < 9; ++c) {
-        first.push_back(storage->weight(r, c));
+        first.push_back(storage->weight(hw::RowIndex(r), hw::ColIndex(c)));
         faulty_bits += static_cast<std::size_t>(__builtin_popcount(
-            storage->weight(r, c) ^ image[r * 9 + c]));
+            storage->weight(hw::RowIndex(r), hw::ColIndex(c)) ^ image[r * 9 + c]));
       }
     }
     EXPECT_GT(faulty_bits, 0U) << (bit_level ? "bit" : "fast");
@@ -93,7 +93,7 @@ TEST(Defects, StoragePersistsFaultsAcrossWriteBacks) {
     std::size_t i = 0;
     for (std::uint32_t r = 0; r < 15; ++r) {
       for (std::uint32_t c = 0; c < 9; ++c, ++i) {
-        EXPECT_EQ(storage->weight(r, c), first[i]);
+        EXPECT_EQ(storage->weight(hw::RowIndex(r), hw::ColIndex(c)), first[i]);
       }
     }
   }
@@ -108,7 +108,7 @@ TEST(Defects, BackendsAgreeOnFaultPatterns) {
   bits->write(image);
   for (std::uint32_t r = 0; r < 15; ++r) {
     for (std::uint32_t c = 0; c < 9; ++c) {
-      EXPECT_EQ(fast->weight(r, c), bits->weight(r, c));
+      EXPECT_EQ(fast->weight(hw::RowIndex(r), hw::ColIndex(c)), bits->weight(hw::RowIndex(r), hw::ColIndex(c)));
     }
   }
 }

@@ -42,7 +42,7 @@ TEST(Storage, NoiseFreeMacIsExactDotProduct) {
       for (std::uint32_t r = 0; r < 15; ++r) {
         if (input[r]) expected += image[r * 9 + col];
       }
-      EXPECT_EQ(storage->mac(col, input), expected)
+      EXPECT_EQ(storage->mac(ColIndex(col), input), expected)
           << (bit_level ? "bit-level" : "fast");
     }
   }
@@ -64,7 +64,7 @@ TEST(Storage, BackendsProduceIdenticalErrorPatterns) {
     bits->write_back(p);
     for (std::uint32_t r = 0; r < 15; ++r) {
       for (std::uint32_t c = 0; c < 9; ++c) {
-        ASSERT_EQ(fast->weight(r, c), bits->weight(r, c))
+        ASSERT_EQ(fast->weight(RowIndex(r), ColIndex(c)), bits->weight(RowIndex(r), ColIndex(c)))
             << "epoch " << epoch << " cell " << r << "," << c;
       }
     }
@@ -93,9 +93,9 @@ TEST(Storage, BackendsAgreeWithStuckCellsAndNoise) {
     bits->write_back(p);
     for (std::uint32_t r = 0; r < 15; ++r) {
       for (std::uint32_t c = 0; c < 9; ++c) {
-        ASSERT_EQ(fast->weight(r, c), bits->weight(r, c))
+        ASSERT_EQ(fast->weight(RowIndex(r), ColIndex(c)), bits->weight(RowIndex(r), ColIndex(c)))
             << "epoch " << epoch << " cell " << r << "," << c;
-        if (fast->weight(r, c) != image[r * 9 + c]) ++stuck_divergent;
+        if (fast->weight(RowIndex(r), ColIndex(c)) != image[r * 9 + c]) ++stuck_divergent;
       }
     }
     EXPECT_EQ(fast->counters().pseudo_read_flips,
@@ -128,7 +128,7 @@ TEST(Storage, SparseMacMatchesDense) {
         if (input[r]) active.push_back(r);
       }
       const auto col = static_cast<std::uint32_t>(rng.below(9));
-      EXPECT_EQ(dense->mac(col, input), sparse->mac_sparse(col, active))
+      EXPECT_EQ(dense->mac(ColIndex(col), input), sparse->mac_sparse(ColIndex(col), active))
           << (bit_level ? "bit-level" : "fast");
     }
     EXPECT_EQ(dense->counters().macs, sparse->counters().macs);
@@ -159,10 +159,10 @@ TEST(Storage, SparseMacTriggersLazyCorruptionIdentically) {
     active.push_back(r);
   }
   for (std::uint32_t c = 0; c < 9; c += 2) {
-    EXPECT_EQ(dense->mac(c, input), sparse->mac_sparse(c, active));
+    EXPECT_EQ(dense->mac(ColIndex(c), input), sparse->mac_sparse(ColIndex(c), active));
     for (std::uint32_t r = 0; r < 15; ++r) {
       for (std::uint32_t cc = 0; cc < 9; ++cc) {
-        ASSERT_EQ(dense->weight(r, cc), sparse->weight(r, cc))
+        ASSERT_EQ(dense->weight(RowIndex(r), ColIndex(cc)), sparse->weight(RowIndex(r), ColIndex(cc)))
             << "after column " << c << " at " << r << "," << cc;
       }
     }
@@ -189,7 +189,7 @@ TEST(Storage, NominalVddIsClean) {
   EXPECT_EQ(storage->counters().pseudo_read_flips, 0U);
   for (std::uint32_t r = 0; r < 24; ++r) {
     for (std::uint32_t c = 0; c < 16; ++c) {
-      EXPECT_EQ(storage->weight(r, c), image[r * 16 + c]);
+      EXPECT_EQ(storage->weight(RowIndex(r), ColIndex(c)), image[r * 16 + c]);
     }
   }
 }
@@ -213,7 +213,7 @@ TEST(Storage, NoiseConfinedToLsbs) {
     const std::uint8_t mask = static_cast<std::uint8_t>(~((1U << lsbs) - 1U));
     for (std::uint32_t r = 0; r < 15; ++r) {
       for (std::uint32_t c = 0; c < 9; ++c) {
-        EXPECT_EQ(storage->weight(r, c) & mask, image[r * 9 + c] & mask)
+        EXPECT_EQ(storage->weight(RowIndex(r), ColIndex(c)) & mask, image[r * 9 + c] & mask)
             << "MSBs must stay intact with " << lsbs << " noisy LSBs";
       }
     }
@@ -231,7 +231,7 @@ TEST(Storage, WriteBackRestoresBeforeCorrupting) {
   std::vector<std::uint8_t> after_direct;
   for (std::uint32_t r = 0; r < 15; ++r) {
     for (std::uint32_t c = 0; c < 9; ++c) {
-      after_direct.push_back(a->weight(r, c));
+      after_direct.push_back(a->weight(RowIndex(r), ColIndex(c)));
     }
   }
   auto b = make_fast_storage(15, 9, &model, 0);
@@ -241,7 +241,7 @@ TEST(Storage, WriteBackRestoresBeforeCorrupting) {
   std::size_t i = 0;
   for (std::uint32_t r = 0; r < 15; ++r) {
     for (std::uint32_t c = 0; c < 9; ++c, ++i) {
-      EXPECT_EQ(b->weight(r, c), after_direct[i]);
+      EXPECT_EQ(b->weight(RowIndex(r), ColIndex(c)), after_direct[i]);
     }
   }
 }
@@ -258,7 +258,7 @@ TEST(Storage, DisjointCellBasesDecorrelate) {
   std::size_t differing = 0;
   for (std::uint32_t r = 0; r < 15; ++r) {
     for (std::uint32_t c = 0; c < 9; ++c) {
-      if (a->weight(r, c) != b->weight(r, c)) ++differing;
+      if (a->weight(RowIndex(r), ColIndex(c)) != b->weight(RowIndex(r), ColIndex(c))) ++differing;
     }
   }
   EXPECT_GT(differing, 0U);
@@ -268,8 +268,8 @@ TEST(Storage, CountersAccumulate) {
   auto storage = make_fast_storage(10, 4, nullptr, 0, 8);
   storage->write(random_image(10, 4, 11));
   const std::vector<std::uint8_t> input(10, 1);
-  storage->mac(0, input);
-  storage->mac(1, input);
+  storage->mac(ColIndex(0), input);
+  storage->mac(ColIndex(1), input);
   storage->write_back(phase(0, 0.8, 0));
   const auto& c = storage->counters();
   EXPECT_EQ(c.macs, 2U);
@@ -290,16 +290,16 @@ TEST(Storage, FlipOnAccessOnlyTouchesAccessedCells) {
   // Nothing accessed yet: weights must still be golden.
   for (std::uint32_t r = 0; r < 15; ++r) {
     for (std::uint32_t c = 0; c < 9; ++c) {
-      EXPECT_EQ(lazy->weight(r, c), image[r * 9 + c]);
+      EXPECT_EQ(lazy->weight(RowIndex(r), ColIndex(c)), image[r * 9 + c]);
     }
   }
   // Access column 3: exactly that column may corrupt.
   std::vector<std::uint8_t> input(15, 1);
-  lazy->mac(3, input);
+  lazy->mac(ColIndex(3), input);
   for (std::uint32_t r = 0; r < 15; ++r) {
     for (std::uint32_t c = 0; c < 9; ++c) {
       if (c != 3) {
-        EXPECT_EQ(lazy->weight(r, c), image[r * 9 + c]);
+        EXPECT_EQ(lazy->weight(RowIndex(r), ColIndex(c)), image[r * 9 + c]);
       }
     }
   }
@@ -320,10 +320,10 @@ TEST(Storage, FlipOnAccessConvergesToSettledPattern) {
   lazy->write_back(p);
   settle->write_back(p);
   const std::vector<std::uint8_t> input(15, 1);
-  for (std::uint32_t c = 0; c < 9; ++c) lazy->mac(c, input);
+  for (std::uint32_t c = 0; c < 9; ++c) lazy->mac(ColIndex(c), input);
   for (std::uint32_t r = 0; r < 15; ++r) {
     for (std::uint32_t c = 0; c < 9; ++c) {
-      EXPECT_EQ(lazy->weight(r, c), settle->weight(r, c));
+      EXPECT_EQ(lazy->weight(RowIndex(r), ColIndex(c)), settle->weight(RowIndex(r), ColIndex(c)));
     }
   }
 }
@@ -336,8 +336,8 @@ TEST(Storage, StickyWithinEpoch) {
   storage->write(random_image(15, 9, 14));
   storage->write_back(phase(0, 0.25, 6));
   const std::vector<std::uint8_t> input(15, 1);
-  const auto first = storage->mac(4, input);
-  const auto second = storage->mac(4, input);
+  const auto first = storage->mac(ColIndex(4), input);
+  const auto second = storage->mac(ColIndex(4), input);
   EXPECT_EQ(first, second);
 }
 
@@ -348,7 +348,7 @@ TEST(Storage, ValidationErrors) {
   EXPECT_THROW(storage->write(std::vector<std::uint8_t>(3)), ConfigError);
   storage->write(std::vector<std::uint8_t>(16, 1));
   // Wrong input size trips the invariant.
-  EXPECT_THROW(storage->mac(0, std::vector<std::uint8_t>(3)),
+  EXPECT_THROW(storage->mac(ColIndex(0), std::vector<std::uint8_t>(3)),
                InvariantError);
 }
 
@@ -359,7 +359,7 @@ TEST(Storage, ReducedPrecision) {
   std::vector<std::uint8_t> image(16, 0x0F);
   storage->write(image);
   const std::vector<std::uint8_t> input(8, 1);
-  EXPECT_EQ(storage->mac(0, input), 8 * 0x0F);
+  EXPECT_EQ(storage->mac(ColIndex(0), input), 8 * 0x0F);
 }
 
 }  // namespace

@@ -38,8 +38,9 @@ class WindowScenario : public ::testing::Test {
     image_ = builder_.build();
   }
 
-  std::uint8_t weight(std::uint32_t row, std::uint32_t col) const {
-    return image_[static_cast<std::size_t>(row) * shape_.cols() + col];
+  std::uint8_t weight(RowIndex row, ColIndex col) const {
+    return image_[static_cast<std::size_t>(row.get()) * shape_.cols() +
+                  col.get()];
   }
 
   WindowShape shape_;
@@ -120,11 +121,11 @@ TEST_F(WindowScenario, MacComputesLocalEnergy) {
   // Permutation: order 0 → member B(1), order 1 → A(0), order 2 → C(2).
   // Prev boundary = P1 (index 1), next boundary = S0 (index 0).
   std::vector<std::uint8_t> input(shape_.rows(), 0);
-  input[builder_.own_row(0, 1)] = 1;
-  input[builder_.own_row(1, 0)] = 1;
-  input[builder_.own_row(2, 2)] = 1;
-  input[builder_.prev_row(1)] = 1;
-  input[builder_.next_row(0)] = 1;
+  input[builder_.own_row(0, 1).get()] = 1;
+  input[builder_.own_row(1, 0).get()] = 1;
+  input[builder_.own_row(2, 2).get()] = 1;
+  input[builder_.prev_row(1).get()] = 1;
+  input[builder_.next_row(0).get()] = 1;
 
   // Local energy of spin (order 0, member B): d(P1,B) + d(B,A) = 18+10.
   EXPECT_EQ(storage->mac(builder_.col(0, 1), input), 28);
@@ -148,11 +149,11 @@ TEST_F(WindowScenario, AnalogFullColumnSumIsWrongAfterRelocation) {
   lower->write(image_);
 
   std::vector<std::uint8_t> input_upper(shape_.rows(), 0);
-  input_upper[builder_.own_row(0, 1)] = 1;
-  input_upper[builder_.own_row(1, 0)] = 1;
-  input_upper[builder_.own_row(2, 2)] = 1;
-  input_upper[builder_.prev_row(1)] = 1;
-  input_upper[builder_.next_row(0)] = 1;
+  input_upper[builder_.own_row(0, 1).get()] = 1;
+  input_upper[builder_.own_row(1, 0).get()] = 1;
+  input_upper[builder_.own_row(2, 2).get()] = 1;
+  input_upper[builder_.prev_row(1).get()] = 1;
+  input_upper[builder_.next_row(0).get()] = 1;
   const std::vector<std::uint8_t> input_lower = input_upper;
 
   // Digital: sectioned sums, each window independent and correct.

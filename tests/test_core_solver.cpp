@@ -20,8 +20,8 @@ TEST(CimSolver, EndToEndOutcome) {
   EXPECT_GT(*outcome.optimal_ratio, 0.99);
   EXPECT_LT(*outcome.optimal_ratio, 3.0);
   ASSERT_TRUE(outcome.ppa.has_value());
-  EXPECT_GT(outcome.ppa->chip_area_um2, 0.0);
-  EXPECT_GT(outcome.ppa->latency.total_s(), 0.0);
+  EXPECT_GT(outcome.ppa->chip_area.um2(), 0.0);
+  EXPECT_GT(outcome.ppa->latency.total().seconds(), 0.0);
   EXPECT_GT(outcome.solve_wall_seconds, 0.0);
 }
 

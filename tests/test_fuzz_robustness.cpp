@@ -106,7 +106,7 @@ TEST(Fuzz, StorageRandomOperationSequences) {
           std::vector<std::uint8_t> input(rows);
           for (auto& b : input) b = rng.chance(0.5) ? 1 : 0;
           const auto col = static_cast<std::uint32_t>(rng.below(cols));
-          const std::int64_t value = storage->mac(col, input);
+          const std::int64_t value = storage->mac(hw::ColIndex(col), input);
           EXPECT_GE(value, 0);
           EXPECT_LE(value, static_cast<std::int64_t>(rows) * 255);
           break;
@@ -114,7 +114,7 @@ TEST(Fuzz, StorageRandomOperationSequences) {
         default: {
           const auto r = static_cast<std::uint32_t>(rng.below(rows));
           const auto c = static_cast<std::uint32_t>(rng.below(cols));
-          EXPECT_LT(storage->weight(r, c), 1U << bits);
+          EXPECT_LT(storage->weight(hw::RowIndex(r), hw::ColIndex(c)), 1U << bits);
         }
       }
     }

@@ -70,8 +70,8 @@ TEST(Area, FlagshipChipArea) {
   config.p = 3;
   hw::ArrayGeometry geom;
   geom.p_max = 3;
-  const double area = chip_area_um2(plan_chip(config), geom);
-  EXPECT_NEAR(area / 1e6, 43.7, 1.5);
+  const SquareMicron area = chip_area(plan_chip(config), geom);
+  EXPECT_NEAR(area.mm2(), 43.7, 1.5);
 }
 
 TEST(Timing, DepthEstimate) {
@@ -89,20 +89,20 @@ TEST(Timing, Rl5934AnnealingTimeNearPaper) {
   const std::size_t depth = estimate_depth(5934, 2.0);
   const auto cycles = analytic_cycles(depth, schedule, 15);
   const auto latency = latency_from_cycles(cycles);
-  EXPECT_GT(latency.total_s(), 20e-6);
-  EXPECT_LT(latency.total_s(), 80e-6);
+  EXPECT_GT(latency.total().seconds(), 20e-6);
+  EXPECT_LT(latency.total().seconds(), 80e-6);
 }
 
 TEST(Timing, WriteShareIsSmall) {
   noise::AnnealSchedule::Params schedule;
   const auto cycles = analytic_cycles(12, schedule, 15);
   const auto latency = latency_from_cycles(cycles);
-  EXPECT_LT(latency.write_s, latency.read_compute_s);
+  EXPECT_LT(latency.write.nanoseconds(), latency.read_compute.nanoseconds());
 }
 
 TEST(Energy, MacEnergyScalesWithWindow) {
-  EXPECT_GT(mac_energy_j(24, 8), mac_energy_j(15, 8));
-  EXPECT_GT(mac_energy_j(15, 8), mac_energy_j(15, 4));
+  EXPECT_GT(mac_energy(24, 8), mac_energy(15, 8));
+  EXPECT_GT(mac_energy(15, 8), mac_energy(15, 4));
 }
 
 TEST(Energy, WriteShareIsSmall) {
@@ -115,10 +115,11 @@ TEST(Energy, WriteShareIsSmall) {
   noise::AnnealSchedule::Params schedule;
   const auto activity =
       analytic_activity(layout.windows, 2.0, 12, schedule, 3);
-  const auto energy = energy_from_analytic(activity, layout, 15, 8, 50e-6);
-  EXPECT_GT(energy.read_compute_j, energy.write_j);
-  EXPECT_GT(energy.read_compute_j, 0.0);
-  EXPECT_GT(energy.write_j, 0.0);
+  const auto energy = energy_from_analytic(
+      activity, layout, 15, 8, Nanosecond::from_seconds(50e-6));
+  EXPECT_GT(energy.read_compute.picojoules(), energy.write.picojoules());
+  EXPECT_GT(energy.read_compute.picojoules(), 0.0);
+  EXPECT_GT(energy.write.picojoules(), 0.0);
 }
 
 TEST(Report, FlagshipPowerNearPaper) {
@@ -129,10 +130,10 @@ TEST(Report, FlagshipPowerNearPaper) {
   point.n_cities = 85900;
   point.p = 3;
   const auto report = analytic_report(point);
-  EXPECT_GT(report.average_power_w, 0.15);
-  EXPECT_LT(report.average_power_w, 0.9);
+  EXPECT_GT(report.average_power.watts(), 0.15);
+  EXPECT_LT(report.average_power.watts(), 0.9);
   EXPECT_NEAR(report.capacity_mb(), 46.4, 0.1);
-  EXPECT_NEAR(report.chip_area_um2 / 1e6, 43.7, 1.5);
+  EXPECT_NEAR(report.chip_area.mm2(), 43.7, 1.5);
 }
 
 TEST(Report, PerBitMetricsNearPaper) {
@@ -142,7 +143,7 @@ TEST(Report, PerBitMetricsNearPaper) {
   point.n_cities = 85900;
   point.p = 3;
   const auto report = analytic_report(point);
-  EXPECT_NEAR(report.area_per_weight_bit_um2(), 0.94, 0.1);
+  EXPECT_NEAR(report.area_per_weight_bit().um2(), 0.94, 0.1);
   EXPECT_GT(report.power_per_weight_bit_w(), 2e-9);
   EXPECT_LT(report.power_per_weight_bit_w(), 20e-9);
 }
@@ -157,7 +158,7 @@ TEST(Report, AreaScalesWithCapacity) {
   large.p = 3;
   const auto rs = analytic_report(small);
   const auto rl = analytic_report(large);
-  const double area_ratio = rl.chip_area_um2 / rs.chip_area_um2;
+  const double area_ratio = rl.chip_area / rs.chip_area;
   const double cap_ratio =
       static_cast<double>(rl.layout.capacity_bits) /
       static_cast<double>(rs.layout.capacity_bits);
@@ -177,21 +178,21 @@ TEST(Report, PmaxTradeoffShape) {
   const auto r2 = analytic_report(p2);
   const auto r3 = analytic_report(p3);
   const auto r4 = analytic_report(p4);
-  EXPECT_LT(r2.chip_area_um2, r3.chip_area_um2);
-  EXPECT_LT(r3.chip_area_um2, r4.chip_area_um2);
-  EXPECT_GT(r2.latency.total_s(), r3.latency.total_s());
-  EXPECT_GT(r3.latency.total_s(), r4.latency.total_s());
+  EXPECT_LT(r2.chip_area, r3.chip_area);
+  EXPECT_LT(r3.chip_area, r4.chip_area);
+  EXPECT_GT(r2.latency.total().seconds(), r3.latency.total().seconds());
+  EXPECT_GT(r3.latency.total().seconds(), r4.latency.total().seconds());
 }
 
 TEST(Sota, TableEntriesPresent) {
   const auto& entries = sota_annealers();
   ASSERT_EQ(entries.size(), 5U);
   // STATICA: 12mm²/1.31Mb ≈ 9 µm²/bit (Table III).
-  EXPECT_NEAR(entries[0].area_per_bit_um2(), 9.0, 0.5);
+  EXPECT_NEAR(entries[0].area_per_bit().um2(), 9.0, 0.5);
   // CIM-Spin: 0.4mm²/17.28kb ≈ 23 µm²/bit.
-  EXPECT_NEAR(entries[1].area_per_bit_um2(), 23.0, 1.0);
+  EXPECT_NEAR(entries[1].area_per_bit().um2(), 23.0, 1.0);
   // Amorphica: 9mm²/8Mb ≈ 1.1 µm²/bit and 38 nW/bit.
-  EXPECT_NEAR(entries[4].area_per_bit_um2(), 1.1, 0.1);
+  EXPECT_NEAR(entries[4].area_per_bit().um2(), 1.1, 0.1);
   ASSERT_TRUE(entries[4].power_per_bit_w().has_value());
   EXPECT_NEAR(*entries[4].power_per_bit_w() * 1e9, 39.0, 2.0);
   // One entry has no published power.
@@ -215,8 +216,8 @@ TEST(Sota, ThisDesignRowAndNormalization) {
 
   // Functional normalisation beats every competitor by > 10¹³.
   for (const auto& entry : sota_annealers()) {
-    EXPECT_GT(entry.area_per_bit_um2() /
-                  row.functional_area_per_bit_um2(),
+    EXPECT_GT(entry.area_per_bit().um2() /
+                  row.functional_area_per_bit().um2(),
               1e12);
   }
 }

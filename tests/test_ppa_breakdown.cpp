@@ -13,8 +13,8 @@ TEST(AreaBreakdown, ComponentsSumToAggregateModel) {
     geom.p_max = p;
     const auto total = array_area(geom);
     const auto breakdown = array_area_breakdown(geom);
-    EXPECT_NEAR(breakdown.total_um2(), total.area_um2(),
-                total.area_um2() * 1e-9)
+    EXPECT_NEAR(breakdown.total().um2(), total.area().um2(),
+                total.area().um2() * 1e-9)
         << "p=" << p;
   }
 }
@@ -43,29 +43,29 @@ TEST(AreaBreakdown, AllComponentsPositive) {
   hw::ArrayGeometry geom;
   geom.p_max = 3;
   const auto b = array_area_breakdown(geom);
-  EXPECT_GT(b.cell_array_um2, 0.0);
-  EXPECT_GT(b.adder_trees_um2, 0.0);
-  EXPECT_GT(b.write_drivers_um2, 0.0);
-  EXPECT_GT(b.decoders_um2, 0.0);
-  EXPECT_GT(b.switch_matrix_um2, 0.0);
+  EXPECT_GT(b.cell_array.um2(), 0.0);
+  EXPECT_GT(b.adder_trees.um2(), 0.0);
+  EXPECT_GT(b.write_drivers.um2(), 0.0);
+  EXPECT_GT(b.decoders.um2(), 0.0);
+  EXPECT_GT(b.switch_matrix.um2(), 0.0);
 }
 
 TEST(MacEnergyBreakdown, SumsToAggregate) {
   for (std::size_t rows : {8U, 15U, 24U}) {
-    const double total = mac_energy_j(rows, 8);
+    const double total = mac_energy(rows, 8).picojoules();
     const auto breakdown = mac_energy_breakdown(rows, 8);
-    EXPECT_NEAR(breakdown.total_j(), total, total * 1e-12);
-    EXPECT_GT(breakdown.nor_products_j, 0.0);
-    EXPECT_GT(breakdown.adder_tree_j, 0.0);
-    EXPECT_GT(breakdown.mux_j, 0.0);
+    EXPECT_NEAR(breakdown.total().picojoules(), total, total * 1e-12);
+    EXPECT_GT(breakdown.nor_products.picojoules(), 0.0);
+    EXPECT_GT(breakdown.adder_tree.picojoules(), 0.0);
+    EXPECT_GT(breakdown.mux.picojoules(), 0.0);
     // MUX is a small overhead.
-    EXPECT_LT(breakdown.mux_j, 0.1 * total);
+    EXPECT_LT(breakdown.mux.picojoules(), 0.1 * total);
   }
 }
 
 TEST(MacEnergyBreakdown, ScalesWithWindowRows) {
-  EXPECT_GT(mac_energy_breakdown(24, 8).total_j(),
-            mac_energy_breakdown(8, 8).total_j());
+  EXPECT_GT(mac_energy_breakdown(24, 8).total().picojoules(),
+            mac_energy_breakdown(8, 8).total().picojoules());
 }
 
 }  // namespace
@@ -81,10 +81,10 @@ TEST(MaxCutMacro, CompetitiveAreaPerBit) {
   // competitors on area/bit and is in the tens-of-nW/bit power class.
   const auto macro = maxcut_macro_report(512);
   EXPECT_NEAR(macro.capacity_bits, 512.0 * 512.0 * 8.0, 1.0);
-  EXPECT_LT(macro.area_per_bit_um2(), 1.1);  // beats Amorphica's 1.1
-  EXPECT_GT(macro.area_per_bit_um2(), 0.3);
-  EXPECT_GT(macro.power_w, 0.0);
-  EXPECT_LT(macro.power_w, 1.0);
+  EXPECT_LT(macro.area_per_bit().um2(), 1.1);  // beats Amorphica's 1.1
+  EXPECT_GT(macro.area_per_bit().um2(), 0.3);
+  EXPECT_GT(macro.power.watts(), 0.0);
+  EXPECT_LT(macro.power.watts(), 1.0);
 }
 
 TEST(MaxCutMacro, ScalesQuadratically) {
@@ -92,7 +92,7 @@ TEST(MaxCutMacro, ScalesQuadratically) {
   const auto large = maxcut_macro_report(1024);
   const double ratio = large.capacity_bits / small.capacity_bits;
   EXPECT_NEAR(ratio, 64.0, 1e-9);
-  EXPECT_GT(large.area_um2 / small.area_um2, 30.0);
+  EXPECT_GT(large.area / small.area, 30.0);
 }
 
 TEST(MaxCutMacro, InvalidSizeThrows) {

@@ -42,8 +42,8 @@ TEST(Floorplan, AreaConsistentWithAggregateModel) {
   hw::ArrayGeometry geom;
   geom.p_max = 3;
   const auto plan = plan_floorplan(layout, geom);
-  const double aggregate = chip_area_um2(layout, geom);
-  EXPECT_NEAR(plan.area_um2(), aggregate, aggregate * 0.12);
+  const double aggregate = chip_area(layout, geom).um2();
+  EXPECT_NEAR(plan.area().um2(), aggregate, aggregate * 0.12);
   EXPECT_GT(plan.routing_fraction(), 0.0);
   EXPECT_LT(plan.routing_fraction(), 0.15);
 }

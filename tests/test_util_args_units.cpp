@@ -95,8 +95,8 @@ TEST(Units, WattsAndJoules) {
 }
 
 TEST(Units, Area) {
-  EXPECT_EQ(format_area_um2(43.7e6, 1), "43.7 mm^2");
-  EXPECT_EQ(format_area_um2(102.0 * 98.0, 0), "9996 um^2");
+  EXPECT_EQ(format_area(SquareMicron(43.7e6), 1), "43.7 mm^2");
+  EXPECT_EQ(format_area(SquareMicron(102.0 * 98.0), 0), "9996 um^2");
 }
 
 TEST(Units, Factor) {

@@ -1,0 +1,23 @@
+"""cimlint — project-specific static analysis for the cimanneal tree.
+
+Grown from the single-file determinism lint of PR 1 into a small framework:
+
+  * tokenizer.py  — comment/string stripping that understands C++14 digit
+                    separators and raw string literals
+  * rules.py      — Rule dataclass, the registry, and the per-file scan
+  * rules_*.py    — the rule packs (RNG discipline, header hygiene, anneal
+                    hot path, layering DAG, CIM counter charging, unit
+                    hygiene)
+  * nolint.py     — NOLINT(<rule>) suppression shared by every rule
+  * baseline.py   — checked-in grandfather list for intentional findings
+  * output.py     — text / JSON / SARIF 2.1.0 renderers
+  * engine.py     — file collection and (optionally parallel) scanning
+  * cli.py        — the command-line front end behind tools/lint.py
+
+The public entry point is cli.main(); `python3 tools/lint.py --help` shows
+the interface and `--explain <rule>` documents any individual rule.
+"""
+
+from __future__ import annotations
+
+__version__ = "2.0.0"

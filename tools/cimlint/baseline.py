@@ -1,0 +1,62 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline entry vouches for one existing finding so the gate can demand
+*zero new* findings while known, justified ones remain visible in the
+file history. Entries key on (rule, path, normalized line content) — not
+line numbers — so edits elsewhere in a file do not invalidate them.
+
+Format (tools/cimlint/baseline.txt), one entry per line:
+
+    <fingerprint>  <rule>  <path>:<line-at-record-time>  # justification
+
+Only the fingerprint is load-bearing; rule/path/line and the trailing
+comment document the entry for reviewers. Regenerate with
+`tools/lint.py --update-baseline` (which preserves nothing — justify
+entries by editing the file afterwards; the diff shows exactly what was
+added). Prefer NOLINT(<rule>) comments at the site for anything new: the
+baseline exists for findings whose files should not be touched (vendored
+or generated code) and for bulk-introducing a new rule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .findings import Finding
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.txt"
+
+
+def load(path: Path) -> set[str]:
+    """Fingerprints of grandfathered findings (empty when absent)."""
+    if not path.is_file():
+        return set()
+    fingerprints: set[str] = set()
+    for raw_line in path.read_text(encoding="utf-8").splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fingerprints.add(line.split()[0])
+    return fingerprints
+
+
+def split(findings: list[Finding],
+          fingerprints: set[str]) -> tuple[list[Finding], list[Finding]]:
+    """(new, baselined) partition of `findings`."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        (old if f.fingerprint() in fingerprints else new).append(f)
+    return new, old
+
+
+def render(findings: list[Finding]) -> str:
+    """Baseline file contents for `findings`."""
+    lines = [
+        "# cimlint baseline — grandfathered findings (see baseline.py).",
+        "# One entry per line: <fingerprint>  <rule>  <path>:<line>  # why.",
+        "# Keyed on line *content*, so surrounding edits don't break it.",
+    ]
+    for f in sorted(findings):
+        lines.append(f"{f.fingerprint()}  {f.rule}  {f.path}:{f.line}")
+    return "\n".join(lines) + "\n"

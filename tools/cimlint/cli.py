@@ -1,0 +1,136 @@
+"""Command-line front end (invoked through tools/lint.py).
+
+Exit status: 0 clean (all findings baselined or none), 1 non-baselined
+findings, 2 usage / configuration error — so the ctest entries and
+scripts/ci.sh can consume it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from pathlib import Path
+
+from . import __version__, baseline as baseline_mod, engine, output
+from .rules import all_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tools/lint.py",
+        description="cimanneal project lint: determinism, header hygiene, "
+                    "layering DAG, CIM counter charging, unit safety.",
+        epilog="Use --list-rules for the rule inventory and "
+               "--explain <rule> for the reasoning behind any rule.")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent.parent,
+                        help="repository root (default: repo containing "
+                             "tools/)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="stdout format (default: text)")
+    parser.add_argument("--output", type=Path, metavar="FILE",
+                        help="also write the chosen format to FILE")
+    parser.add_argument("--sarif", type=Path, metavar="FILE",
+                        help="additionally write SARIF 2.1.0 to FILE "
+                             "(independent of --format)")
+    parser.add_argument("--baseline", type=Path,
+                        default=baseline_mod.DEFAULT_BASELINE,
+                        help="baseline file (default: "
+                             "tools/cimlint/baseline.txt)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to grandfather every "
+                             "current finding, then exit 0")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also print baselined findings (text format)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel scan processes (default: min(8, "
+                             "cpu count); 1 disables)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list every registered rule and exit")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print the full rationale for RULE and exit")
+    parser.add_argument("--version", action="version",
+                        version=f"cimlint {__version__}")
+    return parser
+
+
+def _explain(rule_name: str) -> int:
+    rules = all_rules()
+    if rule_name not in rules:
+        print(f"cimlint: unknown rule '{rule_name}'. Known rules:",
+              file=sys.stderr)
+        for name in sorted(rules):
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    rule = rules[rule_name]
+    print(f"{rule.name} — {rule.summary}\n")
+    print(textwrap.dedent(rule.explanation).strip())
+    if not rule.suppressible:
+        print("\nThis rule cannot be suppressed with NOLINT.")
+    else:
+        print(f"\nSuppress an intentional site with a "
+              f"`NOLINT({rule.name})` comment on the line or up to "
+              "3 lines above it, plus a short justification.")
+    return 0
+
+
+def _list_rules() -> int:
+    for name, rule in sorted(all_rules().items()):
+        print(f"{name:22s} {rule.summary}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+    if args.explain:
+        return _explain(args.explain)
+
+    root = args.root.resolve()
+    try:
+        config = engine.load_config()
+    except ValueError as err:
+        print(f"cimlint: error: {err}", file=sys.stderr)
+        return 2
+
+    findings, scanned = engine.lint_tree(root, config, jobs=args.jobs)
+    if scanned == 0:
+        # A misconfigured --root must not silently pass the gate.
+        print(f"cimlint: error: no C++ sources found under {root} "
+              f"(looked in {', '.join(engine.SCAN_DIRS)})", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        args.baseline.write_text(baseline_mod.render(findings),
+                                 encoding="utf-8")
+        print(f"cimlint: baselined {len(findings)} finding(s) into "
+              f"{args.baseline}")
+        return 0
+
+    fingerprints = set() if args.no_baseline else baseline_mod.load(
+        args.baseline)
+    new, baselined = baseline_mod.split(findings, fingerprints)
+
+    rule_meta = {name: (r.summary, r.explanation)
+                 for name, r in all_rules().items()}
+    renders = {
+        "text": lambda: output.render_text(new, baselined, scanned,
+                                           args.show_baselined),
+        "json": lambda: output.render_json(new, baselined, scanned),
+        "sarif": lambda: output.render_sarif(new, baselined, rule_meta),
+    }
+    rendered = renders[args.format]()
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(rendered, encoding="utf-8")
+    if args.sarif:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(output.render_sarif(new, baselined, rule_meta),
+                              encoding="utf-8")
+    return 1 if new else 0

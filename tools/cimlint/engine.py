@@ -1,0 +1,94 @@
+"""File collection and (optionally parallel) scanning."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import tomllib
+from pathlib import Path, PurePosixPath
+
+from .findings import Finding
+from .rules import LintConfig, FileContext, SOURCE_EXTS, scan_file
+from .rules_layering import check_acyclic
+from .tokenizer import strip_comments_and_strings
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+# Directory names skipped everywhere: fixture corpora contain *intentional*
+# violations (the lint.selftest asserts their exact counts) and must never
+# leak into the production gate.
+EXCLUDED_DIR_NAMES = {"lint_fixtures"}
+
+DEFAULT_LAYERS = Path(__file__).parent / "layers.toml"
+
+
+def load_config(layers_path: Path | None = None) -> LintConfig:
+    path = layers_path or DEFAULT_LAYERS
+    config = LintConfig()
+    if path.is_file():
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+        modules = data.get("modules", {})
+        config.top_layers = list(modules.pop("top", []))
+        config.layers = {name: list(deps) for name, deps in modules.items()}
+        check_acyclic(config.layers)
+    return config
+
+
+def collect_files(root: Path, scan_dirs: tuple[str, ...] = SCAN_DIRS
+                  ) -> list[Path]:
+    files: list[Path] = []
+    for top in scan_dirs:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_EXTS or not path.is_file():
+                continue
+            rel_parts = path.relative_to(root).parts
+            if EXCLUDED_DIR_NAMES.intersection(rel_parts):
+                continue
+            files.append(path)
+    return files
+
+
+def lint_one(root: Path, path: Path, config: LintConfig) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    ctx = FileContext(
+        root=root,
+        rel=PurePosixPath(*path.relative_to(root).parts),
+        raw=raw,
+        code=strip_comments_and_strings(raw),
+        directives=strip_comments_and_strings(raw, keep_strings=True),
+        raw_lines=raw.splitlines(),
+        config=config,
+    )
+    return scan_file(ctx)
+
+
+def lint_tree(root: Path, config: LintConfig, jobs: int | None = None
+              ) -> tuple[list[Finding], int]:
+    """Scans the tree; returns (findings sorted by path/line, file count).
+
+    `jobs` > 1 fans files out over processes (regex matching is
+    CPU-bound and the files are independent); jobs == 1 or a single-CPU
+    host scans serially. Ordering is deterministic either way.
+    """
+    files = collect_files(root)
+    if jobs is None:
+        jobs = min(8, os.cpu_count() or 1)
+    findings: list[Finding] = []
+    if jobs > 1 and len(files) > 16:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(_lint_one_star,
+                                   [(root, f, config) for f in files],
+                                   chunksize=8):
+                findings.extend(result)
+    else:
+        for path in files:
+            findings.extend(lint_one(root, path, config))
+    findings.sort()
+    return findings, len(files)
+
+
+def _lint_one_star(args: tuple[Path, Path, LintConfig]) -> list[Finding]:
+    return lint_one(*args)

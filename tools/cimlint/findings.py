@@ -1,0 +1,29 @@
+"""Finding: one rule violation at one source location."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+    snippet: str = ""  # raw source line, for baseline fingerprints
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for the baseline: rule + path + the content of
+        the offending line (whitespace-insensitive), *not* the line
+        number, so unrelated edits above a grandfathered finding do not
+        invalidate the baseline entry."""
+        normalized = "".join(self.snippet.split())
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.path}|{normalized}".encode()
+        ).hexdigest()
+        return digest[:16]

@@ -1,0 +1,124 @@
+"""Heuristic function-body extraction from stripped C++.
+
+cimlint is regex-based, but the counter-charge rule needs *per-function*
+granularity: "this function reads storage rows, does it also charge the
+counters?". A full parser is out of scope; instead we brace-match on the
+stripped text and classify each top-level `{` as a function body when it
+is preceded by a parameter list — `) [qualifiers] {`, allowing
+const/noexcept/override/final/ref-qualifiers, trailing return types and
+constructor initialiser lists (whose last element also ends in `)`).
+
+Control-flow braces (`if (...) {`) never reach the classifier because
+they only occur inside an already-open function body, which the scanner
+treats as opaque.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+_QUALIFIERS = {"const", "noexcept", "override", "final", "mutable", "try"}
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionBlock:
+    name: str        # best-effort identifier before the parameter list
+    start: int       # offset of the opening brace in the stripped text
+    end: int         # offset one past the closing brace
+    body: str        # stripped text between the braces
+
+
+def _token_before(code: str, pos: int) -> tuple[str, int]:
+    """(token, start) of the token ending just before offset `pos`."""
+    j = pos
+    while j > 0 and code[j - 1].isspace():
+        j -= 1
+    if j == 0:
+        return "", 0
+    ch = code[j - 1]
+    if ch in ")(&":
+        # Collapse && to one token.
+        if ch == "&" and j >= 2 and code[j - 2] == "&":
+            return "&&", j - 2
+        return ch, j - 1
+    if ch.isalnum() or ch == "_":
+        k = j
+        while k > 0 and (code[k - 1].isalnum() or code[k - 1] == "_"):
+            k -= 1
+        return code[k:j], k
+    return ch, j - 1
+
+
+def _match_backwards_paren(code: str, close: int) -> int:
+    """Offset of the '(' matching the ')' at `close`, or -1."""
+    depth = 0
+    for j in range(close, -1, -1):
+        if code[j] == ")":
+            depth += 1
+        elif code[j] == "(":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def _opens_function_body(code: str, brace: int) -> tuple[bool, str]:
+    """Classifies the `{` at offset `brace`; returns (is_function, name)."""
+    pos = brace
+    # Walk back over trailing qualifiers and an optional trailing return
+    # type (`) -> std::uint64_t {`), looking for the parameter list's `)`.
+    for _ in range(16):
+        token, start = _token_before(code, pos)
+        if token == ")":
+            open_paren = _match_backwards_paren(code, start)
+            if open_paren < 0:
+                return False, ""
+            name, _ = _token_before(code, open_paren)
+            if not _IDENT.match(name):
+                # Operator overloads: `operator+=(...)`, `operator==(...)`.
+                if re.search(r"\boperator\b[^();{}]{0,12}$",
+                             code[max(0, open_paren - 24):open_paren]):
+                    return True, "operator"
+                return False, ""
+            return True, name
+        if token in _QUALIFIERS or token in {"&", "&&"}:
+            pos = start
+            continue
+        if _IDENT.match(token) or token in {">", ":", ","}:
+            # Possibly inside a trailing return type or ctor initialiser
+            # (`: base_(x), member_(y) {`); keep walking a little.
+            pos = start
+            continue
+        return False, ""
+    return False, ""
+
+
+def function_blocks(code: str) -> list[FunctionBlock]:
+    """All outermost function bodies in stripped text, in file order."""
+    blocks: list[FunctionBlock] = []
+    depth = 0
+    body_depth: int | None = None
+    body_start = 0
+    body_name = ""
+    i, n = 0, len(code)
+    while i < n:
+        ch = code[i]
+        if ch == "{":
+            if body_depth is None:
+                is_fn, name = _opens_function_body(code, i)
+                if is_fn:
+                    body_depth = depth
+                    body_start = i
+                    body_name = name
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if body_depth is not None and depth == body_depth:
+                blocks.append(FunctionBlock(
+                    name=body_name, start=body_start, end=i + 1,
+                    body=code[body_start + 1:i]))
+                body_depth = None
+        i += 1
+    return blocks

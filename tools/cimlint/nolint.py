@@ -1,0 +1,88 @@
+"""Shared NOLINT(<rule>) suppression.
+
+Every rule accepts a `NOLINT(rule)` (or `NOLINT(rule-a, rule-b)`) marker
+in a comment on the finding's line or up to three lines above it — the
+PR-2 convention that only `anneal-dense-rebuild` used to honour. Markers
+are looked up in the *raw* text because they live in comments, which the
+stripped text blanks.
+
+Strictness rules:
+
+  * the rule name must be spelled exactly — `NOLINT(<typo>)` silently
+    disabling nothing is itself reported as `nolint-unknown-rule`;
+  * a bare `NOLINT` without a rule list is also reported — blanket
+    suppression would hide future rules the author never saw.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .findings import Finding
+
+# How many lines above the finding a marker may sit (plus the line itself).
+CONTEXT_LINES = 3
+
+_MARKER = re.compile(r"\bNOLINT\b(?:\(([^)\n]*)\))?")
+
+# clang-tidy owns its own NOLINT namespace; names under these category
+# prefixes are its business, not ours, and pass the audit untouched.
+_CLANG_TIDY_PREFIXES = (
+    "bugprone-", "cert-", "clang-analyzer-", "clang-diagnostic-",
+    "concurrency-", "cppcoreguidelines-", "google-", "hicpp-", "llvm-",
+    "misc-", "modernize-", "performance-", "portability-", "readability-",
+)
+
+
+def _is_clang_tidy_name(name: str) -> bool:
+    return name.startswith(_CLANG_TIDY_PREFIXES)
+
+
+class NolintIndex:
+    """Parsed NOLINT markers of one file, by line."""
+
+    def __init__(self, raw_text: str):
+        self._rules_by_line: dict[int, set[str]] = {}
+        self.markers: list[tuple[int, str | None]] = []  # (line, rule list)
+        for lineno, line in enumerate(raw_text.splitlines(), start=1):
+            for m in _MARKER.finditer(line):
+                body = m.group(1)
+                self.markers.append((lineno, body))
+                if body is None:
+                    continue
+                names = {part.strip() for part in body.split(",") if part.strip()}
+                self._rules_by_line.setdefault(lineno, set()).update(names)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        for probe in range(max(1, line - CONTEXT_LINES), line + 1):
+            if rule in self._rules_by_line.get(probe, ()):
+                return True
+        return False
+
+    def audit(self, path: str, known_rules: Iterable[str],
+              raw_lines: list[str]) -> list[Finding]:
+        """Reports malformed markers: unknown rule names and bare NOLINT."""
+        known = set(known_rules)
+        findings: list[Finding] = []
+        for lineno, body in self.markers:
+            snippet = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+            if body is None:
+                findings.append(Finding(
+                    path=path, line=lineno, rule="nolint-unknown-rule",
+                    message="bare NOLINT suppresses nothing here; name the "
+                            "rule: NOLINT(<rule>)",
+                    snippet=snippet))
+                continue
+            names = [part.strip() for part in body.split(",")]
+            for name in names:
+                if _is_clang_tidy_name(name):
+                    continue
+                if not name or name not in known:
+                    findings.append(Finding(
+                        path=path, line=lineno, rule="nolint-unknown-rule",
+                        message=f"NOLINT names unknown rule '{name}'; a typo "
+                                "here would silently fail to suppress "
+                                "(see --list-rules)",
+                        snippet=snippet))
+        return findings

@@ -1,0 +1,108 @@
+"""Finding renderers: plain text, JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI dashboards and code-review tools
+ingest (github code scanning, VS Code SARIF viewer). We emit the minimal
+valid subset: tool metadata with per-rule descriptions, and one result
+per finding with a physical location. Baselined findings are emitted
+with `"baselineState": "unchanged"` so viewers can fold them away.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from . import __version__
+from .findings import Finding
+
+_INFO_URI = "https://github.com/cimanneal/cimanneal/blob/main/tools/cimlint"
+
+
+def render_text(new: list[Finding], baselined: list[Finding],
+                scanned: int, verbose_baseline: bool = False) -> str:
+    lines = [f.render() for f in new]
+    if verbose_baseline:
+        lines.extend(f"{f.render()} (baselined)" for f in baselined)
+    suffix = f", {len(baselined)} baselined" if baselined else ""
+    lines.append(
+        f"cimlint: scanned {scanned} files, {len(new)} finding(s){suffix}")
+    return "\n".join(lines)
+
+
+def render_json(new: list[Finding], baselined: list[Finding],
+                scanned: int) -> str:
+    def encode(f: Finding, is_baselined: bool) -> dict:
+        return {
+            "path": f.path,
+            "line": f.line,
+            "rule": f.rule,
+            "message": f.message,
+            "fingerprint": f.fingerprint(),
+            "baselined": is_baselined,
+        }
+
+    payload = {
+        "tool": "cimlint",
+        "version": __version__,
+        "scanned_files": scanned,
+        "findings": [encode(f, False) for f in new]
+        + [encode(f, True) for f in baselined],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_sarif(new: list[Finding], baselined: list[Finding],
+                 rule_meta: Mapping[str, tuple[str, str]]) -> str:
+    """SARIF 2.1.0. `rule_meta` maps rule id -> (summary, explanation)."""
+
+    def result(f: Finding, baseline_state: str | None) -> dict:
+        r: dict = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": f.line},
+                },
+            }],
+            "partialFingerprints": {"cimlint/v1": f.fingerprint()},
+        }
+        if baseline_state is not None:
+            r["baselineState"] = baseline_state
+        return r
+
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": summary},
+            "fullDescription": {"text": explanation},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, (summary, explanation) in sorted(rule_meta.items())
+    ]
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "cimlint",
+                    "version": __version__,
+                    "informationUri": _INFO_URI,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "cimanneal repository root"}},
+            },
+            "results": [result(f, None) for f in new]
+            + [result(f, "unchanged") for f in baselined],
+        }],
+    }
+    return json.dumps(sarif, indent=2) + "\n"

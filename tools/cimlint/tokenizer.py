@@ -1,0 +1,121 @@
+"""C++ comment/string stripping for pattern-based rules.
+
+The rules match regexes against *code*, so comments and literals must be
+blanked first (prose that mentions a banned construct is fine). The
+stripper preserves newlines and column positions: every blanked character
+becomes a space, so line/column arithmetic on the stripped text maps
+directly back to the raw file.
+
+Two constructs the PR-1 stripper mishandled are covered with regression
+cases (tests/lint_selftest.py::TokenizerUnit and
+tests/lint_fixtures/repo/src/util/tokenizer_cases.cpp):
+
+  * C++14 digit separators — `1'000'000` must not open a char literal
+    (the old stripper blanked everything to the next apostrophe, hiding
+    real code from the rules);
+  * raw string literals — `R"delim( ... )delim"` has no escape
+    processing and may span lines; the old stripper treated the `"` as a
+    regular string opener and desynchronised on the first inner quote.
+"""
+
+from __future__ import annotations
+
+import re
+
+# A digit separator is an apostrophe *between* alphanumeric characters
+# (C++14 allows hex digits and exponents around it: 0xBEEF'CAFE, 1'000.0).
+_DIGIT_SEP_BEFORE = re.compile(r"[0-9a-zA-Z]$")
+
+# Raw string opener: an R immediately followed by `"`, optionally prefixed
+# by an encoding prefix (u8R, uR, UR, LR). The char before the prefix must
+# not be an identifier character (`FooR"(x)"` is a macro call, not raw).
+_RAW_OPENER = re.compile(r'(?:u8|[uUL])?R"([^ ()\\\t\v\f\n]{0,16})\(')
+
+
+def _is_digit_separator(text: str, i: int) -> bool:
+    """True when text[i] == "'" acts as a C++14 digit separator."""
+    if i == 0 or i + 1 >= len(text):
+        return False
+    prev = text[i - 1]
+    nxt = text[i + 1]
+    # Separators sit between digits/hex-digits; `'` after a digit and
+    # before an alphanumeric covers 1'000, 0xFF'FF and 1'0e3.
+    return (prev.isdigit() or (prev in "abcdefABCDEF" and _looks_numeric(text, i))) and (
+        nxt.isdigit() or nxt in "abcdefABCDEF"
+    )
+
+
+def _looks_numeric(text: str, i: int) -> bool:
+    """Walks left from a hex-ish letter to check we are inside a number."""
+    j = i - 1
+    while j >= 0 and (text[j].isalnum() or text[j] in "'."):
+        j -= 1
+    return j >= 0 and j + 1 < len(text) and text[j + 1].isdigit()
+
+
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Blanks comments, string and char literals, preserving newlines.
+
+    Handles //, /* */, "..." with escapes, '...' with escapes, C++14
+    digit separators (not literal openers) and raw strings R"d(...)d".
+
+    `keep_strings=True` blanks comments but keeps ordinary quoted
+    literals — for rules that must read literal contents, like layer-dag
+    reading #include "module/file.hpp" paths (a commented-out include
+    must still not count). Raw strings are blanked even then: an include
+    path is never a raw string, and a multi-line R"(...)" can contain
+    lines that *look* like directives.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+        elif ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            stop = n if end == -1 else end + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:stop]))
+            i = stop
+        elif ch in "RuUL" and (m := _RAW_OPENER.match(text, i)) and not (
+            i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_")
+        ):
+            # Raw string literal: no escapes; ends at )delim" only.
+            # Always blanked (even under keep_strings): raw contents can
+            # span lines and masquerade as preprocessor directives.
+            closer = ")" + m.group(1) + '"'
+            end = text.find(closer, m.end())
+            stop = n if end == -1 else end + len(closer)
+            out.append("".join(c if c == "\n" else " "
+                               for c in text[i:stop]))
+            i = stop
+        elif ch == "'" and _is_digit_separator(text, i):
+            # C++14 digit separator (1'000'000) — part of a number, not a
+            # char literal opener. Keep it so the number stays one token.
+            out.append(ch)
+            i += 1
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\n" and quote == "'":
+                    break  # unterminated char literal: stop at line end
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            if keep_strings:
+                out.append(text[i:j])
+            else:
+                out.append("".join(c if c == "\n" else " "
+                                   for c in text[i:j]))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    """1-based line number of byte offset `pos` in `text`."""
+    return text.count("\n", 0, pos) + 1

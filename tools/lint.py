@@ -1,166 +1,26 @@
 #!/usr/bin/env python3
-"""Determinism / hygiene lint for the cimanneal tree.
+"""Thin launcher for the cimlint framework (tools/cimlint/).
 
-Annealer results are only comparable when runs are bit-reproducible, so all
-randomness must flow through the seeded cim::util::Rng (xoshiro256++). This
-lint enforces that mechanically rather than by convention:
+Kept so the existing entry points — the `lint.determinism` ctest,
+scripts/ci.sh, and muscle memory — keep working unchanged. All behaviour
+lives in the package: tokenizer, rule packs (RNG discipline, header
+hygiene, anneal hot path, layering DAG, CIM counter charging, unit
+safety), NOLINT suppression, the baseline, and text/JSON/SARIF output.
 
-  rng-random-device   std::random_device anywhere (non-deterministic seed)
-  rng-libc-rand       rand()/srand()/rand_r() (global hidden state)
-  rng-time-seed       time(nullptr)/time(NULL)/time(0) used as entropy
-  rng-mt19937         std::mt19937 construction outside src/util/random.*
-                      (distribution implementations differ across stdlibs)
-  hdr-using-namespace `using namespace` at namespace scope in a header
-  hdr-pragma-once     header missing `#pragma once`
-  anneal-dense-rebuild  `x.assign(...rows(), 0)`-style dense input rebuilds
-                      under src/anneal — the swap hot path must use the
-                      incremental sparse row list; suppress intentional
-                      sites with a `NOLINT(anneal-dense-rebuild)` comment
-                      on the line or the three lines above it
+  python3 tools/lint.py                  # scan the tree, text output
+  python3 tools/lint.py --list-rules     # rule inventory
+  python3 tools/lint.py --explain <rule> # rationale for one rule
+  python3 tools/lint.py --sarif out.sarif
 
-Comments and string literals are stripped before matching, so prose that
-*mentions* a banned construct is fine (the NOLINT suppression is looked up
-in the raw text for the same reason). Exit status is the number of findings
-capped at 1, so it slots directly into ctest / CI.
+Exit status: 0 clean, 1 non-baselined findings, 2 usage/config error.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
 import sys
 from pathlib import Path
 
-HEADER_EXTS = {".hpp", ".h", ".hh"}
-SOURCE_EXTS = {".cpp", ".cc", ".cxx"} | HEADER_EXTS
-SCAN_DIRS = ("src", "tests", "bench", "examples")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# Files allowed to own raw PRNG machinery. Everything else must go through
-# cim::util::Rng.
-RNG_ALLOWLIST = {Path("src/util/random.hpp"), Path("src/util/random.cpp")}
-
-RULES = [
-    ("rng-random-device", re.compile(r"\bstd\s*::\s*random_device\b"),
-     "std::random_device is non-deterministic; seed cim::util::Rng explicitly"),
-    ("rng-libc-rand", re.compile(r"(?<![\w:])s?rand(_r)?\s*\("),
-     "libc rand()/srand() has hidden global state; use cim::util::Rng"),
-    ("rng-time-seed", re.compile(r"(?<![\w:])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
-     "wall-clock seeding breaks reproducibility; pass seeds explicitly"),
-    ("rng-mt19937", re.compile(r"\bmt19937(_64)?\b"),
-     "std::mt19937 is banned outside src/util/random.*; use cim::util::Rng"),
-]
-
-USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b", re.MULTILINE)
-PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
-
-# Full-vector input rebuilds (`input.assign(shape.rows(), 0)` and friends)
-# in the annealer: the swap hot path iterates only the p + 2 set rows, so
-# a dense rebuild there is an O(rows) regression hiding in plain sight.
-DENSE_REBUILD = re.compile(r"\.assign\s*\(\s*[\w.\->]*\brows\s*\(\)\s*,")
-DENSE_REBUILD_DIR = Path("src/anneal")
-NOLINT_DENSE = "NOLINT(anneal-dense-rebuild)"
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments, string and char literals, preserving newlines."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            end = text.find("\n", i)
-            i = n if end == -1 else end
-        elif ch == "/" and nxt == "*":
-            end = text.find("*/", i + 2)
-            stop = n if end == -1 else end + 2
-            out.append("".join(c if c == "\n" else " " for c in text[i:stop]))
-            i = stop
-        elif ch in "\"'":
-            quote = ch
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(" " * (j - i))
-            i = j
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
-def line_of(text: str, pos: int) -> int:
-    return text.count("\n", 0, pos) + 1
-
-
-def lint_file(root: Path, path: Path) -> list[str]:
-    rel = path.relative_to(root)
-    raw = path.read_text(encoding="utf-8", errors="replace")
-    code = strip_comments_and_strings(raw)
-    findings: list[str] = []
-
-    for rule, pattern, message in RULES:
-        if rule == "rng-mt19937" and rel in RNG_ALLOWLIST:
-            continue
-        for m in pattern.finditer(code):
-            findings.append(
-                f"{rel}:{line_of(code, m.start())}: [{rule}] {message}")
-
-    if DENSE_REBUILD_DIR in rel.parents:
-        raw_lines = raw.splitlines()
-        for m in DENSE_REBUILD.finditer(code):
-            ln = line_of(code, m.start())
-            # The marker lives in a comment, which the stripped text has
-            # blanked — look it up in the raw line or the 3 lines above.
-            context = "\n".join(raw_lines[max(0, ln - 4):ln])
-            if NOLINT_DENSE in context:
-                continue
-            findings.append(
-                f"{rel}:{ln}: [anneal-dense-rebuild] dense input rebuild in "
-                "the anneal hot path; use the incremental sparse row list "
-                f"or suppress with {NOLINT_DENSE}")
-
-    if path.suffix in HEADER_EXTS:
-        for m in USING_NAMESPACE.finditer(code):
-            findings.append(
-                f"{rel}:{line_of(code, m.start())}: [hdr-using-namespace] "
-                "`using namespace` in a header leaks into every includer")
-        if not PRAGMA_ONCE.search(raw):
-            findings.append(
-                f"{rel}:1: [hdr-pragma-once] header missing `#pragma once`")
-    return findings
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
-                        help="repository root (default: repo containing tools/)")
-    args = parser.parse_args()
-    root = args.root.resolve()
-
-    files: list[Path] = []
-    for top in SCAN_DIRS:
-        base = root / top
-        if not base.is_dir():
-            continue
-        files.extend(p for p in sorted(base.rglob("*"))
-                     if p.suffix in SOURCE_EXTS and p.is_file())
-    if not files:
-        # A misconfigured --root must not silently pass the gate.
-        print(f"lint.py: error: no C++ sources found under {root} "
-              f"(looked in {', '.join(SCAN_DIRS)})", file=sys.stderr)
-        return 2
-
-    findings: list[str] = []
-    for path in files:
-        findings.extend(lint_file(root, path))
-
-    for finding in findings:
-        print(finding)
-    print(f"lint.py: scanned {len(files)} files, {len(findings)} finding(s)")
-    return 1 if findings else 0
-
+from cimlint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

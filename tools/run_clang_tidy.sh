@@ -12,7 +12,10 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-}"
 if [[ -z "${build_dir}" ]]; then
-  for candidate in "${repo_root}/build/release" "${repo_root}/build"; do
+  # Prefer release, then a bare build/, then any preset dir that has a
+  # compilation database (e.g. build/asan-ubsan when only that was built).
+  for candidate in "${repo_root}/build/release" "${repo_root}/build" \
+                   "${repo_root}"/build/*; do
     if [[ -f "${candidate}/compile_commands.json" ]]; then
       build_dir="${candidate}"
       break
@@ -42,8 +45,11 @@ if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
 fi
 
 # First-party TUs only: everything under src/, tests/, bench/, examples/.
+# The lint fixture corpus holds intentional violations outside the build
+# graph and is never a clang-tidy target.
 mapfile -t files < <(cd "${repo_root}" &&
-  find src tests bench examples -name '*.cpp' 2>/dev/null | sort)
+  find src tests bench examples -name '*.cpp' \
+       -not -path 'tests/lint_fixtures/*' 2>/dev/null | sort)
 
 echo "run_clang_tidy.sh: ${tidy_bin} on ${#files[@]} files (db: ${build_dir})"
 status=0
