@@ -46,15 +46,17 @@ for preset in "${presets[@]}"; do
   run_preset "${preset}"
 done
 
-echo "==== bench smoke (swap-kernel micro-bench at reduced scale)"
+echo "==== bench smoke (swap-kernel + parallel-runtime benches at reduced scale)"
 bench_bin="${repo_root}/build/release/bench/bench_micro_kernels"
 bench_out_dir="${repo_root}/build/release/bench-out"
 if [[ -x "${bench_bin}" ]]; then
   mkdir -p "${bench_out_dir}"
   CIMANNEAL_BENCH_SMOKE=1 \
     CIMANNEAL_BENCH_OUT="${bench_out_dir}/BENCH_swap_kernel.json" \
+    CIMANNEAL_BENCH_OUT_RUNTIME="${bench_out_dir}/BENCH_parallel_runtime.json" \
     "${bench_bin}" --benchmark_filter='BM_SwapKernel.*'
   echo "archived ${bench_out_dir}/BENCH_swap_kernel.json"
+  echo "archived ${bench_out_dir}/BENCH_parallel_runtime.json"
 else
   echo "bench_micro_kernels not built (CIMANNEAL_BUILD_BENCH=OFF?); skipping"
 fi

@@ -2,16 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <exception>
 #include <limits>
 #include <span>
-#include <thread>
 
 #include "anneal/top_ring.hpp"
 #include "cim/window.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cim::anneal {
 
@@ -58,24 +57,6 @@ struct Slot {
 struct SwapScratch {
   std::vector<std::uint8_t> input;   ///< dense input (legacy kernel)
   std::vector<std::uint32_t> rows;   ///< noisy row list (kSramSpin sparse)
-};
-
-/// Joins every still-joinable thread on scope exit so a throw while
-/// spawning never reaches ~thread() on a joinable thread.
-class ThreadJoiner {
- public:
-  explicit ThreadJoiner(std::vector<std::thread>& threads)
-      : threads_(threads) {}
-  ThreadJoiner(const ThreadJoiner&) = delete;
-  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
-  ~ThreadJoiner() {
-    for (std::thread& t : threads_) {
-      if (t.joinable()) t.join();
-    }
-  }
-
- private:
-  std::vector<std::thread>& threads_;
 };
 
 /// Solves the member order of every cluster at one hierarchy level.
@@ -171,7 +152,9 @@ class LevelSolver {
                     LevelStats& stats, HardwareActivity& hw, util::Rng& rng,
                     SwapScratch& scratch);
 
-  /// Updates all slots of one colour on config_.color_threads workers.
+  /// Updates all slots of one colour on up to config_.color_threads pool
+  /// tasks (the persistent shared ThreadPool — no threads are created in
+  /// the epoch loop).
   void run_color_parallel(std::uint8_t color, const SchedulePhase& phase,
                           LevelStats& stats, HardwareActivity& hw);
 
@@ -198,6 +181,12 @@ class LevelSolver {
   /// execution order within a colour phase.
   std::vector<util::Rng> slot_rngs_;
   std::vector<std::size_t> color_slots_;  ///< scratch for one colour's slots
+  /// Per-task accumulators for the colour-parallel mode, sized once and
+  /// reused across colours, epochs and levels — the epoch loop performs
+  /// no allocation and no thread creation.
+  std::vector<LevelStats> worker_stats_;
+  std::vector<HardwareActivity> worker_hw_;
+  std::vector<SwapScratch> worker_scratch_;
 };
 
 void LevelSolver::build_slots(const std::vector<std::uint32_t>& ring) {
@@ -520,46 +509,43 @@ void LevelSolver::run_color_parallel(std::uint8_t color,
   for (std::size_t r = 0; r < slots_.size(); ++r) {
     if (slots_[r].color == color) color_slots_.push_back(r);
   }
-  const std::size_t workers = std::min<std::size_t>(
+  const std::size_t tasks = std::min<std::size_t>(
       config_.color_threads, color_slots_.size());
-  if (workers <= 1) {
-    // Same per-slot streams as the threaded path, so results do not
-    // depend on how many workers a colour happens to get.
+  if (tasks <= 1) {
+    // Same per-slot streams as the pooled path, so results do not depend
+    // on how many tasks a colour happens to get.
     for (const std::size_t r : color_slots_) {
       attempt_swap(slots_[r], phase, stats, hw, slot_rngs_[r], scratch_);
     }
     return;
   }
-  std::vector<LevelStats> worker_stats(workers);
-  std::vector<HardwareActivity> worker_hw(workers);
-  std::vector<SwapScratch> worker_scratch(workers);
-  std::vector<std::exception_ptr> worker_error(workers);
-  {
-    std::vector<std::thread> threads;
-    ThreadJoiner joiner(threads);
-    threads.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) {
-      threads.emplace_back([this, t, workers, &phase, &worker_stats,
-                            &worker_hw, &worker_scratch, &worker_error] {
-        try {
-          for (std::size_t q = t; q < color_slots_.size(); q += workers) {
-            const std::size_t r = color_slots_[q];
-            attempt_swap(slots_[r], phase, worker_stats[t], worker_hw[t],
-                         slot_rngs_[r], worker_scratch[t]);
-          }
-        } catch (...) {
-          worker_error[t] = std::current_exception();
-        }
-      });
-    }
+  // Per-task accumulators persist across colours/epochs/levels; the slot
+  // assignment strides by the task count, which depends only on the
+  // configuration and the ring — never on pool width or steal order —
+  // and every slot owns its RNG stream, so results are a pure function
+  // of the seed.
+  if (worker_stats_.size() < tasks) {
+    worker_stats_.resize(tasks);
+    worker_hw_.resize(tasks);
+    worker_scratch_.resize(tasks);
   }
-  for (std::size_t t = 0; t < workers; ++t) {
-    if (worker_error[t]) std::rethrow_exception(worker_error[t]);
-    stats.swaps_attempted += worker_stats[t].swaps_attempted;
-    stats.swaps_accepted += worker_stats[t].swaps_accepted;
-    stats.uphill_accepted += worker_stats[t].uphill_accepted;
-    hw.swap_attempts += worker_hw[t].swap_attempts;
-    hw.dataflow += worker_hw[t].dataflow;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    worker_stats_[t] = LevelStats{};
+    worker_hw_[t] = HardwareActivity{};
+  }
+  util::ThreadPool::shared().run(tasks, [&](std::size_t t) {
+    for (std::size_t q = t; q < color_slots_.size(); q += tasks) {
+      const std::size_t r = color_slots_[q];
+      attempt_swap(slots_[r], phase, worker_stats_[t], worker_hw_[t],
+                   slot_rngs_[r], worker_scratch_[t]);
+    }
+  });
+  for (std::size_t t = 0; t < tasks; ++t) {
+    stats.swaps_attempted += worker_stats_[t].swaps_attempted;
+    stats.swaps_accepted += worker_stats_[t].swaps_accepted;
+    stats.uphill_accepted += worker_stats_[t].uphill_accepted;
+    hw.swap_attempts += worker_hw_[t].swap_attempts;
+    hw.dataflow += worker_hw_[t].dataflow;
   }
 }
 

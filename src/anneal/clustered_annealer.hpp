@@ -51,12 +51,14 @@ struct AnnealerConfig {
   /// bit-identical results and hardware counters, kept for the ablation
   /// and the swap-kernel micro-bench.
   bool sparse_swap_kernel = true;
-  /// >1 updates same-colour slots of each chromatic phase on this many
-  /// std::threads. Deterministic for a given seed and independent of the
-  /// thread count (per-slot RNG streams derived from the level seed), but
-  /// the streams differ from the single-threaded shared-stream sequence,
-  /// so results match across thread counts > 1, not with 1. Requires
-  /// chromatic_parallel and sparse_swap_kernel.
+  /// >1 updates same-colour slots of each chromatic phase on up to this
+  /// many tasks of the persistent shared util::ThreadPool (no thread is
+  /// ever created inside the epoch loop). Deterministic for a given seed
+  /// and independent of the task/worker count (per-slot RNG streams
+  /// derived from the level seed), but the streams differ from the
+  /// single-threaded shared-stream sequence, so results match across
+  /// thread counts > 1, not with 1. Requires chromatic_parallel and
+  /// sparse_swap_kernel.
   std::uint32_t color_threads = 1;
   std::uint32_t weight_bits = 8;
   std::uint64_t seed = 1;

@@ -1,12 +1,13 @@
 #include "anneal/ensemble.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
-#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cim::anneal {
 
@@ -29,29 +30,6 @@ ReplicaEnsemble::ReplicaEnsemble(EnsembleConfig config)
   CIM_REQUIRE(config_.replicas >= 1, "ensemble needs at least one replica");
 }
 
-namespace {
-
-/// Joins every still-joinable thread on scope exit, so a throw while
-/// spawning (or rethrowing a replica failure) never reaches ~thread() on
-/// a joinable thread, which would std::terminate.
-class ThreadJoiner {
- public:
-  explicit ThreadJoiner(std::vector<std::thread>& threads)
-      : threads_(threads) {}
-  ThreadJoiner(const ThreadJoiner&) = delete;
-  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
-  ~ThreadJoiner() {
-    for (std::thread& t : threads_) {
-      if (t.joinable()) t.join();
-    }
-  }
-
- private:
-  std::vector<std::thread>& threads_;
-};
-
-}  // namespace
-
 EnsembleResult ReplicaEnsemble::solve(const tsp::Instance& instance) const {
   std::vector<AnnealResult> results(config_.replicas);
   std::vector<std::exception_ptr> errors(config_.replicas);
@@ -66,22 +44,30 @@ EnsembleResult ReplicaEnsemble::solve(const tsp::Instance& instance) const {
   };
 
   if (config_.use_threads && config_.replicas > 1) {
-    std::vector<std::thread> workers;
-    {
-      ThreadJoiner joiner(workers);
-      workers.reserve(config_.replicas);
-      for (std::size_t r = 0; r < config_.replicas; ++r) {
-        // A replica failure must not escape its thread (that would
-        // std::terminate); capture it and rethrow after the join barrier.
-        workers.emplace_back([&run_replica, &errors, r] {
-          try {
-            run_replica(r);
-          } catch (...) {
-            errors[r] = std::current_exception();
-          }
-        });
+    // Replicas are tasks on the persistent shared pool instead of raw OS
+    // threads, so in-flight replicas are capped at `workers` (default:
+    // the pool width) rather than growing with the replica count. Each
+    // runner pulls replica indices from one atomic cursor; results[r]
+    // depends only on r, so which runner solves which replica cannot
+    // change the outcome.
+    util::ThreadPool& pool = util::ThreadPool::shared();
+    const std::size_t cap =
+        config_.workers > 0 ? config_.workers
+                            : std::max<std::size_t>(pool.width(), 1);
+    const std::size_t runners = std::min(cap, config_.replicas);
+    std::atomic<std::size_t> next{0};
+    pool.run(runners, [&](std::size_t) {
+      for (std::size_t r = next.fetch_add(1); r < config_.replicas;
+           r = next.fetch_add(1)) {
+        // A replica failure must not abort its siblings; capture it and
+        // rethrow after every replica finished, in replica order.
+        try {
+          run_replica(r);
+        } catch (...) {
+          errors[r] = std::current_exception();
+        }
       }
-    }
+    });
     for (const std::exception_ptr& error : errors) {
       if (error) std::rethrow_exception(error);
     }

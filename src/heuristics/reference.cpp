@@ -23,8 +23,10 @@ Reference compute_heuristic_reference(const tsp::Instance& instance,
   const tsp::NeighborLists nbrs(instance, options.neighbor_k);
   TwoOptOptions two;
   two.neighbors = &nbrs;
+  two.scan_threads = options.threads;
   OrOptOptions oro;
   oro.neighbors = &nbrs;
+  oro.scan_threads = options.threads;
 
   long long length = ref.tour.length(instance);
   for (std::size_t round = 0; round < options.rounds; ++round) {

@@ -1,12 +1,25 @@
 #include "tsp/neighbors.hpp"
 
 #include <algorithm>
-#include <numeric>
 
 #include "geo/kdtree.hpp"
 #include "util/error.hpp"
+#include "util/parallel_for.hpp"
 
 namespace cim::tsp {
+
+namespace {
+
+/// Cities per parallel chunk. Fixed constants (never pool width) so the
+/// chunking — and with it every scratch-buffer reuse pattern — is
+/// identical on any worker count; each city's list is a pure function of
+/// the instance, so the build is deterministic either way. Small
+/// instances fall below one chunk and run inline without touching the
+/// pool.
+constexpr std::size_t kKdGrain = 128;
+constexpr std::size_t kMatrixGrain = 64;
+
+}  // namespace
 
 NeighborLists::NeighborLists(const Instance& instance, std::size_t k)
     : k_(std::min(k, instance.size() - 1)) {
@@ -16,37 +29,44 @@ NeighborLists::NeighborLists(const Instance& instance, std::size_t k)
   lists_.resize(n * k_);
 
   if (instance.has_coords()) {
+    // Parallel per-city kd-tree queries: the tree is immutable and every
+    // city writes its own disjoint slice of lists_.
     const geo::KdTree tree(instance.coords());
-    for (CityId c = 0; c < n; ++c) {
-      const auto nn = tree.nearest_k(instance.coord(c), k_, c);
-      CIM_ASSERT(nn.size() == k_);
-      for (std::size_t j = 0; j < k_; ++j) {
-        lists_[static_cast<std::size_t>(c) * k_ + j] =
-            static_cast<CityId>(nn[j]);
-      }
-    }
+    util::parallel_for_chunks(
+        n, kKdGrain, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t c = begin; c < end; ++c) {
+            const auto nn = tree.nearest_k(instance.coord(c), k_, c);
+            CIM_ASSERT(nn.size() == k_);
+            for (std::size_t j = 0; j < k_; ++j) {
+              lists_[c * k_ + j] = static_cast<CityId>(nn[j]);
+            }
+          }
+        });
     return;
   }
 
-  // Explicit matrix: partial sort each row by distance.
-  std::vector<CityId> all(n);
-  std::iota(all.begin(), all.end(), 0U);
-  for (CityId c = 0; c < n; ++c) {
-    std::vector<CityId> others;
-    others.reserve(n - 1);
-    for (const CityId o : all) {
-      if (o != c) others.push_back(o);
-    }
-    std::partial_sort(others.begin(),
-                      others.begin() + static_cast<std::ptrdiff_t>(k_),
-                      others.end(), [&](CityId a, CityId b) {
-                        return instance.distance(c, a) <
-                               instance.distance(c, b);
-                      });
-    for (std::size_t j = 0; j < k_; ++j) {
-      lists_[static_cast<std::size_t>(c) * k_ + j] = others[j];
-    }
-  }
+  // Explicit matrix: partial sort each row by distance. One candidate
+  // scratch buffer per chunk, filled in place and reused across the
+  // chunk's cities instead of reallocated per city.
+  util::parallel_for_chunks(
+      n, kMatrixGrain, [&](std::size_t begin, std::size_t end) {
+        std::vector<CityId> others(n - 1);
+        for (std::size_t c = begin; c < end; ++c) {
+          const CityId city = static_cast<CityId>(c);
+          for (std::size_t o = 0, w = 0; o < n; ++o) {
+            if (o != c) others[w++] = static_cast<CityId>(o);
+          }
+          std::partial_sort(others.begin(),
+                            others.begin() + static_cast<std::ptrdiff_t>(k_),
+                            others.end(), [&](CityId a, CityId b) {
+                              return instance.distance(city, a) <
+                                     instance.distance(city, b);
+                            });
+          for (std::size_t j = 0; j < k_; ++j) {
+            lists_[c * k_ + j] = others[j];
+          }
+        }
+      });
 }
 
 }  // namespace cim::tsp

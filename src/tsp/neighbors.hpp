@@ -3,7 +3,10 @@
 // Local-search heuristics (2-opt, Or-opt) and the clustering passes only
 // ever consider geometrically close city pairs; candidate lists make them
 // O(n·k) instead of O(n²). Built with the kd-tree for coordinate instances
-// and by exhaustive scan for explicit-matrix instances.
+// and by exhaustive scan for explicit-matrix instances. Construction is
+// parallelised over cities on the shared util::ThreadPool (each city's
+// list is a pure function of the instance, so the result is identical on
+// any worker count); small instances build inline.
 #pragma once
 
 #include <cstdint>

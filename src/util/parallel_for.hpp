@@ -1,0 +1,118 @@
+// Deterministic data-parallel loops over ThreadPool.
+//
+// The determinism contract (DESIGN.md §11): chunk boundaries are a pure
+// function of (n, grain) — never of the pool width, the worker count, or
+// steal order — and parallel_reduce combines chunk results serially in
+// ascending chunk index. Two runs with the same inputs therefore produce
+// bit-identical results on 1, 2 or 64 workers, including for
+// non-associative reductions (floating-point sums, hash chains).
+//
+// When the loop is too small to split (n <= grain) or the pool has no
+// workers, the body runs inline on the caller in index order; no pool —
+// and in particular no lazily-created shared pool thread — is touched,
+// so serial workloads stay thread-free.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace cim::util {
+
+/// Number of chunks [0, n) splits into at the given grain. Pure function
+/// of (n, grain) — the anchor of the determinism contract.
+constexpr std::size_t parallel_chunk_count(std::size_t n, std::size_t grain) {
+  const std::size_t g = grain > 0 ? grain : 1;
+  return (n + g - 1) / g;
+}
+
+/// Invokes body(begin, end) over consecutive chunks of [0, n) of at most
+/// `grain` indices. Chunks run concurrently on `pool`; a single chunk
+/// runs inline.
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::size_t n, std::size_t grain,
+                         const Body& body) {
+  const std::size_t g = grain > 0 ? grain : 1;
+  const std::size_t chunks = parallel_chunk_count(n, g);
+  if (chunks <= 1) {
+    if (n > 0) body(std::size_t{0}, n);
+    return;
+  }
+  pool.run(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * g;
+    const std::size_t end = begin + g < n ? begin + g : n;
+    body(begin, end);
+  });
+}
+
+/// Chunked loop on the shared pool — but fully inline (shared pool never
+/// constructed) when the loop is too small to split.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, std::size_t grain, const Body& body) {
+  const std::size_t g = grain > 0 ? grain : 1;
+  if (parallel_chunk_count(n, g) <= 1) {
+    if (n > 0) body(std::size_t{0}, n);
+    return;
+  }
+  parallel_for_chunks(ThreadPool::shared(), n, g, body);
+}
+
+/// Element-wise parallel loop: body(i) for i in [0, n), chunked by grain.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  const Body& body) {
+  parallel_for_chunks(pool, n, grain,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
+}
+
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t grain, const Body& body) {
+  parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+/// Maps chunks of [0, n) to partial values and folds them serially in
+/// ascending chunk index: combine(combine(identity, r0), r1)... — the
+/// reduction order is fixed by index, so even non-associative combines
+/// are reproducible across worker counts. map(begin, end) -> T runs
+/// concurrently; combine runs on the caller.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  T identity, const Map& map, const Combine& combine) {
+  const std::size_t g = grain > 0 ? grain : 1;
+  const std::size_t chunks = parallel_chunk_count(n, g);
+  if (chunks <= 1) {
+    if (n == 0) return identity;
+    return combine(std::move(identity), map(std::size_t{0}, n));
+  }
+  std::vector<T> partial(chunks);
+  pool.run(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * g;
+    const std::size_t end = begin + g < n ? begin + g : n;
+    partial[c] = map(begin, end);
+  });
+  T acc = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partial[c]));
+  }
+  return acc;
+}
+
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, std::size_t grain, T identity,
+                  const Map& map, const Combine& combine) {
+  const std::size_t g = grain > 0 ? grain : 1;
+  if (parallel_chunk_count(n, g) <= 1) {
+    if (n == 0) return identity;
+    return combine(std::move(identity), map(std::size_t{0}, n));
+  }
+  return parallel_reduce(ThreadPool::shared(), n, g, std::move(identity),
+                         map, combine);
+}
+
+}  // namespace cim::util

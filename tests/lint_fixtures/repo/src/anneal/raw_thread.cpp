@@ -1,0 +1,26 @@
+// Fixture: raw thread spawn outside src/util/
+// (1 × raw-thread; the suppressed baseline twin and the inert handle
+// types stay silent).
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void per_epoch_spawn() {
+  std::vector<std::thread> workers;  // expected: raw-thread
+  for (auto& w : workers) w.join();
+}
+
+void spawn_baseline_bench() {
+  // NOLINT(raw-thread): measuring the spawn cost itself.
+  std::vector<std::thread> workers;
+  for (auto& w : workers) w.join();
+}
+
+unsigned inert_handle_types() {
+  // thread::id and hardware_concurrency are handles/queries, not spawns.
+  [[maybe_unused]] std::thread::id id;
+  return std::thread::hardware_concurrency();
+}
+
+}  // namespace fixture

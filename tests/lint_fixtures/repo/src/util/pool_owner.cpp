@@ -1,0 +1,14 @@
+// Fixture: the runtime itself may own raw threads — src/util/ is the
+// raw-thread allowlist (0 findings).
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void runtime_owns_threads() {
+  std::vector<std::thread> workers;
+  workers.emplace_back([] {});
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace fixture

@@ -32,6 +32,7 @@ EXPECTED_COUNTS = {
     "hdr-using-namespace": 1,
     "layer-dag": 1,
     "nolint-unknown-rule": 2,
+    "raw-thread": 1,
     "rng-libc-rand": 2,
     "rng-mt19937": 1,
     "rng-random-device": 1,
@@ -99,6 +100,12 @@ class FixtureScan(unittest.TestCase):
         self.assertEqual(self.at("cim-counter-charge"),
                          [("src/cim/uncharged.cpp", 11)])
 
+    def test_raw_thread_fires_outside_util_only(self):
+        # The spawn in src/anneal fires; the NOLINT twin, the inert
+        # handle types and the src/util allowlisted file stay silent.
+        self.assertEqual(self.at("raw-thread"),
+                         [("src/anneal/raw_thread.cpp", 10)])
+
     def test_unknown_nolint_audit(self):
         self.assertEqual(self.at("nolint-unknown-rule"),
                          [("src/util/unknown_nolint.cpp", 5),
@@ -137,7 +144,7 @@ class BaselineRoundTrip(unittest.TestCase):
             rerun = run_lint("--root", str(FIXTURES),
                              "--baseline", str(baseline))
             self.assertEqual(rerun.returncode, 0, rerun.stdout)
-            self.assertIn("17 baselined", rerun.stdout)
+            self.assertIn("18 baselined", rerun.stdout)
 
 
 class CliContracts(unittest.TestCase):

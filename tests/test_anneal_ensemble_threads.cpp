@@ -96,6 +96,9 @@ TEST(EnsembleThreads, ConcurrentEnsemblesSharedSink) {
   BestSink sink;
   std::vector<EnsembleResult> concurrent(kConcurrent);
   {
+    // NOLINT(raw-thread): the test needs out-of-pool driver threads to
+    // contend *with* the pool; running drivers on the pool itself would
+    // serialise the very races under test.
     std::vector<std::thread> drivers;
     drivers.reserve(kConcurrent);
     for (std::size_t s = 0; s < kConcurrent; ++s) {
@@ -105,7 +108,7 @@ TEST(EnsembleThreads, ConcurrentEnsemblesSharedSink) {
         sink.offer(concurrent[s]);
       });
     }
-    for (std::thread& d : drivers) d.join();
+    for (std::thread& d : drivers) d.join();  // NOLINT(raw-thread): see above
   }
 
   long long best_expected = expected.front().best.length;

@@ -78,6 +78,39 @@ TEST(Neighbors, ExplicitMatrixPath) {
   }
 }
 
+// Large enough that the kd-tree build spans several parallel chunks on
+// the shared pool; every list must still match the brute-force answer.
+TEST(Neighbors, ParallelCoordBuildMatchesBruteForce) {
+  const std::size_t n = 700;
+  const auto inst = test::random_instance(n, 77);
+  const NeighborLists lists(inst, 12);
+  for (CityId c = 0; c < n; ++c) {
+    const auto got = lists.of(c);
+    const auto want = brute_k_nearest(inst, c, lists.k());
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(inst.distance(c, got[i]), inst.distance(c, want[i]));
+    }
+  }
+}
+
+// Same for the explicit-matrix path (n > one chunk), which also exercises
+// the per-chunk reused candidate buffer.
+TEST(Neighbors, ParallelMatrixBuildMatchesBruteForce) {
+  const std::size_t n = 300;
+  const auto base = test::random_instance(n, 31);
+  const auto expl = test::to_explicit(base);
+  const NeighborLists lists(expl, 10);
+  for (CityId c = 0; c < n; ++c) {
+    const auto got = lists.of(c);
+    const auto want = brute_k_nearest(expl, c, lists.k());
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(expl.distance(c, got[i]), expl.distance(c, want[i]));
+    }
+  }
+}
+
 TEST(Neighbors, TooSmallInstanceThrows) {
   const auto inst = test::random_instance(1, 1);
   EXPECT_THROW(NeighborLists(inst, 3), ConfigError);
