@@ -11,6 +11,14 @@
 // loop, writing BENCH_parallel_runtime.json. CIMANNEAL_BENCH_OUT /
 // CIMANNEAL_BENCH_OUT_RUNTIME override the output paths;
 // CIMANNEAL_BENCH_SMOKE=1 shrinks the sweeps for CI.
+//
+// Both report writers run under telemetry scopes and publish their
+// per-variant results as counter events; main() exports the registry to
+// BENCH_telemetry.json (+ .trace.json), path overridable via
+// CIMANNEAL_BENCH_OUT_TRACE. With CIMANNEAL_TELEMETRY=OFF the files
+// still appear carrying telemetry_enabled=false — and, crucially, the
+// timed loops themselves contain no TELEM_* calls, so the swap timings
+// are unaffected by the telemetry build flavour.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -31,6 +39,7 @@
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/random.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -283,6 +292,7 @@ BENCHMARK(BM_KdTreeNearest)->Arg(1000)->Arg(100000);
 /// accumulated energy deltas disagree (they evaluate the same swaps on
 /// the same weights, so any divergence is a kernel bug).
 void write_swap_kernel_report() {
+  TELEM_SCOPE("bench.swap_kernel");
   const bool smoke = cim::util::Args::env_flag("CIMANNEAL_BENCH_SMOKE");
   const char* out_env = std::getenv("CIMANNEAL_BENCH_OUT");
   const std::string out_path =
@@ -325,6 +335,13 @@ void write_swap_kernel_report() {
         time_variant([&] { return incr_fx.incremental_swap(incr_rng); });
     CIM_REQUIRE(dense_sum == sparse_sum && dense_sum == incr_sum,
                 "swap-kernel variants disagree on energy deltas");
+
+    TELEM_COUNTER_ADD("bench.swap_kernel.swaps_timed", 3 * iterations);
+    TELEM_COUNTER_EVENT("bench.swap_kernel",
+                        {"p", static_cast<double>(p)},
+                        {"dense_ns_per_swap", dense_ns},
+                        {"sparse_ns_per_swap", sparse_ns},
+                        {"incremental_ns_per_swap", incr_ns});
 
     cim::util::Json row = cim::util::Json::object();
     row["p"] = static_cast<std::uint64_t>(p);
@@ -400,6 +417,7 @@ class EpochWorkload {
 /// pool's threads_created() counter must not grow across the epoch loop —
 /// the whole point of the runtime is zero thread creations per epoch.
 void write_parallel_runtime_report() {
+  TELEM_SCOPE("bench.parallel_runtime");
   const bool smoke = cim::util::Args::env_flag("CIMANNEAL_BENCH_SMOKE");
   const char* out_env = std::getenv("CIMANNEAL_BENCH_OUT_RUNTIME");
   const std::string out_path =
@@ -460,6 +478,12 @@ void write_parallel_runtime_report() {
     CIM_REQUIRE(created_during == 0,
                 "ThreadPool created threads inside the epoch loop");
 
+    TELEM_COUNTER_ADD("bench.parallel_runtime.epochs_timed", 2 * kEpochs);
+    TELEM_COUNTER_EVENT("bench.parallel_runtime",
+                        {"tasks", static_cast<double>(tasks)},
+                        {"spawn_ns_per_epoch", spawn_ns},
+                        {"pool_ns_per_epoch", pool_ns});
+
     cim::util::Json row = cim::util::Json::object();
     row["tasks"] = static_cast<std::uint64_t>(tasks);
     row["spawn_ns_per_epoch"] = spawn_ns;
@@ -488,5 +512,24 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   write_swap_kernel_report();
   write_parallel_runtime_report();
+
+  // Export the registry so CI archives a bench telemetry artifact. The
+  // snapshot lands at CIMANNEAL_BENCH_OUT_TRACE (default
+  // BENCH_telemetry.json), the Chrome trace next to it.
+  const char* telem_env = std::getenv("CIMANNEAL_BENCH_OUT_TRACE");
+  const std::string telem_path =
+      telem_env != nullptr ? telem_env : "BENCH_telemetry.json";
+  std::string trace_path = telem_path;
+  const std::string suffix = ".json";
+  if (trace_path.size() > suffix.size() &&
+      trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    trace_path.resize(trace_path.size() - suffix.size());
+  }
+  trace_path += ".trace.json";
+  const auto& telem = cim::util::telemetry::Registry::global();
+  telem.save_snapshot(telem_path);
+  telem.save_trace(trace_path);
+  std::printf("wrote %s and %s\n", telem_path.c_str(), trace_path.c_str());
   return 0;
 }

@@ -5,6 +5,9 @@
 //
 //   ./tsplib_solver path/to/board.tsp --out tour.txt
 //   ./tsplib_solver --instance pcb3038 --p 3 --seed 7
+//   ./tsplib_solver --instance pcb442 --telemetry-out telem.json
+//     (writes telem.json + telem.trace.json — load the latter in
+//      chrome://tracing or ui.perfetto.dev)
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
     cim::core::SolverConfig config;
     config.p_max = static_cast<std::uint32_t>(args.get_int("p", 3));
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    config.telemetry_out = args.get_or("telemetry-out", "");
 
     cim::util::Table table(
         {"solver", "tour length", "vs reference", "host time"});
@@ -86,6 +90,13 @@ int main(int argc, char** argv) {
           cim::util::format_area(outcome.ppa->chip_area).c_str(),
           cim::util::format_seconds(outcome.ppa->latency.total().seconds()).c_str(),
           cim::util::format_watts(outcome.ppa->average_power.watts()).c_str());
+    }
+
+    if (!config.telemetry_out.empty()) {
+      std::printf("telemetry written to %s and %s\n",
+                  config.telemetry_out.c_str(),
+                  cim::core::telemetry_trace_path(config.telemetry_out)
+                      .c_str());
     }
 
     if (const auto out = args.get("out"); out && !out->empty()) {

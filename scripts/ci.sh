@@ -19,6 +19,17 @@ cd "${repo_root}"
 mode="${1:-fast}"
 jobs="${CIMANNEAL_CI_JOBS:-$(nproc)}"
 
+# Fails loudly when an expected artifact was not produced or came out
+# empty — a bench that silently wrote nothing must not look green.
+require_artifact() {
+  local path="$1"
+  if [[ ! -s "${path}" ]]; then
+    echo "ci.sh: missing or empty artifact: ${path}" >&2
+    exit 1
+  fi
+  echo "archived ${path}"
+}
+
 run_preset() {
   local preset="$1"
   echo "==== [${preset}] configure"
@@ -54,9 +65,16 @@ if [[ -x "${bench_bin}" ]]; then
   CIMANNEAL_BENCH_SMOKE=1 \
     CIMANNEAL_BENCH_OUT="${bench_out_dir}/BENCH_swap_kernel.json" \
     CIMANNEAL_BENCH_OUT_RUNTIME="${bench_out_dir}/BENCH_parallel_runtime.json" \
+    CIMANNEAL_BENCH_OUT_TRACE="${bench_out_dir}/BENCH_telemetry.json" \
     "${bench_bin}" --benchmark_filter='BM_SwapKernel.*'
-  echo "archived ${bench_out_dir}/BENCH_swap_kernel.json"
-  echo "archived ${bench_out_dir}/BENCH_parallel_runtime.json"
+  require_artifact "${bench_out_dir}/BENCH_swap_kernel.json"
+  require_artifact "${bench_out_dir}/BENCH_parallel_runtime.json"
+  # One telemetry snapshot + Chrome trace per CI run (loadable in
+  # chrome://tracing / ui.perfetto.dev). Present in every build flavour:
+  # a CIMANNEAL_TELEMETRY=OFF build writes them with
+  # telemetry_enabled=false rather than not at all.
+  require_artifact "${bench_out_dir}/BENCH_telemetry.json"
+  require_artifact "${bench_out_dir}/BENCH_telemetry.trace.json"
 else
   echo "bench_micro_kernels not built (CIMANNEAL_BUILD_BENCH=OFF?); skipping"
 fi
@@ -66,7 +84,7 @@ lint_out_dir="${repo_root}/build/release/lint-out"
 mkdir -p "${lint_out_dir}"
 python3 tools/lint.py --root "${repo_root}" --sarif "${lint_out_dir}/lint.sarif"
 python3 tests/lint_selftest.py
-echo "archived ${lint_out_dir}/lint.sarif"
+require_artifact "${lint_out_dir}/lint.sarif"
 
 echo "==== clang-tidy (skips cleanly when the binary is absent)"
 tools/run_clang_tidy.sh "${repo_root}/build/release"

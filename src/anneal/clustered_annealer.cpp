@@ -10,9 +10,12 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/random.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cim::anneal {
+
+namespace telemetry = util::telemetry;
 
 namespace {
 
@@ -140,8 +143,10 @@ class LevelSolver {
   /// change when a neighbour accepts a swap at its first/last order — or,
   /// on a single-slot ring, when this slot does).
   void refresh_boundary(Slot& slot);
-  /// Rebuilds the kSramSpin settle cache when the epoch changed.
-  void refresh_spin_cache(Slot& slot, const SchedulePhase& phase);
+  /// Rebuilds the kSramSpin settle cache when the epoch changed; tallies
+  /// cache hits/refreshes and the settle decisions drawn on a rebuild.
+  void refresh_spin_cache(Slot& slot, const SchedulePhase& phase,
+                          LevelStats& stats);
   /// The set input rows after spin noise: the clean active list in every
   /// mode but kSramSpin, where cached per-epoch settle outcomes drop
   /// written-1 rows and add settled-to-1 rows.
@@ -377,10 +382,17 @@ void LevelSolver::refresh_boundary(Slot& slot) {
       slot.shape.own_rows() + slot.shape.p_prev + next.perm.front());
 }
 
-void LevelSolver::refresh_spin_cache(Slot& slot, const SchedulePhase& phase) {
-  if (slot.spin_epoch == phase.epoch) return;
+void LevelSolver::refresh_spin_cache(Slot& slot, const SchedulePhase& phase,
+                                     LevelStats& stats) {
+  if (slot.spin_epoch == phase.epoch) {
+    ++stats.settle_cache_hits;
+    return;
+  }
+  ++stats.settle_cache_refreshes;
   slot.spin_epoch = phase.epoch;
   const std::uint32_t rows = slot.shape.rows();
+  // One settle decision per row for each written value (1 and 0).
+  stats.noise_draws += 2ULL * rows;
   slot.spin_drop.assign(rows, 0);
   slot.spin_add.clear();
   for (std::uint32_t r = 0; r < rows; ++r) {
@@ -432,7 +444,7 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
     // than invalidation-pushed from the neighbour's accept).
     refresh_boundary(slot);
     if (config_.noise == NoiseMode::kSramSpin) {
-      refresh_spin_cache(slot, phase);
+      refresh_spin_cache(slot, phase, stats);
     }
     // Two MACs with the pre-swap spin state (Fig. 5(a), cycles 1–2).
     const auto rows_pre = noisy_input_rows(slot, scratch.rows);
@@ -457,6 +469,11 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
     assemble_input(slot, input, phase);
     after = slot.storage->mac(hw::ColIndex(i * p + l), input) +
             slot.storage->mac(hw::ColIndex(j * p + k), input);
+    if (config_.noise == NoiseMode::kSramSpin) {
+      // The dense ablation filters every input bit per assembly instead
+      // of reusing a per-epoch settle cache.
+      stats.noise_draws += 2ULL * slot.shape.rows();
+    }
   }
 
   // Dataflow accounting: the boundary spins cross the array edge once per
@@ -479,10 +496,12 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
       break;
     case NoiseMode::kLfsr: {
       const double temperature = equivalent_temperature(cell_model_, phase);
-      accept = delta < 0 ||
-               (temperature > 0.0 &&
-                rng.uniform() <
-                    std::exp(-static_cast<double>(delta) / temperature));
+      accept = delta < 0;
+      if (!accept && temperature > 0.0) {
+        ++stats.noise_draws;
+        accept = rng.uniform() <
+                 std::exp(-static_cast<double>(delta) / temperature);
+      }
       break;
     }
   }
@@ -544,6 +563,9 @@ void LevelSolver::run_color_parallel(std::uint8_t color,
     stats.swaps_attempted += worker_stats_[t].swaps_attempted;
     stats.swaps_accepted += worker_stats_[t].swaps_accepted;
     stats.uphill_accepted += worker_stats_[t].uphill_accepted;
+    stats.settle_cache_hits += worker_stats_[t].settle_cache_hits;
+    stats.settle_cache_refreshes += worker_stats_[t].settle_cache_refreshes;
+    stats.noise_draws += worker_stats_[t].noise_draws;
     hw.swap_attempts += worker_hw_[t].swap_attempts;
     hw.dataflow += worker_hw_[t].dataflow;
   }
@@ -602,6 +624,19 @@ LevelStats LevelSolver::run(HardwareActivity& hw,
     return m;
   }();
 
+  // All trace events of the level solve are emitted from this
+  // (coordinating) thread — pool workers only fill their per-task stats —
+  // so the event stream lands in one sink and its order is program order,
+  // independent of CIMANNEAL_THREADS (the golden-trajectory contract,
+  // DESIGN.md §12).
+  const telemetry::Scope level_scope(
+      telemetry::Registry::global(), "anneal.level",
+      {{"level", static_cast<double>(level_)},
+       {"clusters", static_cast<double>(slots_.size())}});
+  // Per-epoch swap deltas feeding the accept-rate histogram.
+  [[maybe_unused]] std::size_t epoch_attempted = 0;
+  [[maybe_unused]] std::size_t epoch_accepted = 0;
+
   for (std::size_t iter = 0; iter < schedule_.total_iterations(); ++iter) {
     SchedulePhase phase = schedule_.at(iter);
     phase.epoch += epoch_base_;
@@ -640,12 +675,68 @@ LevelStats LevelSolver::run(HardwareActivity& hw,
       }
     }
 
-    if (trace) trace->push_back(exact_ring_length());
+    if (trace) {
+      const double energy = exact_ring_length();
+      trace->push_back(energy);
+      if constexpr (telemetry::kEnabled) {
+        // The telemetry copy of the convergence curve: the same value,
+        // pushed in the same iteration — bench_fig2 asserts bit-equality.
+        telemetry::Registry::global().instant(
+            "anneal.trace", {{"level", static_cast<double>(level_)},
+                             {"iteration", static_cast<double>(iter)},
+                             {"energy", energy}});
+      }
+    }
+
+    if constexpr (telemetry::kEnabled) {
+      const bool epoch_done =
+          iter + 1 == schedule_.total_iterations() ||
+          schedule_.at(iter + 1).write_back;
+      if (epoch_done) {
+        telemetry::Registry& telem = telemetry::Registry::global();
+        telem.counter_event(
+            "anneal.epoch",
+            {{"level", static_cast<double>(level_)},
+             {"epoch", static_cast<double>(phase.epoch)},
+             {"iteration", static_cast<double>(iter)},
+             {"energy", exact_ring_length()},
+             {"swaps_attempted", static_cast<double>(stats.swaps_attempted)},
+             {"swaps_accepted", static_cast<double>(stats.swaps_accepted)},
+             {"uphill_accepted", static_cast<double>(stats.uphill_accepted)},
+             {"settle_cache_hits",
+              static_cast<double>(stats.settle_cache_hits)},
+             {"noise_draws", static_cast<double>(stats.noise_draws)}});
+        const std::size_t attempted = stats.swaps_attempted - epoch_attempted;
+        const std::size_t accepted = stats.swaps_accepted - epoch_accepted;
+        telem
+            .histogram("anneal.epoch_accept_rate",
+                       {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0})
+            .observe(attempted == 0 ? 0.0
+                                    : static_cast<double>(accepted) /
+                                          static_cast<double>(attempted));
+        epoch_attempted = stats.swaps_attempted;
+        epoch_accepted = stats.swaps_accepted;
+      }
+    }
   }
 
   stats.ring_length_after = exact_ring_length();
   for (const Slot& slot : slots_) {
     hw.storage += slot.storage->counters();
+  }
+
+  if constexpr (telemetry::kEnabled) {
+    // Flush the level totals into the monotonic registry counters.
+    telemetry::Registry& telem = telemetry::Registry::global();
+    telem.counter("anneal.swaps_attempted").add(stats.swaps_attempted);
+    telem.counter("anneal.swaps_accepted").add(stats.swaps_accepted);
+    telem.counter("anneal.uphill_accepted").add(stats.uphill_accepted);
+    telem.counter("anneal.settle_cache_hits").add(stats.settle_cache_hits);
+    telem.counter("anneal.settle_cache_refreshes")
+        .add(stats.settle_cache_refreshes);
+    telem.counter("anneal.noise_draws").add(stats.noise_draws);
+    telem.counter("anneal.update_cycles").add(stats.update_cycles);
+    telem.counter("anneal.levels_solved").add(1);
   }
   return stats;
 }
@@ -721,6 +812,10 @@ ClusteredAnnealer::ClusteredAnnealer(AnnealerConfig config)
 }
 
 AnnealResult ClusteredAnnealer::solve(const tsp::Instance& instance) const {
+  const telemetry::Scope solve_scope(
+      telemetry::Registry::global(), "anneal.solve",
+      {{"cities", static_cast<double>(instance.size())},
+       {"seed", static_cast<double>(config_.seed)}});
   const Hierarchy hierarchy(instance, config_.clustering);
 
   AnnealResult result;
@@ -761,6 +856,14 @@ AnnealResult ClusteredAnnealer::solve(const tsp::Instance& instance) const {
   CIM_ASSERT_MSG(result.tour.is_valid(instance.size()),
                  "annealer produced an invalid tour");
   result.length = result.tour.length(instance);
+
+  if constexpr (telemetry::kEnabled) {
+    telemetry::Registry& telem = telemetry::Registry::global();
+    telem.counter("anneal.solves").add(1);
+    telem.gauge("anneal.last_tour_length")
+        .set(static_cast<double>(result.length));
+    hw::publish_activity(result.hw, telem);
+  }
   return result;
 }
 

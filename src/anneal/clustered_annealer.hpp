@@ -79,6 +79,15 @@ struct LevelStats {
   /// annealing-vs-greedy observable of §IV.B.
   std::size_t uphill_accepted = 0;
   std::size_t update_cycles = 0;  ///< hardware cycles (MAC + write-back)
+  /// kSramSpin settle-cache behaviour: swap evaluations that reused the
+  /// per-epoch settle pattern vs. rebuilds that re-derived it, and the
+  /// individual settle decisions drawn while doing so (the dense-kernel
+  /// ablation draws per input bit instead of per cache rebuild). For
+  /// kLfsr, noise_draws counts Metropolis uniform draws. All three are 0
+  /// for noise modes that draw nothing in the swap kernel.
+  std::size_t settle_cache_hits = 0;
+  std::size_t settle_cache_refreshes = 0;
+  std::size_t noise_draws = 0;
   double ring_length_after = 0.0; ///< expanded ring length (level metric)
 };
 

@@ -7,9 +7,12 @@
 
 #include "util/error.hpp"
 #include "util/random.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cim::anneal {
+
+namespace telemetry = util::telemetry;
 
 long long EnsembleResult::worst_length() const {
   CIM_ASSERT(!replica_lengths.empty());
@@ -31,6 +34,9 @@ ReplicaEnsemble::ReplicaEnsemble(EnsembleConfig config)
 }
 
 EnsembleResult ReplicaEnsemble::solve(const tsp::Instance& instance) const {
+  const telemetry::Scope ensemble_scope(
+      telemetry::Registry::global(), "ensemble.solve",
+      {{"replicas", static_cast<double>(config_.replicas)}});
   std::vector<AnnealResult> results(config_.replicas);
   std::vector<std::exception_ptr> errors(config_.replicas);
 
@@ -84,6 +90,14 @@ EnsembleResult ReplicaEnsemble::solve(const tsp::Instance& instance) const {
   }
   ensemble.best_replica = best;
   ensemble.best = std::move(results[best]);
+
+  if constexpr (telemetry::kEnabled) {
+    telemetry::Registry& telem = telemetry::Registry::global();
+    telem.counter("ensemble.replicas_solved").add(config_.replicas);
+    telem.gauge("ensemble.last_best_length")
+        .set(static_cast<double>(ensemble.best.length));
+    telem.gauge("ensemble.last_mean_length").set(ensemble.mean_length());
+  }
   return ensemble;
 }
 

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cim/activity.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
+#include "util/telemetry.hpp"
 
 namespace cim::anneal {
+
+namespace telemetry = util::telemetry;
 
 MaxCutAnnealer::MaxCutAnnealer(MaxCutConfig config)
     : config_(std::move(config)) {
@@ -16,6 +20,10 @@ MaxCutAnnealer::MaxCutAnnealer(MaxCutConfig config)
 
 MaxCutResult MaxCutAnnealer::solve(
     const ising::MaxCutProblem& problem) const {
+  const telemetry::Scope solve_scope(
+      telemetry::Registry::global(), "maxcut.solve",
+      {{"vertices", static_cast<double>(problem.size())},
+       {"seed", static_cast<double>(config_.seed)}});
   const std::size_t n = problem.size();
   const noise::AnnealSchedule schedule(config_.schedule);
   const noise::SramCellModel cell_model(
@@ -140,6 +148,12 @@ MaxCutResult MaxCutAnnealer::solve(
     if (config_.record_trace) {
       result.trace.push_back(problem.cut_value(result.spins));
       result.best_cut = std::max(result.best_cut, result.trace.back());
+      if constexpr (telemetry::kEnabled) {
+        telemetry::Registry::global().instant(
+            "maxcut.sweep",
+            {{"sweep", static_cast<double>(sweep)},
+             {"cut", static_cast<double>(result.trace.back())}});
+      }
     }
   }
 
@@ -147,6 +161,17 @@ MaxCutResult MaxCutAnnealer::solve(
   result.best_cut = std::max(result.best_cut, result.cut);
   result.storage += pos_storage->counters();
   result.storage += neg_storage->counters();
+
+  if constexpr (telemetry::kEnabled) {
+    telemetry::Registry& telem = telemetry::Registry::global();
+    telem.counter("maxcut.solves").add(1);
+    telem.counter("maxcut.sweeps").add(result.sweeps);
+    telem.counter("maxcut.flips").add(result.flips);
+    telem.counter("maxcut.update_cycles").add(result.update_cycles);
+    telem.gauge("maxcut.last_best_cut")
+        .set(static_cast<double>(result.best_cut));
+    hw::publish_storage(result.storage, telem);
+  }
   return result;
 }
 

@@ -1,0 +1,43 @@
+#include "cim/activity.hpp"
+
+namespace cim::hw {
+
+namespace telemetry = util::telemetry;
+
+void publish_storage(const StorageCounters& counters,
+                     telemetry::Registry& registry) {
+  registry.counter("cim.storage.macs").add(counters.macs);
+  registry.counter("cim.storage.mac_bit_reads").add(counters.mac_bit_reads);
+  registry.counter("cim.storage.writeback_events")
+      .add(counters.writeback_events);
+  registry.counter("cim.storage.writeback_bits").add(counters.writeback_bits);
+  registry.counter("cim.storage.pseudo_read_flips")
+      .add(counters.pseudo_read_flips);
+}
+
+void publish_dataflow(const DataflowTracker& dataflow,
+                      telemetry::Registry& registry) {
+  registry.counter("cim.dataflow.input_shift_events")
+      .add(dataflow.input_shift_events());
+  registry.counter("cim.dataflow.input_bits_shifted")
+      .add(dataflow.input_bits_shifted());
+  registry.counter("cim.dataflow.downstream_transfers")
+      .add(dataflow.downstream_transfers());
+  registry.counter("cim.dataflow.upstream_transfers")
+      .add(dataflow.upstream_transfers());
+  registry.counter("cim.dataflow.third_phase_transfers")
+      .add(dataflow.third_phase_transfers());
+  registry.counter("cim.dataflow.edge_bits_transferred")
+      .add(dataflow.edge_bits_transferred());
+}
+
+void publish_activity(const HardwareActivity& activity,
+                      telemetry::Registry& registry) {
+  publish_storage(activity.storage, registry);
+  publish_dataflow(activity.dataflow, registry);
+  registry.counter("cim.update_cycles").add(activity.update_cycles);
+  registry.counter("cim.writeback_cycles").add(activity.writeback_cycles);
+  registry.counter("cim.swap_attempts").add(activity.swap_attempts);
+}
+
+}  // namespace cim::hw

@@ -10,6 +10,7 @@
 
 #include "cim/dataflow.hpp"
 #include "cim/storage.hpp"
+#include "util/telemetry.hpp"
 
 namespace cim::hw {
 
@@ -20,5 +21,22 @@ struct HardwareActivity {
   std::uint64_t writeback_cycles = 0;
   std::uint64_t swap_attempts = 0;
 };
+
+/// Publishes the storage counters as monotonic "cim.*" registry
+/// counters. Deltas accumulate: each call adds the struct's totals, so
+/// repeated solves (or ensemble replicas, possibly concurrent — the
+/// counters are lock-free) sum in the registry. No-ops when telemetry
+/// is compiled off.
+void publish_storage(const StorageCounters& counters,
+                     util::telemetry::Registry& registry);
+
+/// Publishes dataflow volumes as "cim.dataflow.*" counters.
+void publish_dataflow(const DataflowTracker& dataflow,
+                      util::telemetry::Registry& registry);
+
+/// Publishes one solve's aggregated activity: storage + dataflow plus
+/// the cycle/attempt totals.
+void publish_activity(const HardwareActivity& activity,
+                      util::telemetry::Registry& registry);
 
 }  // namespace cim::hw

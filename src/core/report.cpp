@@ -1,6 +1,14 @@
 #include "core/report.hpp"
 
+#include "util/telemetry.hpp"
+
 namespace cim::core {
+
+void save_telemetry(const std::string& path) {
+  const util::telemetry::Registry& telem = util::telemetry::Registry::global();
+  telem.save_snapshot(path);
+  telem.save_trace(telemetry_trace_path(path));
+}
 
 util::Json ppa_to_json(const ppa::PpaReport& report) {
   util::Json j = util::Json::object();
@@ -66,6 +74,9 @@ util::Json outcome_to_json(const SolveOutcome& outcome,
     l["swaps_attempted"] = level.swaps_attempted;
     l["swaps_accepted"] = level.swaps_accepted;
     l["uphill_accepted"] = level.uphill_accepted;
+    l["settle_cache_hits"] = level.settle_cache_hits;
+    l["settle_cache_refreshes"] = level.settle_cache_refreshes;
+    l["noise_draws"] = level.noise_draws;
     l["update_cycles"] = level.update_cycles;
     l["ring_length_after"] = level.ring_length_after;
     levels.push_back(std::move(l));

@@ -16,4 +16,10 @@ util::Json outcome_to_json(const SolveOutcome& outcome,
 /// PPA-only report.
 util::Json ppa_to_json(const ppa::PpaReport& report);
 
+/// Writes the global telemetry registry: the versioned metrics snapshot
+/// to `path` and the Chrome-trace event buffer to
+/// telemetry_trace_path(path). With telemetry compiled off both files
+/// still appear, carrying telemetry_enabled=false.
+void save_telemetry(const std::string& path);
+
 }  // namespace cim::core

@@ -1,5 +1,6 @@
 #include "core/solver.hpp"
 
+#include "core/report.hpp"
 #include "heuristics/or_opt.hpp"
 #include "heuristics/two_opt.hpp"
 #include "util/error.hpp"
@@ -7,6 +8,17 @@
 #include "util/timer.hpp"
 
 namespace cim::core {
+
+std::string telemetry_trace_path(const std::string& snapshot_path) {
+  const std::string suffix = ".json";
+  if (snapshot_path.size() > suffix.size() &&
+      snapshot_path.compare(snapshot_path.size() - suffix.size(),
+                            suffix.size(), suffix) == 0) {
+    return snapshot_path.substr(0, snapshot_path.size() - suffix.size()) +
+           ".trace.json";
+  }
+  return snapshot_path + ".trace.json";
+}
 
 CimSolver::CimSolver(SolverConfig config) : config_(std::move(config)) {
   CIM_REQUIRE(config_.p_max >= 1, "p_max must be at least 1");
@@ -94,6 +106,10 @@ SolveOutcome CimSolver::solve(const tsp::Instance& instance) const {
     outcome.ppa = ppa::measured_report(
         design_point(instance.name(), instance.size()), outcome.anneal.hw,
         outcome.anneal.hierarchy_depth);
+  }
+
+  if (!config_.telemetry_out.empty()) {
+    save_telemetry(config_.telemetry_out);
   }
   return outcome;
 }

@@ -63,7 +63,18 @@ struct SolverConfig {
   std::size_t replicas = 1;
   /// CPU post-refinement of the hardware tour (see PostRefine).
   PostRefine post_refine = PostRefine::kNone;
+
+  /// Non-empty → after the solve, the global telemetry registry is
+  /// serialised here as a versioned JSON snapshot, with the Chrome-trace
+  /// event buffer beside it at telemetry_trace_path(telemetry_out). With
+  /// telemetry compiled off the files still appear, carrying
+  /// telemetry_enabled=false (DESIGN.md §12).
+  std::string telemetry_out;
 };
+
+/// The trace-file companion of a snapshot path: "x.json" → "x.trace.json"
+/// (a missing .json suffix just appends ".trace.json").
+std::string telemetry_trace_path(const std::string& snapshot_path);
 
 struct SolveOutcome {
   anneal::AnnealResult anneal;      ///< tour, per-level stats, hw activity

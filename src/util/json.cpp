@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "util/error.hpp"
@@ -48,7 +50,266 @@ std::size_t Json::size() const {
   return 0;
 }
 
+bool Json::boolean() const {
+  CIM_REQUIRE(kind_ == Kind::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Json::number() const {
+  if (kind_ == Kind::kInteger) return static_cast<double>(integer_);
+  CIM_REQUIRE(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+long long Json::integer() const {
+  CIM_REQUIRE(kind_ == Kind::kInteger, "JSON value is not an integer");
+  return integer_;
+}
+
+const std::string& Json::str() const {
+  CIM_REQUIRE(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  CIM_REQUIRE(kind_ == Kind::kObject, "find() needs an object");
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* value = find(key);
+  if (value == nullptr) throw Error("missing JSON key: " + key);
+  return *value;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (kind_ == Kind::kObject) {
+    CIM_REQUIRE(index < fields_.size(), "JSON object index out of range");
+    return fields_[index].second;
+  }
+  CIM_REQUIRE(kind_ == Kind::kArray, "at(index) needs an array or object");
+  CIM_REQUIRE(index < items_.size(), "JSON array index out of range");
+  return items_[index];
+}
+
+const std::string& Json::key_at(std::size_t index) const {
+  CIM_REQUIRE(kind_ == Kind::kObject, "key_at() needs an object");
+  CIM_REQUIRE(index < fields_.size(), "JSON object index out of range");
+  return fields_[index].first;
+}
+
 namespace {
+
+/// Strict recursive-descent JSON reader. Built on the public Json API;
+/// object duplicates follow operator[] semantics (last value wins).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("JSON parse error at offset " + std::to_string(pos_) +
+                     ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t n = 0;
+    while (literal[n] != '\0') ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: {
+        const char c = peek();
+        // Strict JSON: numbers start with '-' or a digit (no leading '+').
+        if (c != '-' && (c < '0' || c > '9')) fail("unexpected character");
+        return parse_number();
+      }
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json object = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object[key] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return object;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json array = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return array;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':  out += '"';  break;
+        case '\\': out += '\\'; break;
+        case '/':  out += '/';  break;
+        case 'b':  out += '\b'; break;
+        case 'f':  out += '\f'; break;
+        case 'n':  out += '\n'; break;
+        case 'r':  out += '\r'; break;
+        case 't':  out += '\t'; break;
+        case 'u':  append_utf8(out, parse_hex4()); break;
+        default:   fail("bad escape character");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value += static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        value += static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        fail("bad \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    // BMP only — the writer never emits surrogate pairs.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool floating = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        floating = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("bad number");
+    errno = 0;
+    char* end = nullptr;
+    if (!floating) {
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        fail("bad integer: " + token);
+      }
+      return Json(value);
+    }
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number: " + token);
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
 
 void escape_string(const std::string& s, std::string& out) {
   out += '"';
@@ -91,6 +352,10 @@ void newline_indent(std::string& out, int indent, int depth) {
 }
 
 }  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
 
 void Json::dump_to(std::string& out, int indent, int depth) const {
   switch (kind_) {

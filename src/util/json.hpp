@@ -1,8 +1,12 @@
-// Minimal JSON writer for machine-readable experiment output.
+// Minimal JSON writer + strict reader for machine-readable experiment
+// output.
 //
-// Emission only (experiments export results; nothing here parses JSON).
 // Values are built bottom-up; numbers are emitted with enough precision
-// to round-trip doubles.
+// to round-trip doubles. parse() is the inverse used by the telemetry
+// round-trip tests and artifact validators: it accepts standard JSON,
+// keeps object fields in document order, and reads numbers without a
+// fraction/exponent as integers (matching the writer's
+// integer/double distinction).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +35,10 @@ class Json {
   static Json object();
   static Json array();
 
+  /// Parses a complete JSON document; throws cim::Error on malformed
+  /// input or trailing garbage.
+  static Json parse(const std::string& text);
+
   /// Object field access (creates the field; object kind required).
   Json& operator[](const std::string& key);
   /// Array append.
@@ -39,7 +47,29 @@ class Json {
   bool is_null() const { return kind_ == Kind::kNull; }
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_integer() const { return kind_ == Kind::kInteger; }
+  /// True for both floating-point and integer numbers.
+  bool is_number() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInteger;
+  }
   std::size_t size() const;
+
+  /// Read accessors; each throws cim::Error on a kind mismatch.
+  bool boolean() const;
+  /// Numeric value; integers promote to double.
+  double number() const;
+  long long integer() const;
+  const std::string& str() const;
+
+  /// Object lookup: nullptr when the key is absent (find) or a thrown
+  /// cim::Error (at).
+  const Json* find(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  /// Array element / object field by position (document order).
+  const Json& at(std::size_t index) const;
+  const std::string& key_at(std::size_t index) const;
 
   /// Serialises; `indent` < 0 gives compact output.
   std::string dump(int indent = 2) const;

@@ -5,6 +5,17 @@
 
 namespace cim::util {
 
+namespace {
+
+/// Set once in worker_loop; kNotAWorker everywhere else.
+thread_local std::size_t t_worker_index = ThreadPool::kNotAWorker;
+
+/// Published by shared() after the function-local static constructs, so
+/// shared_if_created() can observe the pool without instantiating it.
+std::atomic<const ThreadPool*> g_shared_pool{nullptr};
+
+}  // namespace
+
 /// One run() call: the shared function, the not-yet-finished task count
 /// and the per-index captured exceptions. Lives on the submitting
 /// thread's stack for the duration of the call.
@@ -44,6 +55,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(std::size_t id) {
+  t_worker_index = id;
   for (;;) {
     Task task;
     if (pop_task(id, task)) {
@@ -194,7 +206,14 @@ std::size_t ThreadPool::default_width() {
 
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(default_width());
+  g_shared_pool.store(&pool, std::memory_order_release);
   return pool;
 }
+
+const ThreadPool* ThreadPool::shared_if_created() {
+  return g_shared_pool.load(std::memory_order_acquire);
+}
+
+std::size_t ThreadPool::current_worker_index() { return t_worker_index; }
 
 }  // namespace cim::util

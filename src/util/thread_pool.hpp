@@ -75,6 +75,21 @@ class ThreadPool {
   /// touch it, so fully serial runs create no threads at all.
   static ThreadPool& shared();
 
+  /// The shared pool if shared() has already constructed it, else
+  /// nullptr. Observers (the telemetry snapshot) use this so exporting
+  /// metrics never instantiates the pool as a side effect.
+  static const ThreadPool* shared_if_created();
+
+  /// Sentinel returned by current_worker_index() on threads no pool
+  /// created (main, test drivers, helping submitters).
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  /// The calling thread's fixed index within the pool that created it
+  /// ([0, width)), or kNotAWorker. A stable property of the thread, not
+  /// of scheduling — telemetry sinks merge in this order to keep trace
+  /// output deterministic (DESIGN.md §12).
+  static std::size_t current_worker_index();
+
   /// Width of the shared pool: the CIMANNEAL_THREADS environment
   /// variable when set to a positive integer, else the hardware
   /// concurrency (min 1).

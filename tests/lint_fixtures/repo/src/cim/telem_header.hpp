@@ -1,0 +1,18 @@
+// Fixture: telemetry macro in a public header
+// (1 × telemetry-in-header; the suppressed template twin stays silent).
+#pragma once
+
+namespace fixture {
+
+inline void hot_path_in_header() {
+  TELEM_COUNTER_ADD("fixture.calls", 1);  // expected: telemetry-in-header
+}
+
+template <typename T>
+void vouched_template(const T& value) {
+  // NOLINT(telemetry-in-header): header-only template must emit here.
+  TELEM_SCOPE("fixture.template");
+  static_cast<void>(value);
+}
+
+}  // namespace fixture

@@ -37,6 +37,7 @@ EXPECTED_COUNTS = {
     "rng-mt19937": 1,
     "rng-random-device": 1,
     "rng-time-seed": 1,
+    "telemetry-in-header": 1,
     "unit-float-eq": 3,
     "unit-raw-double": 2,
 }
@@ -106,6 +107,12 @@ class FixtureScan(unittest.TestCase):
         self.assertEqual(self.at("raw-thread"),
                          [("src/anneal/raw_thread.cpp", 10)])
 
+    def test_telemetry_in_header_location(self):
+        # The bare macro fires; the NOLINT-vouched template twin and
+        # every .cpp emission site stay silent.
+        self.assertEqual(self.at("telemetry-in-header"),
+                         [("src/cim/telem_header.hpp", 8)])
+
     def test_unknown_nolint_audit(self):
         self.assertEqual(self.at("nolint-unknown-rule"),
                          [("src/util/unknown_nolint.cpp", 5),
@@ -144,7 +151,7 @@ class BaselineRoundTrip(unittest.TestCase):
             rerun = run_lint("--root", str(FIXTURES),
                              "--baseline", str(baseline))
             self.assertEqual(rerun.returncode, 0, rerun.stdout)
-            self.assertIn("18 baselined", rerun.stdout)
+            self.assertIn("19 baselined", rerun.stdout)
 
 
 class CliContracts(unittest.TestCase):

@@ -88,6 +88,79 @@ TEST(Json, SaveFailsOnBadPath) {
   EXPECT_THROW(Json(1).save("/no_such_dir_zz/x.json"), Error);
 }
 
+TEST(JsonParse, ScalarsRoundTrip) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").boolean());
+  EXPECT_FALSE(Json::parse("false").boolean());
+  EXPECT_EQ(Json::parse("42").integer(), 42);
+  EXPECT_EQ(Json::parse("-7").integer(), -7);
+  EXPECT_TRUE(Json::parse("42").is_integer());
+  EXPECT_EQ(Json::parse("1.5").number(), 1.5);
+  EXPECT_EQ(Json::parse("2e3").number(), 2000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").str(), "hi");
+  // Integers promote to double through number().
+  EXPECT_EQ(Json::parse("3").number(), 3.0);
+}
+
+TEST(JsonParse, EscapesAndUnicode) {
+  EXPECT_EQ(Json::parse("\"a\\\"b\"").str(), "a\"b");
+  EXPECT_EQ(Json::parse("\"line\\nbreak\"").str(), "line\nbreak");
+  EXPECT_EQ(Json::parse("\"back\\\\slash\"").str(), "back\\slash");
+  EXPECT_EQ(Json::parse("\"\\u0041\"").str(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").str(), "\xc3\xa9");  // é as UTF-8
+}
+
+TEST(JsonParse, ContainersAndAccessors) {
+  const Json j = Json::parse(
+      " { \"a\" : [1, 2.5, \"x\"], \"b\": {\"nested\": true} } ");
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.key_at(0), "a");
+  const Json& arr = j.at("a");
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(std::size_t{0}).integer(), 1);
+  EXPECT_EQ(arr.at(std::size_t{1}).number(), 2.5);
+  EXPECT_EQ(arr.at(std::size_t{2}).str(), "x");
+  EXPECT_TRUE(j.at("b").at("nested").boolean());
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.at("missing"), Error);
+}
+
+TEST(JsonParse, WriterOutputRoundTrips) {
+  Json j = Json::object();
+  j["name"] = "anneal.epoch";
+  j["count"] = 17;
+  j["rate"] = 0.375;  // exactly representable: survives the round trip
+  Json arr = Json::array();
+  arr.push_back(false);
+  arr.push_back(Json());
+  j["flags"] = std::move(arr);
+  for (const int indent : {-1, 2}) {
+    const Json back = Json::parse(j.dump(indent));
+    EXPECT_EQ(back.at("name").str(), "anneal.epoch");
+    EXPECT_EQ(back.at("count").integer(), 17);
+    EXPECT_EQ(back.at("rate").number(), 0.375);
+    EXPECT_FALSE(back.at("flags").at(std::size_t{0}).boolean());
+    EXPECT_TRUE(back.at("flags").at(std::size_t{1}).is_null());
+  }
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\" 1}", "[1 2]", "nul", "+5", "\"bad\\q\"", "{a: 1}"}) {
+    EXPECT_THROW(Json::parse(bad), ParseError) << bad;
+  }
+}
+
+TEST(JsonParse, AccessorKindMismatchThrows) {
+  const Json j = Json::parse("{\"s\": \"text\"}");
+  EXPECT_THROW(j.at("s").integer(), ConfigError);
+  EXPECT_THROW(j.at("s").number(), ConfigError);
+  EXPECT_THROW(j.at("s").boolean(), ConfigError);
+  EXPECT_THROW(j.at("s").at(std::size_t{0}), ConfigError);
+}
+
 TEST(JsonReport, OutcomeSerialisation) {
   const auto inst = cim::test::random_instance(80, 1);
   cim::core::SolverConfig config;

@@ -1,0 +1,273 @@
+// util::telemetry unit tests: metric semantics (counter monotonicity,
+// histogram bucket edges, gauge last-write, reset), trace-event begin/end
+// nesting, the deterministic sink-merge contract, and the exported JSON
+// (snapshot schema version, Chrome-trace round-trip through the strict
+// util::Json parser).
+//
+// The pool stress cases double as the TSan workload for the telemetry
+// layer: many pool tasks hammer one counter / histogram / scope while the
+// test asserts the merged output is independent of the interleaving.
+#include "util/telemetry.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cim::util::telemetry {
+namespace {
+
+#if CIMANNEAL_TELEMETRY_ENABLED
+
+TEST(TelemetryCounter, MonotonicAcrossStripesAndReset) {
+  Registry registry;
+  Counter& counter = registry.counter("t.counter");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  // Same name resolves to the same counter object.
+  EXPECT_EQ(&registry.counter("t.counter"), &counter);
+  registry.counter("t.counter").add(8);
+  EXPECT_EQ(counter.value(), 50u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(TelemetryCounter, ExactUnderConcurrentStripedWriters) {
+  Registry registry;
+  Counter& counter = registry.counter("t.stress");
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kAddsPerTask = 1000;
+  ThreadPool pool(4);
+  pool.run(kTasks, [&counter](std::size_t) {
+    for (std::uint64_t i = 0; i < kAddsPerTask; ++i) counter.add();
+  });
+  // Stripe sums are exact whatever the interleaving: unsigned addition
+  // commutes.
+  EXPECT_EQ(counter.value(), kTasks * kAddsPerTask);
+}
+
+TEST(TelemetryGauge, LastWriteWinsAndReset) {
+  Registry registry;
+  Gauge& gauge = registry.gauge("t.gauge");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(2.5);
+  gauge.set(-7.25);
+  EXPECT_EQ(gauge.value(), -7.25);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(TelemetryHistogram, BucketEdgesAreInclusiveUpperBounds) {
+  Registry registry;
+  Histogram& hist = registry.histogram("t.hist", {1.0, 2.0, 4.0});
+  EXPECT_EQ(hist.bucket_count(), 4u);  // 3 edges + overflow
+
+  hist.observe(0.5);  // <= 1.0        -> bucket 0
+  hist.observe(1.0);  // == edge 1.0   -> bucket 0 (edges are inclusive)
+  hist.observe(1.5);  // <= 2.0        -> bucket 1
+  hist.observe(4.0);  // == edge 4.0   -> bucket 2
+  hist.observe(9.0);  // above last    -> overflow bucket 3
+
+  EXPECT_EQ(hist.count_in_bucket(0), 2u);
+  EXPECT_EQ(hist.count_in_bucket(1), 1u);
+  EXPECT_EQ(hist.count_in_bucket(2), 1u);
+  EXPECT_EQ(hist.count_in_bucket(3), 1u);
+  EXPECT_EQ(hist.total_count(), 5u);
+
+  hist.reset();
+  EXPECT_EQ(hist.total_count(), 0u);
+  for (std::size_t b = 0; b < hist.bucket_count(); ++b) {
+    EXPECT_EQ(hist.count_in_bucket(b), 0u);
+  }
+}
+
+TEST(TelemetryHistogram, ReRegistrationValidatesEdges) {
+  Registry registry;
+  registry.histogram("t.hist", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.histogram("t.hist", {1.0, 2.0}));
+  EXPECT_THROW(registry.histogram("t.hist", {1.0, 3.0}), ConfigError);
+  EXPECT_THROW(Registry().histogram("t.bad", {}), ConfigError);
+  EXPECT_THROW(Registry().histogram("t.bad", {2.0, 1.0}), ConfigError);
+}
+
+TEST(TelemetryTrace, SingleThreadEventsKeepProgramOrder) {
+  Registry registry;
+  registry.begin("outer", {{"k", 1.0}});
+  registry.instant("mark");
+  registry.begin("inner");
+  registry.end("inner");
+  registry.counter_event("sample", {{"v", 3.0}});
+  registry.end("outer");
+
+  const auto events = registry.merged_events();
+  ASSERT_EQ(events.size(), 6u);
+  const char phases[] = {'B', 'i', 'B', 'E', 'C', 'E'};
+  const char* names[] = {"outer", "mark", "inner", "inner", "sample",
+                         "outer"};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].phase, phases[i]) << i;
+    EXPECT_EQ(events[i].name, names[i]) << i;
+    EXPECT_EQ(events[i].tid, 0u) << i;  // one sink, merged first
+  }
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].key, "k");
+  EXPECT_EQ(events[0].args[0].value, 1.0);
+  // Timestamps are monotone within one sink.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST(TelemetryTrace, ScopeEmitsMatchedBeginEnd) {
+  Registry registry;
+  {
+    const Scope scope(registry, "scoped", {{"arg", 7.0}});
+    registry.instant("inside");
+  }
+  const auto events = registry.merged_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[0].name, "scoped");
+  EXPECT_EQ(events[1].name, "inside");
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_EQ(events[2].name, "scoped");
+}
+
+TEST(TelemetryTrace, ResetDropsEventsButKeepsMetricStorage) {
+  Registry registry;
+  Counter& counter = registry.counter("t.kept");
+  counter.add(3);
+  registry.instant("gone");
+  registry.reset();
+  EXPECT_TRUE(registry.merged_events().empty());
+  EXPECT_EQ(counter.value(), 0u);
+  // The reference survives reset and keeps counting.
+  counter.add(2);
+  EXPECT_EQ(registry.counter("t.kept").value(), 2u);
+}
+
+/// Pool stress: tasks emit scopes and metric updates concurrently. The
+/// *placement* of a task's events (which worker's sink) is scheduling-
+/// dependent by design — what must be invariant is the aggregate: exact
+/// metric totals, one matched B/E pair per task, and well-nested
+/// per-sink streams in every run.
+TEST(TelemetryTrace, PoolStressAggregatesAreInterleavingIndependent) {
+  constexpr std::size_t kTasks = 48;
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    Registry registry;
+    Counter& counter = registry.counter("t.pool");
+    Histogram& hist = registry.histogram("t.pool_hist", {8.0, 24.0, 48.0});
+    ThreadPool pool(4);
+    pool.run(kTasks, [&](std::size_t task) {
+      const Scope scope(registry, "stress.task",
+                        {{"task", static_cast<double>(task)}});
+      counter.add(task + 1);
+      hist.observe(static_cast<double>(task));
+    });
+
+    EXPECT_EQ(counter.value(), kTasks * (kTasks + 1) / 2);
+    EXPECT_EQ(hist.total_count(), kTasks);
+
+    const auto events = registry.merged_events();
+    std::size_t begins = 0;
+    std::size_t ends = 0;
+    std::map<std::uint64_t, int> depth_by_tid;
+    for (const TraceEvent& event : events) {
+      if (event.phase == 'B') {
+        ++begins;
+        ++depth_by_tid[event.tid];
+      } else if (event.phase == 'E') {
+        ++ends;
+        // Per-sink streams are program order, so nesting never goes
+        // negative inside any one sink.
+        EXPECT_GT(depth_by_tid[event.tid], 0);
+        --depth_by_tid[event.tid];
+      }
+    }
+    EXPECT_EQ(begins, kTasks);
+    EXPECT_EQ(ends, kTasks);
+    for (const auto& [tid, depth] : depth_by_tid) {
+      EXPECT_EQ(depth, 0) << "unbalanced scope in sink " << tid;
+    }
+  }
+}
+
+TEST(TelemetrySnapshot, CarriesSchemaVersionAndSortedMetrics) {
+  Registry registry;
+  registry.counter("b.second").add(2);
+  registry.counter("a.first").add(1);
+  registry.gauge("g.value").set(1.5);
+  registry.histogram("h.hist", {10.0}).observe(3.0);
+
+  const Json snap = registry.snapshot();
+  EXPECT_EQ(snap.at("schema_version").integer(), kSchemaVersion);
+  EXPECT_TRUE(snap.at("telemetry_enabled").boolean());
+  const Json& counters = snap.at("counters");
+  ASSERT_EQ(counters.size(), 2u);
+  // std::map iteration == lexicographic name order.
+  EXPECT_EQ(counters.key_at(0), "a.first");
+  EXPECT_EQ(counters.key_at(1), "b.second");
+  EXPECT_EQ(counters.at("a.first").integer(), 1);
+  EXPECT_EQ(snap.at("gauges").at("g.value").number(), 1.5);
+  const Json& hist = snap.at("histograms").at("h.hist");
+  EXPECT_EQ(hist.at("edges").size(), 1u);
+  EXPECT_EQ(hist.at("counts").size(), 2u);
+  EXPECT_EQ(hist.at("counts").at(std::size_t{0}).integer(), 1);
+  EXPECT_EQ(hist.at("total").integer(), 1);
+}
+
+TEST(TelemetryChromeTrace, RoundTripsThroughJsonParser) {
+  Registry registry;
+  {
+    const Scope scope(registry, "solve", {{"cities", 100.0}});
+    registry.counter_event("epoch", {{"energy", 123.5}, {"accepted", 7.0}});
+  }
+  const Json parsed = Json::parse(registry.chrome_trace().dump());
+  EXPECT_EQ(parsed.at("schema_version").integer(), kSchemaVersion);
+  const Json& events = parsed.at("traceEvents");
+  ASSERT_EQ(events.size(), 3u);
+
+  const Json& begin = events.at(std::size_t{0});
+  EXPECT_EQ(begin.at("name").str(), "solve");
+  EXPECT_EQ(begin.at("ph").str(), "B");
+  EXPECT_EQ(begin.at("pid").integer(), 1);
+  EXPECT_EQ(begin.at("tid").integer(), 0);
+  EXPECT_GE(begin.at("ts").number(), 0.0);
+  EXPECT_EQ(begin.at("args").at("cities").number(), 100.0);
+
+  const Json& sample = events.at(std::size_t{1});
+  EXPECT_EQ(sample.at("ph").str(), "C");
+  EXPECT_EQ(sample.at("args").at("energy").number(), 123.5);
+  EXPECT_EQ(sample.at("args").at("accepted").number(), 7.0);
+
+  EXPECT_EQ(events.at(std::size_t{2}).at("ph").str(), "E");
+  EXPECT_EQ(events.at(std::size_t{2}).find("args"), nullptr);
+}
+
+#else  // !CIMANNEAL_TELEMETRY_ENABLED
+
+TEST(TelemetryStub, ExportsCarryDisabledMarker) {
+  Registry& registry = Registry::global();
+  registry.counter("noop").add(5);
+  EXPECT_EQ(registry.counter("noop").value(), 0u);
+  EXPECT_TRUE(registry.merged_events().empty());
+  const Json snap = registry.snapshot();
+  EXPECT_EQ(snap.at("schema_version").integer(), kSchemaVersion);
+  EXPECT_FALSE(snap.at("telemetry_enabled").boolean());
+  const Json trace = registry.chrome_trace();
+  EXPECT_FALSE(trace.at("telemetry_enabled").boolean());
+  EXPECT_EQ(trace.at("traceEvents").size(), 0u);
+}
+
+#endif  // CIMANNEAL_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace cim::util::telemetry

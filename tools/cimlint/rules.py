@@ -95,7 +95,7 @@ def _load_rule_packs() -> None:
     # Importing the packs registers their rules (idempotent).
     from . import (  # noqa: F401  (import side effects)
         rules_anneal, rules_cim, rules_header, rules_layering, rules_rng,
-        rules_thread, rules_units,
+        rules_telemetry, rules_thread, rules_units,
     )
 
 
