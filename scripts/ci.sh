@@ -5,7 +5,9 @@
 #
 #   fast (default) — release preset (warnings-as-errors): configure, build,
 #                    ctest (includes lint.determinism + lint.selftest),
-#                    then cimlint (archiving lint.sarif) and clang-tidy.
+#                    then cimlint (archiving lint.sarif), the GCC
+#                    -fanalyzer triage gate, clang-tidy, and the merged
+#                    analysis.sarif artifact.
 #   full           — fast + the asan-ubsan and tsan presets over the whole
 #                    test suite. This is the gate every perf PR must pass.
 #
@@ -86,7 +88,26 @@ python3 tools/lint.py --root "${repo_root}" --sarif "${lint_out_dir}/lint.sarif"
 python3 tests/lint_selftest.py
 require_artifact "${lint_out_dir}/lint.sarif"
 
+echo "==== gcc -fanalyzer (triaged against tools/analyzer_triage.txt)"
+analyzer_log="${lint_out_dir}/analyzer.log"
+cmake --preset gcc-analyzer
+# Force full recompilation so every TU's warnings appear in this log —
+# an incremental build would only re-emit warnings for changed files.
+cmake --build --preset gcc-analyzer --target clean
+cmake --build --preset gcc-analyzer -j "${jobs}" 2>&1 | tee "${analyzer_log}"
+python3 tools/analyzer_gate.py --log "${analyzer_log}" \
+  --sarif "${lint_out_dir}/analyzer.sarif"
+require_artifact "${lint_out_dir}/analyzer.sarif"
+
 echo "==== clang-tidy (skips cleanly when the binary is absent)"
-tools/run_clang_tidy.sh "${repo_root}/build/release"
+RUN_CLANG_TIDY_LOG="${lint_out_dir}/clang_tidy.log" \
+  tools/run_clang_tidy.sh "${repo_root}/build/release"
+
+echo "==== merged analysis artifact (cimlint + -fanalyzer + clang-tidy)"
+python3 tools/merge_sarif.py \
+  --output "${lint_out_dir}/analysis.sarif" \
+  "${lint_out_dir}/lint.sarif" "${lint_out_dir}/analyzer.sarif" \
+  --clang-tidy-log "${lint_out_dir}/clang_tidy.log"
+require_artifact "${lint_out_dir}/analysis.sarif"
 
 echo "==== ci.sh: all gates passed (${mode})"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Fast pre-commit gate: lint only what the commit touches.
+#
+#   scripts/precommit.sh              # diff against HEAD (staged + unstaged)
+#   scripts/precommit.sh origin/main  # diff against a review base
+#
+# Runs cimlint in --changed-only mode: per-file rules on the changed
+# files, project rules (det-taint, lock discipline) over the full
+# cross-TU index with findings filtered to the change — a warm index
+# cache makes this a sub-second check. Install as a git hook with:
+#
+#   ln -s ../../scripts/precommit.sh .git/hooks/pre-commit
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASE_REF="${1:-HEAD}"
+
+exec python3 tools/lint.py --changed-only --base-ref "$BASE_REF"

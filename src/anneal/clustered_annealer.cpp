@@ -11,6 +11,7 @@
 #include "util/log.hpp"
 #include "util/random.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cim::anneal {
@@ -419,6 +420,10 @@ std::span<const std::uint32_t> LevelSolver::noisy_input_rows(
   return scratch;
 }
 
+// The 4-MAC swap kernel: the innermost hot path. A determinism-taint
+// root so neither the noise model nor the storage backends it reaches
+// can grow a non-deterministic source.
+CIM_DETERMINISM_ROOT
 bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
                                LevelStats& stats, HardwareActivity& hw,
                                util::Rng& rng, SwapScratch& scratch) {
@@ -520,6 +525,7 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
   return true;
 }
 
+CIM_DETERMINISM_ROOT
 void LevelSolver::run_color_parallel(std::uint8_t color,
                                      const SchedulePhase& phase,
                                      LevelStats& stats,
@@ -611,6 +617,10 @@ double LevelSolver::exact_swap_delta_applied(Slot& slot, std::uint32_t i,
   return after - before;
 }
 
+// The epoch loop — the canonical determinism-taint root (DESIGN.md
+// §13): everything reachable from here must draw randomness only
+// from the seeded per-slot streams.
+CIM_DETERMINISM_ROOT
 LevelStats LevelSolver::run(HardwareActivity& hw,
                             std::vector<double>* trace) {
   LevelStats stats;

@@ -8,6 +8,7 @@
 #include "util/error.hpp"
 #include "util/random.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cim::anneal {
@@ -33,6 +34,9 @@ ReplicaEnsemble::ReplicaEnsemble(EnsembleConfig config)
   CIM_REQUIRE(config_.replicas >= 1, "ensemble needs at least one replica");
 }
 
+// Replica fan-out and lowest-index reduction: a determinism-taint root
+// so per-replica seeding stays a pure function of the replica index.
+CIM_DETERMINISM_ROOT
 EnsembleResult ReplicaEnsemble::solve(const tsp::Instance& instance) const {
   const telemetry::Scope ensemble_scope(
       telemetry::Registry::global(), "ensemble.solve",

@@ -7,6 +7,7 @@
 #include "util/error.hpp"
 #include "util/random.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cim::anneal {
 
@@ -18,6 +19,7 @@ MaxCutAnnealer::MaxCutAnnealer(MaxCutConfig config)
               "weight precision must be 1..8 bits");
 }
 
+CIM_DETERMINISM_ROOT
 MaxCutResult MaxCutAnnealer::solve(
     const ising::MaxCutProblem& problem) const {
   const telemetry::Scope solve_scope(

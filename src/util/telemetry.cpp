@@ -165,6 +165,11 @@ Registry::Sink& Registry::local_sink() {
 }
 
 std::uint64_t Registry::now_ns() const {
+  // Trace timestamps are observability-only: they annotate events but
+  // never feed annealing state, and the golden-trajectory fingerprints
+  // (test_telemetry_golden.cpp) hash event names/args, not timestamps.
+  // Merge order is fixed by worker index, not by time (DESIGN.md §12).
+  // NOLINT(det-taint): wall-clock feeds trace timestamps only.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch_)

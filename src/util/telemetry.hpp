@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 #ifndef CIMANNEAL_TELEMETRY_ENABLED
 #define CIMANNEAL_TELEMETRY_ENABLED 1
@@ -167,11 +168,12 @@ class Registry {
   /// Finds or creates the named metric. References stay valid for the
   /// registry's lifetime (reset() clears values, never storage), so
   /// hot loops look up once and update lock-free after.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) CIM_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) CIM_EXCLUDES(mu_);
   /// Edges must be ascending and non-empty; repeated lookups of one
   /// name must pass identical edges.
-  Histogram& histogram(const std::string& name, std::vector<double> edges);
+  Histogram& histogram(const std::string& name, std::vector<double> edges)
+      CIM_EXCLUDES(mu_);
 
   /// Trace-event emission. Each call appends to the calling thread's
   /// private sink — no synchronisation with other emitters.
@@ -186,12 +188,12 @@ class Registry {
   /// workers by ascending worker index. Within a sink, program order.
   /// `tid` on the returned events is the sink's position in that order.
   /// Requires quiescence.
-  std::vector<TraceEvent> merged_events() const;
+  std::vector<TraceEvent> merged_events() const CIM_EXCLUDES(mu_);
 
   /// Versioned metrics dump: schema_version, counters/gauges/histograms
   /// (name-sorted), plus the shared thread pool's counters when the
   /// pool exists. Requires quiescence.
-  Json snapshot() const;
+  Json snapshot() const CIM_EXCLUDES(mu_);
 
   /// Chrome trace ("traceEvents") JSON built from merged_events().
   Json chrome_trace() const;
@@ -202,15 +204,15 @@ class Registry {
 
   /// Zeroes every metric and drops every recorded event. Metric
   /// references and per-thread sinks stay valid. Requires quiescence.
-  void reset();
+  void reset() CIM_EXCLUDES(mu_);
 
  private:
   friend class Scope;
   struct Sink;
 
-  Sink& local_sink();
+  Sink& local_sink() CIM_EXCLUDES(mu_);
   void record(char phase, const std::string& name,
-              std::vector<TraceArg> args);
+              std::vector<TraceArg> args) CIM_EXCLUDES(mu_);
   std::uint64_t now_ns() const;
 
   /// Cache of the calling thread's sink in this registry, so repeated
@@ -221,11 +223,18 @@ class Registry {
   const std::uint64_t registry_id_;
   const std::chrono::steady_clock::time_point epoch_;
 
+  // mu_ serialises registry *structure* (name lookup, sink registration,
+  // export); metric updates and event appends are lock-free after the
+  // first lookup. The maps own the metrics; the pointees stay valid and
+  // are updated outside the lock (striped atomics / per-thread sinks),
+  // which is why the members — not their pointees — are guarded.
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CIM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ CIM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CIM_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Sink>> sinks_ CIM_GUARDED_BY(mu_);
 };
 
 /// RAII begin/end pair on one registry.

@@ -24,11 +24,13 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> remaining{0};
 
   std::mutex error_mu;
-  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors
+      CIM_GUARDED_BY(error_mu);
 
   std::mutex done_mu;
   std::condition_variable done_cv;
-  bool completed = false;  // set under done_mu by the final task
+  /// Set by the final task; the submitter's exit handshake waits on it.
+  bool completed CIM_GUARDED_BY(done_mu) = false;
 };
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -54,6 +56,10 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+// Every pool task body executes under this loop (or under a helping
+// run() caller below): both are determinism-taint roots so no submitted
+// task can reach a non-deterministic source unnoticed.
+CIM_DETERMINISM_ROOT
 void ThreadPool::worker_loop(std::size_t id) {
   t_worker_index = id;
   for (;;) {
@@ -125,6 +131,7 @@ void ThreadPool::execute(const Task& task) {
   }
 }
 
+CIM_DETERMINISM_ROOT
 void ThreadPool::run(std::size_t count,
                      const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;

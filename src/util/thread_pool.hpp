@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace cim::util {
 
 class ThreadPool {
@@ -52,7 +54,8 @@ class ThreadPool {
   /// is rethrown after every task finished (the same index a serial loop
   /// would have surfaced first — callers see one deterministic error
   /// regardless of scheduling).
-  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn)
+      CIM_EXCLUDES(sleep_mu_);
 
   /// Total OS threads this pool ever created (== width(); the pool never
   /// creates threads after construction). Benches sample it around hot
@@ -107,13 +110,14 @@ class ThreadPool {
   };
   struct WorkerQueue {
     std::mutex mu;
-    std::deque<Task> tasks;
+    std::deque<Task> tasks CIM_GUARDED_BY(mu);
   };
 
   void worker_loop(std::size_t id);
   /// Pops one task: LIFO from `home` (own deque), else FIFO-steals from
   /// the peers. `home == npos` for helping callers (no own deque).
-  bool pop_task(std::size_t home, Task& task);
+  /// Takes queue mutexes and sleep_mu_ internally.
+  bool pop_task(std::size_t home, Task& task) CIM_EXCLUDES(sleep_mu_);
   void execute(const Task& task);
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -121,10 +125,11 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
 
-  std::mutex sleep_mu_;           // guards ready_ / stop_ and the cv
+  std::mutex sleep_mu_;
   std::condition_variable work_cv_;
-  std::size_t ready_ = 0;         // queued-but-unclaimed tasks
-  bool stop_ = false;
+  /// Queued-but-unclaimed tasks (what sleeping workers wait on).
+  std::size_t ready_ CIM_GUARDED_BY(sleep_mu_) = 0;
+  bool stop_ CIM_GUARDED_BY(sleep_mu_) = false;
 
   std::atomic<std::uint64_t> threads_created_{0};
   std::atomic<std::uint64_t> tasks_executed_{0};

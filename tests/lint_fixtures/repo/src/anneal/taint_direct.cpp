@@ -1,0 +1,14 @@
+// Fixture: det-taint, direct source (1 finding, line 10).
+//
+// The root reads the wall clock in its own body; det-taint reports the
+// site with a one-hop witness chain (root only).
+
+namespace fixture {
+
+CIM_DETERMINISM_ROOT
+long taint_direct_epoch() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: det-taint, suppressed (0 findings).
+//
+// The same read as taint_direct.cpp, but the site carries a reviewed
+// suppression marker — proving it reaches project-rule findings.
+
+namespace fixture {
+
+CIM_DETERMINISM_ROOT
+long taint_vouched_epoch() {
+  // NOLINT(det-taint): observability-only timestamp, never fed to state.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: det-taint, transitive source (1 finding, line 9).
+//
+// The taint sits two calls below the root; the finding's witness chain
+// must name the full path root -> helper_a -> helper_b.
+
+namespace fixture {
+
+long taint_helper_b() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long taint_helper_a() { return taint_helper_b() + 1; }
+
+long taint_clean_path() { return 42; }
+
+CIM_DETERMINISM_ROOT
+long taint_transitive_root() {
+  return taint_helper_a() + taint_clean_path();
+}
+
+}  // namespace fixture

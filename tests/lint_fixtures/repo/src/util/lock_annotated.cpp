@@ -1,0 +1,20 @@
+// Fixture: lock discipline, clean twin (0 findings).
+//
+// The mutex is referenced by a CIM_GUARDED_BY on the state it protects,
+// the annotation names a real member, and acquisition is scoped.
+
+namespace fixture {
+
+class AnnotatedQueue {
+ public:
+  void push(int v) {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    depth_ = depth_ + v;
+  }
+
+ private:
+  std::mutex queue_mu_;
+  int depth_ CIM_GUARDED_BY(queue_mu_) = 0;
+};
+
+}  // namespace fixture

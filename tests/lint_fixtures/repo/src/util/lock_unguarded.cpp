@@ -1,0 +1,24 @@
+// Fixture: lock discipline, violating twin (4 findings).
+//
+//   line 12: lock-mutex-unannotated — queue_mu_ never referenced by an
+//            annotation in the class;
+//   line 13: lock-annotation-unknown — typo_mu_ is not a member;
+//   lines 18 and 21: lock-raw-call — manual .lock()/.unlock().
+
+namespace fixture {
+
+class UnguardedQueue {
+ private:
+  std::mutex queue_mu_;
+  int depth_ CIM_GUARDED_BY(typo_mu_) = 0;
+  int items_[4] = {};
+};
+
+void unguarded_push(UnguardedQueue& q, std::mutex& mu, int v) {
+  mu.lock();
+  static_cast<void>(q);
+  static_cast<void>(v);
+  mu.unlock();
+}
+
+}  // namespace fixture

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import collections
 import json
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -28,9 +29,13 @@ FIXTURES = REPO / "tests" / "lint_fixtures" / "repo"
 EXPECTED_COUNTS = {
     "anneal-dense-rebuild": 1,
     "cim-counter-charge": 1,
+    "det-taint": 2,
     "hdr-pragma-once": 1,
     "hdr-using-namespace": 1,
     "layer-dag": 1,
+    "lock-annotation-unknown": 1,
+    "lock-mutex-unannotated": 1,
+    "lock-raw-call": 2,
     "nolint-unknown-rule": 2,
     "raw-thread": 1,
     "rng-libc-rand": 2,
@@ -118,6 +123,44 @@ class FixtureScan(unittest.TestCase):
                          [("src/util/unknown_nolint.cpp", 5),
                           ("src/util/unknown_nolint.cpp", 7)])
 
+    def messages(self, rule: str) -> dict[tuple[str, int], str]:
+        return {(f["path"], f["line"]): f["message"]
+                for f in self.findings if f["rule"] == rule}
+
+    def test_det_taint_direct_and_transitive(self):
+        self.assertEqual(self.at("det-taint"),
+                         [("src/anneal/taint_direct.cpp", 10),
+                          ("src/anneal/taint_transitive.cpp", 9)])
+
+    def test_det_taint_witness_chain(self):
+        # The transitive finding must carry the full call path from the
+        # CIM_DETERMINISM_ROOT to the function containing the source —
+        # two hops below the root.
+        msg = self.messages("det-taint")[("src/anneal/taint_transitive.cpp",
+                                          9)]
+        self.assertIn("taint_transitive_root -> taint_helper_a -> "
+                      "taint_helper_b", msg)
+        self.assertIn("wall-clock", msg)
+
+    def test_det_taint_nolint_suppressed(self):
+        # The vouched twin (taint_nolint.cpp) must stay silent: project
+        # findings honour NOLINT at the reported site like per-file ones.
+        for f in self.findings:
+            self.assertNotEqual(f["path"], "src/anneal/taint_nolint.cpp")
+
+    def test_lock_discipline_locations(self):
+        self.assertEqual(self.at("lock-mutex-unannotated"),
+                         [("src/util/lock_unguarded.cpp", 12)])
+        self.assertEqual(self.at("lock-annotation-unknown"),
+                         [("src/util/lock_unguarded.cpp", 13)])
+        self.assertEqual(self.at("lock-raw-call"),
+                         [("src/util/lock_unguarded.cpp", 18),
+                          ("src/util/lock_unguarded.cpp", 21)])
+
+    def test_lock_annotated_twin_is_silent(self):
+        for f in self.findings:
+            self.assertNotEqual(f["path"], "src/util/lock_annotated.cpp")
+
 
 class Sarif(unittest.TestCase):
     def test_sarif_shape(self):
@@ -151,7 +194,38 @@ class BaselineRoundTrip(unittest.TestCase):
             rerun = run_lint("--root", str(FIXTURES),
                              "--baseline", str(baseline))
             self.assertEqual(rerun.returncode, 0, rerun.stdout)
-            self.assertIn("19 baselined", rerun.stdout)
+            self.assertIn("25 baselined", rerun.stdout)
+
+
+class ChangedOnly(unittest.TestCase):
+    def test_fallback_outside_git_scans_everything(self):
+        # --changed-only on a tree that is not a git work tree must warn
+        # and degrade to a full scan — same findings, same exit code.
+        with tempfile.TemporaryDirectory() as tmp:
+            copy = Path(tmp) / "repo"
+            shutil.copytree(FIXTURES, copy)
+            proc = run_lint("--root", str(copy), "--no-baseline",
+                            "--no-index-cache", "--format", "json",
+                            "--changed-only",
+                            # A tmpdir nested under a real repo would
+                            # still resolve; point git at nothing.
+                            "--base-ref", "no-such-ref-cimlint-selftest")
+            self.assertEqual(proc.returncode, 1, proc.stderr)
+            self.assertIn("falling back to a full scan", proc.stderr)
+            data = json.loads(proc.stdout)
+            counts = collections.Counter(f["rule"] for f in data["findings"])
+            self.assertEqual(dict(counts), EXPECTED_COUNTS)
+
+    def test_index_cache_round_trip(self):
+        # A warm cache must reproduce the cold run bit-for-bit.
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = Path(tmp) / "index.json"
+            cold = run_lint("--root", str(FIXTURES), "--no-baseline",
+                            "--format", "json", "--index-cache", str(cache))
+            self.assertTrue(cache.is_file())
+            warm = run_lint("--root", str(FIXTURES), "--no-baseline",
+                            "--format", "json", "--index-cache", str(cache))
+            self.assertEqual(cold.stdout, warm.stdout)
 
 
 class CliContracts(unittest.TestCase):

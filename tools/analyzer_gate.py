@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Triage gate for GCC -fanalyzer builds (preset: gcc-analyzer).
+
+GCC's interprocedural analyzer is valuable on this codebase (it traced
+the pool's batch lifetime and the telemetry sink handoff correctly) but
+it is not clean: on C++ it produces a handful of stable false-positive
+classes (operator-new "possible NULL dereference", leak reports against
+arena-owned allocations). Rather than turning the analyzer off, the
+warnings are *pinned*: every known warning is recorded in
+tools/analyzer_triage.txt as
+
+    <relpath> [-Wanalyzer-<id>]    # one per line, '#' comments allowed
+
+and CI fails on any warning whose (file, analyzer id) pair is not in
+the list. Line numbers are deliberately NOT part of the key — edits
+above a pinned site must not invalidate the triage — which means a
+*new* instance of an already-pinned (file, id) pair rides along until
+the pin is removed; the gate prints per-key counts so drift is visible.
+
+Usage:
+    cmake --preset gcc-analyzer && cmake --build --preset gcc-analyzer \
+        2>&1 | tee analyzer.log
+    python3 tools/analyzer_gate.py --log analyzer.log          # gate
+    python3 tools/analyzer_gate.py --log analyzer.log --update # re-pin
+
+Exit status: 0 all warnings pinned, 1 unpinned warnings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_TRIAGE = REPO / "tools" / "analyzer_triage.txt"
+
+# `path:line:col: warning: message [-Wanalyzer-id]` — the event traces
+# GCC prints after each warning are ignored; only the head line counts.
+_WARNING = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+):\s+warning:\s+"
+    r"(?P<message>.*?)\s+\[(?P<flag>-Wanalyzer-[\w-]+)\]\s*$")
+
+# Interprocedural diagnostics GCC cannot anchor to a line come out as
+# `cc1plus: warning: ... [-Wanalyzer-id]`. Keyed as `<unknown> [flag]` so
+# a brand-new flag still trips the gate even without a location.
+_WARNING_NOLOC = re.compile(
+    r"^cc1plus:\s+warning:\s+(?P<message>.*?)\s+"
+    r"\[(?P<flag>-Wanalyzer-[\w-]+)\]\s*$")
+
+
+def parse_log(text: str, root: Path) -> list[dict]:
+    """Unique analyzer warnings: path (repo-relative where possible),
+    line, col, message, flag."""
+    seen: set[tuple[str, int, int, str]] = set()
+    warnings: list[dict] = []
+    for line in text.splitlines():
+        m = _WARNING.match(line)
+        if m:
+            path = m.group("path")
+            try:
+                path = str(Path(path).resolve().relative_to(root))
+            except ValueError:
+                pass
+            entry = {"path": path, "line": int(m.group("line")),
+                     "col": int(m.group("col")),
+                     "message": m.group("message"),
+                     "flag": m.group("flag")}
+        else:
+            m = _WARNING_NOLOC.match(line)
+            if not m:
+                continue
+            entry = {"path": "<unknown>", "line": 0, "col": 0,
+                     "message": m.group("message"), "flag": m.group("flag")}
+        key = (entry["path"], entry["line"], entry["col"], entry["flag"])
+        if key in seen:  # GCC repeats the head line inside event traces
+            continue
+        seen.add(key)
+        warnings.append(entry)
+    warnings.sort(key=lambda w: (w["path"], w["line"], w["col"], w["flag"]))
+    return warnings
+
+
+def triage_key(warning: dict) -> str:
+    return f"{warning['path']} [{warning['flag']}]"
+
+
+def load_triage(path: Path) -> set[str]:
+    pins: set[str] = set()
+    if not path.is_file():
+        return pins
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            pins.add(line)
+    return pins
+
+
+def render_triage(warnings: list[dict]) -> str:
+    counts = collections.Counter(triage_key(w) for w in warnings)
+    lines = [
+        "# GCC -fanalyzer triage list (tools/analyzer_gate.py).",
+        "#",
+        "# One `<relpath> [-Wanalyzer-<id>]` per line: warnings with a key",
+        "# in this list are reviewed false positives / accepted risks;",
+        "# anything else fails CI. Regenerate after review with:",
+        "#   python3 tools/analyzer_gate.py --log <build log> --update",
+        "",
+    ]
+    lines += [key for key in sorted(counts)]
+    return "\n".join(lines) + "\n"
+
+
+def render_sarif(warnings: list[dict]) -> str:
+    flags = sorted({w["flag"] for w in warnings})
+    return json.dumps({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "gcc-fanalyzer",
+                "rules": [{"id": flag} for flag in flags],
+            }},
+            "results": [{
+                "ruleId": w["flag"],
+                "level": "warning",
+                "message": {"text": w["message"]},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": w["path"]},
+                    "region": {"startLine": w["line"],
+                               "startColumn": w["col"]},
+                }}],
+            } for w in warnings],
+        }],
+    }, indent=2) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--log", type=Path, metavar="FILE",
+                        help="build log to parse (default: stdin)")
+    parser.add_argument("--triage", type=Path, default=DEFAULT_TRIAGE,
+                        help="pinned-warning list (default: "
+                             "tools/analyzer_triage.txt)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the triage list from this log and "
+                             "exit 0")
+    parser.add_argument("--sarif", type=Path, metavar="FILE",
+                        help="also write the warnings as SARIF 2.1.0")
+    parser.add_argument("--root", type=Path, default=REPO,
+                        help="repo root for path relativization")
+    args = parser.parse_args(argv)
+
+    if args.log is not None:
+        if not args.log.is_file():
+            print(f"analyzer_gate: no such log: {args.log}", file=sys.stderr)
+            return 2
+        text = args.log.read_text(encoding="utf-8", errors="replace")
+    else:
+        text = sys.stdin.read()
+
+    warnings = parse_log(text, args.root.resolve())
+
+    if args.sarif:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(render_sarif(warnings), encoding="utf-8")
+
+    if args.update:
+        args.triage.write_text(render_triage(warnings), encoding="utf-8")
+        print(f"analyzer_gate: pinned {len(warnings)} warning(s) "
+              f"({len({triage_key(w) for w in warnings})} key(s)) into "
+              f"{args.triage}")
+        return 0
+
+    pins = load_triage(args.triage)
+    counts = collections.Counter(triage_key(w) for w in warnings)
+    unpinned = [w for w in warnings if triage_key(w) not in pins]
+    stale = pins - set(counts)
+
+    for key in sorted(counts):
+        mark = "PINNED" if key in pins else "NEW"
+        print(f"analyzer_gate: [{mark}] {key} x{counts[key]}")
+    for key in sorted(stale):
+        print(f"analyzer_gate: [STALE PIN] {key} — no longer reported; "
+              "consider removing it from the triage list")
+
+    if unpinned:
+        print(f"analyzer_gate: FAILED — {len(unpinned)} warning(s) not in "
+              f"{args.triage}:", file=sys.stderr)
+        for w in unpinned:
+            print(f"  {w['path']}:{w['line']}:{w['col']}: {w['message']} "
+                  f"[{w['flag']}]", file=sys.stderr)
+        return 1
+    print(f"analyzer_gate: clean — {len(warnings)} warning(s), all pinned "
+          f"({len(stale)} stale pin(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

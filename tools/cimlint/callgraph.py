@@ -1,0 +1,125 @@
+"""Name-resolved call graph and taint reachability over a ProjectIndex.
+
+Resolution is by *last name*: a call site `run(` resolves to every
+indexed definition named `run`, wherever it lives. That is deliberately
+over-approximate — without a type checker we cannot tell `LevelSolver::
+run` from `ThreadPool::run` — and it errs on the side of reporting:
+a taint reachable through *any* same-named definition is reported, and
+suppressed where a human has reviewed it (NOLINT/baseline). Two
+narrowing filters keep the noise tolerable in practice:
+
+  * Only definitions under first-party runtime code (`src/`, relative to
+    the scanned root) become call-graph nodes. Standard-library and
+    test-only names never pull taints into a runtime chain.
+  * Function-like macros are nodes too, so `TELEM_COUNTER_EVENT(...)`
+    chains through the macro body into `Registry::counter_event` instead
+    of dead-ending at an unresolved name.
+
+Traversal is a breadth-first search from every `CIM_DETERMINISM_ROOT`
+function, visiting in sorted (path, line) order so findings and witness
+chains are bit-stable across runs — the same determinism bar the
+analyzer holds the annealer to.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from .index import FunctionInfo, MacroInfo, ProjectIndex, TaintSite
+
+#: Call-graph nodes are restricted to definitions under these top-level
+#: directories (relative to the scanned root). Fixture trees mirror the
+#: real layout, so the same filter applies there.
+NODE_DIRS = ("src",)
+
+
+@dataclasses.dataclass(frozen=True)
+class TaintFinding:
+    """One reachable taint: the root, the witness chain of qualified
+    names from the root to the function containing the source, and the
+    source site itself (where the finding is reported)."""
+    root: FunctionInfo
+    chain: tuple[str, ...]  # qual names, root first, sink last
+    sink: FunctionInfo      # function containing the taint site
+    site: TaintSite
+
+
+def _in_node_dirs(path: str) -> bool:
+    return path.split("/", 1)[0] in NODE_DIRS
+
+
+class CallGraph:
+    """Adjacency from (kind, path, line) node keys to node keys."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self._funcs: list[FunctionInfo] = [
+            f for f in index.all_functions() if _in_node_dirs(f.path)]
+        self._macros: list[MacroInfo] = [
+            m for m in index.all_macros() if _in_node_dirs(m.path)]
+
+        # last name -> definitions. Macros keep their (upper-case) name.
+        self._by_name: dict[str, list[FunctionInfo | MacroInfo]] = \
+            collections.defaultdict(list)
+        for f in self._funcs:
+            self._by_name[f.name].append(f)
+        for m in self._macros:
+            self._by_name[m.name].append(m)
+        for defs in self._by_name.values():
+            defs.sort(key=lambda d: (d.path, d.line))
+
+    def roots(self) -> list[FunctionInfo]:
+        return sorted((f for f in self._funcs if f.is_root),
+                      key=lambda f: (f.path, f.line))
+
+    def callees(self, node: FunctionInfo | MacroInfo
+                ) -> list[FunctionInfo | MacroInfo]:
+        out: list[FunctionInfo | MacroInfo] = []
+        for name in node.calls:
+            out.extend(self._by_name.get(name, ()))
+        return out
+
+    @staticmethod
+    def _key(node: FunctionInfo | MacroInfo) -> tuple[str, int, str]:
+        return (node.path, node.line, node.name)
+
+    @staticmethod
+    def _label(node: FunctionInfo | MacroInfo) -> str:
+        if isinstance(node, MacroInfo):
+            return node.name  # macro: name is already the whole story
+        return node.qual_name
+
+    def reachable_taints(self) -> list[TaintFinding]:
+        """All (root, taint site) pairs with one witness chain each.
+
+        BFS guarantees the *shortest* chain is the witness; per
+        (root, sink path, site line, site kind) only the first chain
+        found is kept, so every distinct source is reported exactly once
+        per root even when many paths reach it.
+        """
+        findings: list[TaintFinding] = []
+        for root in self.roots():
+            seen: set[tuple[str, int, str]] = {self._key(root)}
+            queue: collections.deque[
+                tuple[FunctionInfo | MacroInfo, tuple[str, ...]]] = \
+                collections.deque([(root, (self._label(root),))])
+            reported: set[tuple[str, int, str]] = set()
+            while queue:
+                node, chain = queue.popleft()
+                if isinstance(node, FunctionInfo):
+                    for site in node.taints:
+                        mark = (node.path, site.line, site.kind)
+                        if mark in reported:
+                            continue
+                        reported.add(mark)
+                        findings.append(TaintFinding(
+                            root=root, chain=chain, sink=node, site=site))
+                for callee in self.callees(node):
+                    key = self._key(callee)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    queue.append((callee, chain + (self._label(callee),)))
+        findings.sort(key=lambda f: (f.sink.path, f.site.line, f.site.kind,
+                                     f.root.path, f.root.line))
+        return findings

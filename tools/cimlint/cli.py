@@ -13,7 +13,14 @@ import textwrap
 from pathlib import Path
 
 from . import __version__, baseline as baseline_mod, engine, output
-from .rules import all_rules
+from .rules import all_project_rules, all_rules
+
+
+def _merged_rules() -> dict:
+    """Per-file and project rules, one namespace (they share it)."""
+    merged: dict = dict(all_rules())
+    merged.update(all_project_rules())
+    return merged
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,6 +55,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="parallel scan processes (default: min(8, "
                              "cpu count); 1 disables)")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="lint only files changed vs --base-ref (plus "
+                             "untracked); falls back to a full scan when "
+                             "git is unavailable")
+    parser.add_argument("--base-ref", default="HEAD", metavar="REF",
+                        help="git ref --changed-only diffs against "
+                             "(default: HEAD)")
+    parser.add_argument("--index-cache", type=Path, metavar="FILE",
+                        help="cross-TU index cache location (default: "
+                             "<root>/build/cimlint/index.json)")
+    parser.add_argument("--no-index-cache", action="store_true",
+                        help="rebuild the cross-TU index from scratch and "
+                             "do not write a cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="list every registered rule and exit")
     parser.add_argument("--explain", metavar="RULE",
@@ -58,7 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _explain(rule_name: str) -> int:
-    rules = all_rules()
+    rules = _merged_rules()
     if rule_name not in rules:
         print(f"cimlint: unknown rule '{rule_name}'. Known rules:",
               file=sys.stderr)
@@ -78,7 +98,7 @@ def _explain(rule_name: str) -> int:
 
 
 def _list_rules() -> int:
-    for name, rule in sorted(all_rules().items()):
+    for name, rule in sorted(_merged_rules().items()):
         print(f"{name:22s} {rule.summary}")
     return 0
 
@@ -98,9 +118,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"cimlint: error: {err}", file=sys.stderr)
         return 2
 
-    findings, scanned = engine.lint_tree(root, config, jobs=args.jobs)
-    if scanned == 0:
-        # A misconfigured --root must not silently pass the gate.
+    changed: set[str] | None = None
+    if args.changed_only:
+        changed = engine.changed_files(root, args.base_ref)
+        if changed is None:
+            print("cimlint: note: git unavailable or not a work tree; "
+                  "--changed-only falling back to a full scan",
+                  file=sys.stderr)
+
+    index_cache: Path | None = None
+    if not args.no_index_cache:
+        index_cache = (args.index_cache if args.index_cache is not None
+                       else root / engine.INDEX_CACHE_REL)
+
+    findings, scanned = engine.lint_tree(root, config, jobs=args.jobs,
+                                         changed=changed,
+                                         index_cache=index_cache)
+    if scanned == 0 and changed is None:
+        # A misconfigured --root must not silently pass the gate. (With
+        # --changed-only an empty change set is a legitimate clean run.)
         print(f"cimlint: error: no C++ sources found under {root} "
               f"(looked in {', '.join(engine.SCAN_DIRS)})", file=sys.stderr)
         return 2
@@ -117,7 +153,7 @@ def main(argv: list[str] | None = None) -> int:
     new, baselined = baseline_mod.split(findings, fingerprints)
 
     rule_meta = {name: (r.summary, r.explanation)
-                 for name, r in all_rules().items()}
+                 for name, r in _merged_rules().items()}
     renders = {
         "text": lambda: output.render_text(new, baselined, scanned,
                                            args.show_baselined),

@@ -1,18 +1,41 @@
-"""File collection and (optionally parallel) scanning."""
+"""File collection and (optionally parallel) scanning.
+
+Two stages per run:
+
+  1. per-file rules over each scanned file (optionally fanned out over
+     processes — the files are independent);
+  2. project rules over the cross-TU index (tools/cimlint/index.py),
+     built once for the whole tree and cached on disk.
+
+`--changed-only` narrows stage 1 to the files a git diff touches and
+filters stage 2's findings to those files — but the *index* always
+covers the full tree, because a call-graph rule on one file is only
+sound with every other file's definitions in view.
+"""
 
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import os
+import subprocess
 import tomllib
 from pathlib import Path, PurePosixPath
 
 from .findings import Finding
-from .rules import LintConfig, FileContext, SOURCE_EXTS, scan_file
+from .index import build_index
+from .nolint import NolintIndex
+from .rules import (LintConfig, FileContext, SOURCE_EXTS, all_project_rules,
+                    scan_file)
 from .rules_layering import check_acyclic
 from .tokenizer import strip_comments_and_strings
 
 SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+#: Default on-disk location of the cross-TU index cache, relative to the
+#: scanned root. Lives under build/ so it is ignored by git and removed
+#: by a clean.
+INDEX_CACHE_REL = Path("build") / "cimlint" / "index.json"
 
 # Directory names skipped everywhere: fixture corpora contain *intentional*
 # violations (the lint.selftest asserts their exact counts) and must never
@@ -65,30 +88,115 @@ def lint_one(root: Path, path: Path, config: LintConfig) -> list[Finding]:
     return scan_file(ctx)
 
 
-def lint_tree(root: Path, config: LintConfig, jobs: int | None = None
+def lint_tree(root: Path, config: LintConfig, jobs: int | None = None,
+              changed: set[str] | None = None,
+              index_cache: Path | None = None,
               ) -> tuple[list[Finding], int]:
     """Scans the tree; returns (findings sorted by path/line, file count).
 
     `jobs` > 1 fans files out over processes (regex matching is
     CPU-bound and the files are independent); jobs == 1 or a single-CPU
     host scans serially. Ordering is deterministic either way.
+
+    `changed` (repo-relative posix paths) restricts per-file rules to
+    those files and filters project-rule findings to them; the cross-TU
+    index is still built over the full tree. `index_cache` is the JSON
+    cache path for the index (None disables caching).
     """
     files = collect_files(root)
+    scan_files = files
+    if changed is not None:
+        scan_files = [f for f in files
+                      if str(PurePosixPath(*f.relative_to(root).parts))
+                      in changed]
     if jobs is None:
         jobs = min(8, os.cpu_count() or 1)
     findings: list[Finding] = []
-    if jobs > 1 and len(files) > 16:
+    if jobs > 1 and len(scan_files) > 16:
         with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
             for result in pool.map(_lint_one_star,
-                                   [(root, f, config) for f in files],
+                                   [(root, f, config) for f in scan_files],
                                    chunksize=8):
                 findings.extend(result)
     else:
-        for path in files:
+        for path in scan_files:
             findings.extend(lint_one(root, path, config))
+
+    project = run_project_rules(root, files, config, index_cache)
+    if changed is not None:
+        project = [f for f in project if f.path in changed]
+    findings.extend(project)
+
     findings.sort()
-    return findings, len(files)
+    return findings, len(scan_files)
 
 
 def _lint_one_star(args: tuple[Path, Path, LintConfig]) -> list[Finding]:
     return lint_one(*args)
+
+
+def run_project_rules(root: Path, files: list[Path], config: LintConfig,
+                      index_cache: Path | None = None) -> list[Finding]:
+    """Builds the cross-TU index and runs every project rule over it.
+
+    NOLINT suppression is applied at the finding's own file/line — a
+    project finding is silenced exactly like a per-file one, by a marker
+    at the reported site — and snippets are filled from the source so
+    baseline fingerprints work unchanged.
+    """
+    index = build_index(root, files, index_cache)
+    raw_cache: dict[str, str] = {}
+    nolint_cache: dict[str, NolintIndex] = {}
+
+    def raw_text(rel: str) -> str:
+        if rel not in raw_cache:
+            try:
+                raw_cache[rel] = (root / rel).read_text(
+                    encoding="utf-8", errors="replace")
+            except OSError:
+                raw_cache[rel] = ""
+        return raw_cache[rel]
+
+    findings: list[Finding] = []
+    for pr in all_project_rules().values():
+        for finding in pr.check(index, config):
+            if pr.suppressible:
+                nolint = nolint_cache.get(finding.path)
+                if nolint is None:
+                    nolint = NolintIndex(raw_text(finding.path))
+                    nolint_cache[finding.path] = nolint
+                if nolint.suppresses(finding.rule, finding.line):
+                    continue
+            if not finding.snippet:
+                lines = raw_text(finding.path).splitlines()
+                if 0 < finding.line <= len(lines):
+                    finding = dataclasses.replace(
+                        finding, snippet=lines[finding.line - 1])
+            findings.append(finding)
+    return findings
+
+
+def changed_files(root: Path, base_ref: str = "HEAD") -> set[str] | None:
+    """Repo-relative paths git considers changed: the diff against
+    `base_ref` plus untracked (non-ignored) files. Returns None when git
+    is unavailable or `root` is not inside a work tree — callers fall
+    back to a full scan."""
+    changed: set[str] = set()
+    # --relative: diff paths come back relative to `root`, not the git
+    # toplevel, so they compare directly against finding paths even when
+    # root is a subdirectory of the work tree. (ls-files is cwd-relative
+    # already.)
+    for cmd in (["git", "-C", str(root), "diff", "--name-only", "--relative",
+                 base_ref, "--", "."],
+                ["git", "-C", str(root), "ls-files", "--others",
+                 "--exclude-standard"]):
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.update(line.strip() for line in proc.stdout.splitlines()
+                       if line.strip())
+    return changed

@@ -4,16 +4,26 @@ A rule is a named check over one file. Rules declare themselves with the
 @rule decorator; the registry drives them, applies the shared NOLINT
 suppression, and feeds `--explain` / `--list-rules` / the SARIF rule
 metadata from the same declaration — one source of truth per rule.
+
+Project rules are the cross-TU counterpart: they see the whole-program
+`ProjectIndex` (tools/cimlint/index.py) instead of one file, declare
+themselves with @project_rule, and share everything else — NOLINT
+suppression at the finding site, baseline fingerprints, --explain text,
+SARIF metadata. The two registries use one namespace so a NOLINT
+(det-taint) audits identically to a NOLINT(raw-thread).
 """
 
 from __future__ import annotations
 
 import dataclasses
 from pathlib import Path, PurePosixPath
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from .findings import Finding
 from .nolint import NolintIndex
+
+if TYPE_CHECKING:
+    from .index import ProjectIndex
 
 HEADER_EXTS = {".hpp", ".h", ".hh"}
 SOURCE_EXTS = {".cpp", ".cc", ".cxx"} | HEADER_EXTS
@@ -69,18 +79,46 @@ class Rule:
     suppressible: bool = True
 
 
+@dataclasses.dataclass(frozen=True)
+class ProjectRule:
+    """A whole-program rule: checked once per tree over the cross-TU
+    index, not once per file."""
+
+    name: str
+    summary: str
+    explanation: str
+    check: Callable[["ProjectIndex", "LintConfig"], Iterable[Finding]]
+    suppressible: bool = True
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
 
 
 def rule(name: str, summary: str, explanation: str, suppressible: bool = True):
-    """Decorator registering a rule's check function."""
+    """Decorator registering a per-file rule's check function."""
 
     def wrap(fn: Callable[[FileContext], Iterable[Finding]]):
-        if name in _REGISTRY:
+        if name in _REGISTRY or name in _PROJECT_REGISTRY:
             raise ValueError(f"duplicate rule name: {name}")
         _REGISTRY[name] = Rule(name=name, summary=summary,
                                explanation=explanation, check=fn,
                                suppressible=suppressible)
+        return fn
+
+    return wrap
+
+
+def project_rule(name: str, summary: str, explanation: str,
+                 suppressible: bool = True):
+    """Decorator registering a whole-program rule's check function."""
+
+    def wrap(fn: Callable[["ProjectIndex", "LintConfig"], Iterable[Finding]]):
+        if name in _REGISTRY or name in _PROJECT_REGISTRY:
+            raise ValueError(f"duplicate rule name: {name}")
+        _PROJECT_REGISTRY[name] = ProjectRule(
+            name=name, summary=summary, explanation=explanation, check=fn,
+            suppressible=suppressible)
         return fn
 
     return wrap
@@ -91,11 +129,22 @@ def all_rules() -> dict[str, Rule]:
     return dict(_REGISTRY)
 
 
+def all_project_rules() -> dict[str, ProjectRule]:
+    _load_rule_packs()
+    return dict(_PROJECT_REGISTRY)
+
+
+def known_rule_names() -> set[str]:
+    """Every rule name a NOLINT may legitimately reference."""
+    return set(all_rules()) | set(all_project_rules())
+
+
 def _load_rule_packs() -> None:
     # Importing the packs registers their rules (idempotent).
     from . import (  # noqa: F401  (import side effects)
-        rules_anneal, rules_cim, rules_header, rules_layering, rules_rng,
-        rules_telemetry, rules_thread, rules_units,
+        rules_anneal, rules_cim, rules_determinism, rules_header,
+        rules_layering, rules_locks, rules_rng, rules_telemetry,
+        rules_thread, rules_units,
     )
 
 
@@ -132,7 +181,10 @@ def scan_file(ctx: FileContext) -> list[Finding]:
                 continue
             findings.append(finding)
     # The audit rule: malformed / unknown NOLINT markers. Not itself
-    # suppressible — a NOLINT cannot vouch for another NOLINT.
-    findings.extend(nolint.audit(str(ctx.rel), rules, ctx.raw_lines))
+    # suppressible — a NOLINT cannot vouch for another NOLINT. Project
+    # rule names are valid targets too (their suppressions live in the
+    # same files).
+    findings.extend(nolint.audit(str(ctx.rel), known_rule_names(),
+                                 ctx.raw_lines))
     findings.sort()
     return findings

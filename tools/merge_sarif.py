@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Merge per-tool SARIF documents into one multi-run analysis.sarif.
+
+scripts/ci.sh runs three analyzers with three native outputs: cimlint
+(SARIF), GCC -fanalyzer (SARIF via tools/analyzer_gate.py) and — when
+the binary exists — clang-tidy (a text log). One reviewable artifact
+beats three: SARIF 2.1.0 models exactly this as one document with one
+`run` per tool, which is what code-scanning UIs ingest.
+
+    python3 tools/merge_sarif.py --output analysis.sarif \
+        lint.sarif analyzer.sarif --clang-tidy-log tidy.log
+
+Inputs that do not exist are skipped with a note (clang-tidy is
+optional in the gcc-only container); an output with zero runs is an
+error so the CI artifact gate cannot be satisfied by an empty shell.
+Exit status: 0 wrote the merged document, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# clang-tidy diagnostics: `path:line:col: severity: message [check,...]`.
+_TIDY_LINE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<severity>warning|error):\s+(?P<message>.*?)\s+"
+    r"\[(?P<checks>[\w.,-]+)\]\s*$")
+
+
+def load_sarif_runs(path: Path) -> list[dict]:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    runs = doc.get("runs", [])
+    if not isinstance(runs, list):
+        raise ValueError(f"{path}: 'runs' is not a list")
+    return runs
+
+
+def clang_tidy_run(log_path: Path, root: Path) -> dict:
+    results: list[dict] = []
+    checks: set[str] = set()
+    seen: set[tuple] = set()
+    for line in log_path.read_text(encoding="utf-8",
+                                   errors="replace").splitlines():
+        m = _TIDY_LINE.match(line)
+        if not m:
+            continue
+        rel = m.group("path")
+        try:
+            rel = str(Path(rel).resolve().relative_to(root))
+        except ValueError:
+            pass
+        check = m.group("checks").split(",")[0]
+        key = (rel, m.group("line"), m.group("col"), check)
+        if key in seen:
+            continue
+        seen.add(key)
+        checks.add(check)
+        results.append({
+            "ruleId": check,
+            "level": m.group("severity"),
+            "message": {"text": m.group("message")},
+            "locations": [{"physicalLocation": {
+                "artifactLocation": {"uri": rel},
+                "region": {"startLine": int(m.group("line")),
+                           "startColumn": int(m.group("col"))},
+            }}],
+        })
+    return {
+        "tool": {"driver": {
+            "name": "clang-tidy",
+            "rules": [{"id": c} for c in sorted(checks)],
+        }},
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("sarif", nargs="*", type=Path,
+                        help="SARIF inputs to merge (missing files are "
+                             "skipped with a note)")
+    parser.add_argument("--clang-tidy-log", type=Path, metavar="FILE",
+                        help="clang-tidy text log to convert into a run")
+    parser.add_argument("--output", type=Path, required=True, metavar="FILE",
+                        help="merged SARIF output path")
+    parser.add_argument("--root", type=Path, default=REPO,
+                        help="repo root for path relativization")
+    args = parser.parse_args(argv)
+
+    runs: list[dict] = []
+    for path in args.sarif:
+        if not path.is_file():
+            print(f"merge_sarif: skipping missing input {path}")
+            continue
+        try:
+            loaded = load_sarif_runs(path)
+        except (ValueError, json.JSONDecodeError) as err:
+            print(f"merge_sarif: unreadable SARIF {path}: {err}",
+                  file=sys.stderr)
+            return 2
+        runs.extend(loaded)
+        print(f"merge_sarif: {path}: {len(loaded)} run(s), "
+              f"{sum(len(r.get('results', [])) for r in loaded)} result(s)")
+
+    if args.clang_tidy_log is not None:
+        if args.clang_tidy_log.is_file():
+            run = clang_tidy_run(args.clang_tidy_log, args.root.resolve())
+            runs.append(run)
+            print(f"merge_sarif: {args.clang_tidy_log}: "
+                  f"{len(run['results'])} clang-tidy result(s)")
+        else:
+            print(f"merge_sarif: skipping missing clang-tidy log "
+                  f"{args.clang_tidy_log}")
+
+    if not runs:
+        print("merge_sarif: no runs to merge — refusing to write an empty "
+              "document", file=sys.stderr)
+        return 2
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": runs,
+    }, indent=2) + "\n", encoding="utf-8")
+    total = sum(len(r.get("results", [])) for r in runs)
+    print(f"merge_sarif: wrote {args.output} ({len(runs)} run(s), "
+          f"{total} result(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
