@@ -5,8 +5,11 @@
 #
 #   fast (default) — release preset (warnings-as-errors): configure, build,
 #                    ctest (includes lint.determinism + lint.selftest),
-#                    then cimlint (archiving lint.sarif), the GCC
-#                    -fanalyzer triage gate, clang-tidy, and the merged
+#                    the annealer suites re-run with the vector kernel
+#                    forced on and off, a CIMANNEAL_DISABLE_SIMD=ON
+#                    portable-fallback build of the kernel suites, then
+#                    cimlint (archiving lint.sarif), the GCC -fanalyzer
+#                    triage gate, clang-tidy, and the merged
 #                    analysis.sarif artifact.
 #   full           — fast + the asan-ubsan and tsan presets over the whole
 #                    test suite. This is the gate every perf PR must pass.
@@ -59,6 +62,33 @@ for preset in "${presets[@]}"; do
   run_preset "${preset}"
 done
 
+# The annealer suites run once per kernel path: CIMANNEAL_VECTOR_KERNEL
+# seeds the `vector_kernel` config default, so these legs prove both the
+# bit-sliced path and the scalar oracle stay green regardless of the
+# environment CI happens to inherit. The bit-identity tests inside the
+# suites compare the two paths directly; these legs additionally pin the
+# default-path plumbing.
+anneal_suites='^(Annealer|AnnealEdge|MaxCutAnnealer|SwapKernel|Ensemble|EnsembleThreads|Tempering|Integration|CimSolver|TopRing|NoiseSource)\.'
+for vec in 1 0; do
+  echo "==== annealer suites with CIMANNEAL_VECTOR_KERNEL=${vec}"
+  CIMANNEAL_VECTOR_KERNEL="${vec}" \
+    ctest --preset release -j "${jobs}" -R "${anneal_suites}"
+done
+
+echo "==== portable-SIMD build (no AVX2/popcnt tiers compiled in)"
+# A separate tree with CIMANNEAL_DISABLE_SIMD=ON: every util::simd entry
+# point must fall back to the portable scalar bodies and still match the
+# oracle bit for bit. Only the kernel-adjacent suites rebuild here.
+portable_dir="${repo_root}/build/portable-simd"
+cmake -B "${portable_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release -DCIMANNEAL_WERROR=ON \
+  -DCIMANNEAL_DISABLE_SIMD=ON
+cmake --build "${portable_dir}" -j "${jobs}" --target \
+  test_cim_bitslice test_cim_storage test_anneal_swap_kernel \
+  test_anneal_maxcut
+(cd "${portable_dir}" && ctest -j "${jobs}" \
+  -R '^(PackedBits|BitPlaneMatrix|Simd|PackedMac|DegenerateConfigs|Storage|SwapKernel|MaxCutAnnealer)\.')
+
 echo "==== bench smoke (swap-kernel + parallel-runtime benches at reduced scale)"
 bench_bin="${repo_root}/build/release/bench/bench_micro_kernels"
 bench_out_dir="${repo_root}/build/release/bench-out"
@@ -70,6 +100,30 @@ if [[ -x "${bench_bin}" ]]; then
     CIMANNEAL_BENCH_OUT_TRACE="${bench_out_dir}/BENCH_telemetry.json" \
     "${bench_bin}" --benchmark_filter='BM_SwapKernel.*'
   require_artifact "${bench_out_dir}/BENCH_swap_kernel.json"
+  # Structural gate on the swap-kernel report: the vector head-to-head
+  # columns must be present and self-consistent — a bench refactor that
+  # silently drops the vector rows must fail here, not in a dashboard.
+  python3 - "${bench_out_dir}/BENCH_swap_kernel.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["simd_backend"] in ("avx2", "popcnt", "neon", "portable"), \
+    report.get("simd_backend")
+assert report["scales"], "empty swap-kernel scales table"
+for row in report["scales"]:
+    for key in ("dense_ns_per_swap", "sparse_ns_per_swap",
+                "incremental_ns_per_swap", "vector_ns_per_swap",
+                "speedup_vector_vs_dense"):
+        assert row.get(key, 0) > 0, (key, row)
+assert report["replica_scales"], "empty replica head-to-head table"
+for row in report["replica_scales"]:
+    for key in ("scalar_ns_per_swap", "sparse_ns_per_swap",
+                "vector_ns_per_swap", "speedup_vector_vs_scalar",
+                "speedup_vector_vs_sparse"):
+        assert row.get(key, 0) > 0, (key, row)
+print("swap-kernel report structure OK "
+      f"(simd_backend={report['simd_backend']}, "
+      f"{len(report['replica_scales'])} replica rows)")
+PY
   require_artifact "${bench_out_dir}/BENCH_parallel_runtime.json"
   # One telemetry snapshot + Chrome trace per CI run (loadable in
   # chrome://tracing / ui.perfetto.dev). Present in every build flavour:

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "anneal/kernel_config.hpp"
 #include "anneal/noise_source.hpp"
 #include "cluster/hierarchy.hpp"
 #include "cim/activity.hpp"
@@ -60,6 +61,14 @@ struct AnnealerConfig {
   /// thread counts > 1, not with 1. Requires chromatic_parallel and
   /// sparse_swap_kernel.
   std::uint32_t color_threads = 1;
+  /// Bit-sliced packed swap kernel (DESIGN.md §14): spin/boundary inputs
+  /// are kept as packed 64-cell words (structure-of-arrays arena) and the
+  /// 4 MACs per swap go through WeightStorage::mac_packed — one word of
+  /// NOR products per popcount. Bit-identical to the scalar sparse kernel
+  /// (values, noise evolution, HardwareActivity counters), which stays as
+  /// the determinism oracle; requires sparse_swap_kernel. Defaults to the
+  /// CIMANNEAL_VECTOR_KERNEL env flag so CI can force either path.
+  bool vector_kernel = default_vector_kernel();
   std::uint32_t weight_bits = 8;
   std::uint64_t seed = 1;
   /// Record the level-0 ring length after every iteration (costly; for

@@ -1,0 +1,11 @@
+#include "anneal/kernel_config.hpp"
+
+#include "util/args.hpp"
+
+namespace cim::anneal {
+
+bool default_vector_kernel() {
+  return util::Args::env_flag("CIMANNEAL_VECTOR_KERNEL");
+}
+
+}  // namespace cim::anneal

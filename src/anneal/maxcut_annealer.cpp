@@ -27,6 +27,7 @@ MaxCutResult MaxCutAnnealer::solve(
       {{"vertices", static_cast<double>(problem.size())},
        {"seed", static_cast<double>(config_.seed)}});
   const std::size_t n = problem.size();
+  CIM_REQUIRE(n >= 1, "MaxCut problem needs at least one vertex");
   const noise::AnnealSchedule schedule(config_.schedule);
   const noise::SramCellModel cell_model(
       config_.sram, util::hash_combine(config_.seed, 0x4C7));
@@ -84,11 +85,26 @@ MaxCutResult MaxCutAnnealer::solve(
   const std::vector<std::uint8_t> ones(n, 1);
   std::vector<std::int64_t> row_sum(n, 0);
 
+  // Vector-kernel state: σ+ and the all-ones vector as packed 64-cell
+  // words, the flip sites updated bit-for-bit with sigma_plus.
+  hw::PackedBits sigma_packed;
+  hw::PackedBits ones_packed;
+  if (config_.vector_kernel) {
+    sigma_packed.resize(rows);
+    ones_packed.resize(rows);
+    for (std::uint32_t v = 0; v < n; ++v) ones_packed.set(v);
+  }
+
   const auto refresh_row_sums = [&] {
     // One all-ones MAC per column per plane; static between write-backs.
     for (std::uint32_t v = 0; v < n; ++v) {
-      row_sum[v] = pos_storage->mac(hw::ColIndex(v), ones) -
-                   neg_storage->mac(hw::ColIndex(v), ones);
+      row_sum[v] =
+          config_.vector_kernel
+              ? pos_storage->mac_packed(hw::ColIndex(v), ones_packed.words()) -
+                    neg_storage->mac_packed(hw::ColIndex(v),
+                                            ones_packed.words())
+              : pos_storage->mac(hw::ColIndex(v), ones) -
+                    neg_storage->mac(hw::ColIndex(v), ones);
     }
   };
 
@@ -105,14 +121,27 @@ MaxCutResult MaxCutAnnealer::solve(
     }
     for (std::uint32_t v = 0; v < n; ++v) {
       sigma_plus[v] = result.spins[v] > 0 ? 1 : 0;
+      if (config_.vector_kernel) {
+        if (sigma_plus[v]) {
+          sigma_packed.set(v);
+        } else {
+          sigma_packed.clear(v);
+        }
+      }
     }
 
     for (std::uint32_t color = 0; color < color_count; ++color) {
       for (std::uint32_t v = 0; v < n; ++v) {
         if (colors[v] != color) continue;
         // field_v = Σ_j w_vj σ_j = 2·(MAC+ − MAC−)(σ+) − row_sum.
-        const std::int64_t mac = pos_storage->mac(hw::ColIndex(v), sigma_plus) -
-                                 neg_storage->mac(hw::ColIndex(v), sigma_plus);
+        const std::int64_t mac =
+            config_.vector_kernel
+                ? pos_storage->mac_packed(hw::ColIndex(v),
+                                          sigma_packed.words()) -
+                      neg_storage->mac_packed(hw::ColIndex(v),
+                                              sigma_packed.words())
+                : pos_storage->mac(hw::ColIndex(v), sigma_plus) -
+                      neg_storage->mac(hw::ColIndex(v), sigma_plus);
         const std::int64_t field = 2 * mac - row_sum[v];
 
         ising::Spin next = result.spins[v];
@@ -141,6 +170,13 @@ MaxCutResult MaxCutAnnealer::solve(
         if (next != result.spins[v]) {
           result.spins[v] = next;
           sigma_plus[v] = next > 0 ? 1 : 0;
+          if (config_.vector_kernel) {
+            if (sigma_plus[v]) {
+              sigma_packed.set(v);
+            } else {
+              sigma_packed.clear(v);
+            }
+          }
           ++result.flips;
         }
       }

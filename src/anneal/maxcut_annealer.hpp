@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "anneal/kernel_config.hpp"
 #include "anneal/noise_source.hpp"
 #include "cim/storage.hpp"
 #include "ising/maxcut.hpp"
@@ -28,6 +29,11 @@ struct MaxCutConfig {
   noise::AnnealSchedule::Params schedule;  ///< sweeps = total_iterations
   noise::SramNoiseParams sram;
   NoiseMode noise = NoiseMode::kSramWeight;
+  /// Bit-sliced packed MACs (cim/bitslice.hpp): the spin register σ+ is
+  /// kept as packed 64-cell words and every field evaluation goes through
+  /// WeightStorage::mac_packed. Bit-identical to the dense scalar path
+  /// (cuts, flip sequence, storage counters), which stays the oracle.
+  bool vector_kernel = default_vector_kernel();
   std::uint32_t weight_bits = 8;
   std::uint64_t seed = 1;
   bool record_trace = false;

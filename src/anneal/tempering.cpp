@@ -11,7 +11,8 @@ namespace cim::anneal {
 
 ParallelTempering::ParallelTempering(TemperingConfig config)
     : config_(std::move(config)) {
-  CIM_REQUIRE(config_.replicas >= 2, "tempering needs at least 2 replicas");
+  CIM_REQUIRE(config_.replicas >= 1,
+              "tempering needs at least one replica");
   CIM_REQUIRE(config_.sweeps >= 1, "tempering needs at least one sweep");
   CIM_REQUIRE(config_.exchange_interval >= 1,
               "exchange interval must be positive");
@@ -37,11 +38,18 @@ TemperingResult ParallelTempering::solve(
   result.temperatures.resize(r_count);
   const double hot = config_.t_hot_factor * t_base;
   const double cold = config_.t_cold_factor * t_base;
-  const double decay =
-      std::pow(cold / hot, 1.0 / static_cast<double>(r_count - 1));
-  for (std::size_t r = 0; r < r_count; ++r) {
-    result.temperatures[r] =
-        hot * std::pow(decay, static_cast<double>(r));
+  if (r_count == 1) {
+    // Degenerate single-replica ladder: plain Metropolis at the hot
+    // temperature. The geometric decay below would divide by
+    // r_count - 1 == 0 and poison every acceptance test with NaN.
+    result.temperatures[0] = hot;
+  } else {
+    const double decay =
+        std::pow(cold / hot, 1.0 / static_cast<double>(r_count - 1));
+    for (std::size_t r = 0; r < r_count; ++r) {
+      result.temperatures[r] =
+          hot * std::pow(decay, static_cast<double>(r));
+    }
   }
 
   // Replica states and energies.

@@ -19,7 +19,9 @@ AdderTree::AdderTree(std::uint32_t fan_in) : fan_in_(fan_in) {
 }
 
 std::uint32_t AdderTree::reduce(std::span<const std::uint8_t> products) {
-  CIM_ASSERT(products.size() == fan_in_);
+  CIM_REQUIRE(products.size() == fan_in_,
+              "adder tree reduce: product plane size does not match the "
+              "tree fan-in");
   // Model the pairwise reduction levels explicitly (equivalent to a plain
   // sum, but mirrors the hardware structure and exercises the counters).
   std::vector<std::uint32_t> level(products.begin(), products.end());
@@ -39,7 +41,10 @@ std::uint32_t AdderTree::reduce(std::span<const std::uint8_t> products) {
 
 std::uint64_t AdderTree::shift_and_add(std::span<const std::uint8_t> planes,
                                        std::uint32_t bits) {
-  CIM_ASSERT(planes.size() == static_cast<std::size_t>(bits) * fan_in_);
+  CIM_REQUIRE(bits >= 1, "adder tree shift-and-add needs at least one plane");
+  CIM_REQUIRE(planes.size() == static_cast<std::size_t>(bits) * fan_in_,
+              "adder tree shift-and-add: plane buffer size does not match "
+              "bits x fan-in");
   std::uint64_t acc = 0;
   for (std::uint32_t b = 0; b < bits; ++b) {
     const std::uint32_t plane_sum =
@@ -51,9 +56,12 @@ std::uint64_t AdderTree::shift_and_add(std::span<const std::uint8_t> planes,
 
 std::uint64_t AdderTree::shift_and_add_sparse(
     std::span<const std::uint32_t> plane_sums) {
+  CIM_REQUIRE(!plane_sums.empty(),
+              "adder tree shift-and-add needs at least one plane");
   std::uint64_t acc = 0;
   for (std::size_t b = 0; b < plane_sums.size(); ++b) {
-    CIM_ASSERT(plane_sums[b] <= fan_in_);
+    CIM_REQUIRE(plane_sums[b] <= fan_in_,
+                "adder tree plane product sum exceeds the tree fan-in");
     // Counter model: the physical tree reduces all fan_in_ products of the
     // plane regardless of how many input rows are set.
     adder_ops_ += fan_in_ > 0 ? fan_in_ - 1 : 0;

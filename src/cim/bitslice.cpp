@@ -1,0 +1,58 @@
+#include "cim/bitslice.hpp"
+
+#include "util/simd.hpp"
+
+namespace cim::hw {
+
+void BitPlaneMatrix::reset(std::uint32_t rows, std::uint32_t cols,
+                           std::uint32_t bits) {
+  CIM_REQUIRE(rows >= 1 && cols >= 1,
+              "bit-plane matrix needs a non-empty window (rows and cols >= 1)");
+  CIM_REQUIRE(bits >= 1 && bits <= 8,
+              "bit-plane matrix supports 1..8 weight bits");
+  rows_ = rows;
+  cols_ = cols;
+  bits_ = bits;
+  words_ = packed_words(rows);
+  planes_.assign(static_cast<std::size_t>(cols_) * bits_ * words_, 0);
+}
+
+void BitPlaneMatrix::set_weight(std::uint32_t row, std::uint32_t col,
+                                std::uint8_t value) {
+  CIM_ASSERT(row < rows_ && col < cols_);
+  const std::size_t col_base =
+      static_cast<std::size_t>(col) * bits_ * words_;
+  const std::size_t word = row >> 6;
+  const std::uint64_t mask = std::uint64_t{1} << (row & 63U);
+  for (std::uint32_t b = 0; b < bits_; ++b) {
+    std::uint64_t& plane_word = planes_[col_base + b * words_ + word];
+    if ((value >> b) & 1U) {
+      plane_word |= mask;
+    } else {
+      plane_word &= ~mask;
+    }
+  }
+}
+
+std::uint64_t BitPlaneMatrix::mac(std::uint32_t col,
+                                  std::span<const std::uint64_t> input) const {
+  CIM_REQUIRE(input.size() == words_,
+              "packed MAC input word count does not match the window's "
+              "packed row count");
+  return util::simd::mac_bitplanes(input.data(),
+                                   column_planes(col).data(), words_, bits_);
+}
+
+void BitPlaneMatrix::plane_sums(std::uint32_t col,
+                                std::span<const std::uint64_t> input,
+                                std::span<std::uint32_t> out) const {
+  CIM_REQUIRE(input.size() == words_,
+              "packed MAC input word count does not match the window's "
+              "packed row count");
+  CIM_REQUIRE(out.size() == bits_,
+              "plane-sum output span must have one entry per weight bit");
+  util::simd::plane_popcounts(input.data(), column_planes(col).data(), words_,
+                              bits_, out.data());
+}
+
+}  // namespace cim::hw

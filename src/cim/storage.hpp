@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cim/adder_tree.hpp"
+#include "cim/bitslice.hpp"
 #include "noise/schedule.hpp"
 #include "noise/sram_model.hpp"
 #include "util/units.hpp"
@@ -42,6 +43,14 @@ struct StorageCounters {
   std::uint64_t pseudo_read_flips = 0; ///< bit-cells corrupted by noise
 
   StorageCounters& operator+=(const StorageCounters& other);
+};
+
+/// One request of a packed MAC batch (WeightStorage::mac_packed_batch):
+/// the addressed column plus the index of its packed input vector in the
+/// batch's shared input arena.
+struct PackedMac {
+  ColIndex col{0};
+  std::uint32_t input = 0;  ///< index into the batch's input arena
 };
 
 class WeightStorage {
@@ -77,6 +86,30 @@ class WeightStorage {
   /// simulator work, so `mac_bit_reads` still advances by rows()·bits.
   virtual std::int64_t mac_sparse(
       ColIndex col, std::span<const std::uint32_t> active_rows) = 0;
+
+  /// Packed column MAC: the same operation with the input as packed 0/1
+  /// bits — bit r of word r/64 is row r, packed_words(rows()) words total.
+  /// The bit-sliced vector swap kernel's entry point.
+  ///
+  /// The mac()/mac_sparse() equivalence invariant extends here verbatim:
+  /// same value, same storage state (including lazy whole-column
+  /// pseudo-read corruption) and same StorageCounters for any input and
+  /// its packed form. The scalar paths stay the determinism oracle the
+  /// test suite checks this against.
+  virtual std::int64_t mac_packed(ColIndex col,
+                                  std::span<const std::uint64_t> input) = 0;
+
+  /// Batch of packed MACs over one shared input arena: request k reads the
+  /// `words_per_input` words at `reqs[k].input * words_per_input`, and its
+  /// result lands in out[k]. Semantically identical to calling mac_packed
+  /// per request in order (state, values, counters); backends may override
+  /// to amortise virtual dispatch and counter updates across the batch —
+  /// the multi-replica same-color swap evaluation issues 4·replicas MACs
+  /// per call.
+  virtual void mac_packed_batch(std::span<const PackedMac> reqs,
+                                std::span<const std::uint64_t> inputs,
+                                std::uint32_t words_per_input,
+                                std::span<std::int64_t> out);
 
   /// Current (possibly corrupted) weight value — for tests and debugging.
   virtual std::uint8_t weight(RowIndex row, ColIndex col) const = 0;

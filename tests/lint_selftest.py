@@ -42,6 +42,7 @@ EXPECTED_COUNTS = {
     "rng-mt19937": 1,
     "rng-random-device": 1,
     "rng-time-seed": 1,
+    "simd-intrinsics-confined": 2,
     "telemetry-in-header": 1,
     "unit-float-eq": 3,
     "unit-raw-double": 2,
@@ -111,6 +112,13 @@ class FixtureScan(unittest.TestCase):
         # handle types and the src/util allowlisted file stay silent.
         self.assertEqual(self.at("raw-thread"),
                          [("src/anneal/raw_thread.cpp", 10)])
+
+    def test_simd_confinement_locations(self):
+        # The vendor include and the raw intrinsic call fire; the
+        # suppressed twin and the wrapper-named lambda stay silent.
+        self.assertEqual(self.at("simd-intrinsics-confined"),
+                         [("src/cim/raw_intrinsic.cpp", 4),
+                          ("src/cim/raw_intrinsic.cpp", 12)])
 
     def test_telemetry_in_header_location(self):
         # The bare macro fires; the NOLINT-vouched template twin and
@@ -194,7 +202,7 @@ class BaselineRoundTrip(unittest.TestCase):
             rerun = run_lint("--root", str(FIXTURES),
                              "--baseline", str(baseline))
             self.assertEqual(rerun.returncode, 0, rerun.stdout)
-            self.assertIn("25 baselined", rerun.stdout)
+            self.assertIn("27 baselined", rerun.stdout)
 
 
 class ChangedOnly(unittest.TestCase):

@@ -130,5 +130,53 @@ TEST(MaxCutAnnealer, InvalidConfigThrows) {
   EXPECT_THROW(MaxCutAnnealer{bad}, ConfigError);
 }
 
+TEST(MaxCutAnnealer, EmptyProblemThrows) {
+  // A zero- or one-vertex graph would build a degenerate CIM window; the
+  // problem type itself fails fast before any storage is sized.
+  EXPECT_THROW(ising::MaxCutProblem("empty", 0, {}), ConfigError);
+  EXPECT_THROW(ising::MaxCutProblem("one", 1, {}), ConfigError);
+}
+
+TEST(MaxCutAnnealer, VectorKernelMatchesScalarExactly) {
+  // The packed spin register + mac_packed field evaluation must reproduce
+  // the dense scalar path bit for bit: same flip sequence, same cuts,
+  // same hardware counters — for every noise mode.
+  for (const NoiseMode mode :
+       {NoiseMode::kNone, NoiseMode::kSramWeight, NoiseMode::kSramSpin,
+        NoiseMode::kLfsr}) {
+    const auto problem = ising::random_maxcut(90, 0.15, 21, 3);
+    auto config = base_config();
+    config.noise = mode;
+    config.record_trace = true;
+    config.vector_kernel = true;
+    const auto vector = MaxCutAnnealer(config).solve(problem);
+    config.vector_kernel = false;
+    const auto scalar = MaxCutAnnealer(config).solve(problem);
+    EXPECT_EQ(vector.spins, scalar.spins) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(vector.cut, scalar.cut);
+    EXPECT_EQ(vector.best_cut, scalar.best_cut);
+    EXPECT_EQ(vector.flips, scalar.flips);
+    EXPECT_EQ(vector.trace, scalar.trace);
+    EXPECT_EQ(vector.storage.macs, scalar.storage.macs);
+    EXPECT_EQ(vector.storage.mac_bit_reads, scalar.storage.mac_bit_reads);
+    EXPECT_EQ(vector.storage.writeback_bits, scalar.storage.writeback_bits);
+    EXPECT_EQ(vector.storage.pseudo_read_flips,
+              scalar.storage.pseudo_read_flips);
+  }
+}
+
+TEST(MaxCutAnnealer, VectorKernelMultiWordSpinRegister) {
+  // Past 64 vertices the packed σ+ register spans multiple words.
+  const auto problem = ising::random_maxcut(150, 0.05, 23, 2);
+  auto config = base_config();
+  config.vector_kernel = true;
+  const auto vector = MaxCutAnnealer(config).solve(problem);
+  config.vector_kernel = false;
+  const auto scalar = MaxCutAnnealer(config).solve(problem);
+  EXPECT_EQ(vector.spins, scalar.spins);
+  EXPECT_EQ(vector.cut, scalar.cut);
+  EXPECT_EQ(vector.storage.macs, scalar.storage.macs);
+}
+
 }  // namespace
 }  // namespace cim::anneal

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "anneal/maxcut_annealer.hpp"
 
 #include "util/error.hpp"
@@ -102,15 +104,45 @@ TEST(Tempering, BeatsOrMatchesSingleTemperatureAnnealing) {
 }
 
 TEST(Tempering, InvalidConfigsThrow) {
-  TemperingConfig one;
-  one.replicas = 1;
-  EXPECT_THROW(ParallelTempering{one}, ConfigError);
+  TemperingConfig zero;
+  zero.replicas = 0;
+  EXPECT_THROW(ParallelTempering{zero}, ConfigError);
   TemperingConfig inverted = base_config();
   inverted.t_cold_factor = 2.0;
   EXPECT_THROW(ParallelTempering{inverted}, ConfigError);
   TemperingConfig no_sweeps = base_config();
   no_sweeps.sweeps = 0;
   EXPECT_THROW(ParallelTempering{no_sweeps}, ConfigError);
+}
+
+TEST(Tempering, SingleReplicaLadderIsFiniteHotTemperature) {
+  // Regression: the geometric-decay exponent divides by replicas - 1, so
+  // replicas == 1 used to produce a NaN/inf ladder that silently poisoned
+  // every acceptance test. The degenerate ladder is {hot}.
+  auto config = base_config();
+  config.replicas = 1;
+  config.sweeps = 40;
+  const auto problem = ising::random_maxcut(20, 0.3, 5, 3);
+  TemperingResult details;
+  ParallelTempering(config).solve_maxcut(problem, &details);
+  ASSERT_EQ(details.temperatures.size(), 1U);
+  EXPECT_TRUE(std::isfinite(details.temperatures[0]));
+  EXPECT_GT(details.temperatures[0], 0.0);
+  // The single temperature equals the hot anchor of a multi-replica run
+  // with the same config (ladder entry 0 is always hot).
+  auto multi = config;
+  multi.replicas = 4;
+  TemperingResult multi_details;
+  ParallelTempering(multi).solve_maxcut(problem, &multi_details);
+  EXPECT_DOUBLE_EQ(details.temperatures[0], multi_details.temperatures[0]);
+  // And the degenerate run still anneals: energies are finite and a best
+  // state was tracked.
+  ASSERT_EQ(details.final_energies.size(), 1U);
+  EXPECT_TRUE(std::isfinite(details.final_energies[0]));
+  EXPECT_TRUE(std::isfinite(details.best_energy));
+  EXPECT_EQ(details.best_spins.size(), 20U);
+  // No exchange partner exists, so no exchanges may be attempted.
+  EXPECT_EQ(details.exchanges_attempted, 0U);
 }
 
 }  // namespace

@@ -143,8 +143,8 @@ def _load_rule_packs() -> None:
     # Importing the packs registers their rules (idempotent).
     from . import (  # noqa: F401  (import side effects)
         rules_anneal, rules_cim, rules_determinism, rules_header,
-        rules_layering, rules_locks, rules_rng, rules_telemetry,
-        rules_thread, rules_units,
+        rules_layering, rules_locks, rules_rng, rules_simd,
+        rules_telemetry, rules_thread, rules_units,
     )
 
 
