@@ -138,9 +138,29 @@ fi
 echo "==== cimlint (also registered as ctest 'lint.determinism'/'lint.selftest')"
 lint_out_dir="${repo_root}/build/release/lint-out"
 mkdir -p "${lint_out_dir}"
-python3 tools/lint.py --root "${repo_root}" --sarif "${lint_out_dir}/lint.sarif"
+python3 tools/lint.py --root "${repo_root}" --sarif "${lint_out_dir}/lint.sarif" \
+  --stats "${lint_out_dir}/lint_stats.json"
 python3 tests/lint_selftest.py
+python3 tools/lint.py --check-rules-md
 require_artifact "${lint_out_dir}/lint.sarif"
+require_artifact "${lint_out_dir}/lint_stats.json"
+# Soft latency budget: the dataflow analyses (CFG + worklist solves) run
+# on every pre-commit lint, so a creeping slowdown is a workflow
+# regression even while results stay correct. Warn, don't fail — CI
+# machines vary — but make the number visible in every log.
+python3 - "${lint_out_dir}/lint_stats.json" \
+  "${CIMANNEAL_LINT_BUDGET_S:-20}" <<'PY'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+budget = float(sys.argv[2])
+total = stats["total_seconds"]
+phases = ", ".join(f"{k}={v:.2f}s" for k, v in stats["phases"].items())
+print(f"cimlint wall time {total:.2f}s over {stats['scanned_files']} files "
+      f"({phases})")
+if total > budget:
+    print(f"ci.sh: WARNING: cimlint took {total:.2f}s, over the "
+          f"{budget:.0f}s soft budget (CIMANNEAL_LINT_BUDGET_S)")
+PY
 
 echo "==== gcc -fanalyzer (triaged against tools/analyzer_triage.txt)"
 analyzer_log="${lint_out_dir}/analyzer.log"

@@ -1,0 +1,39 @@
+// Clean twin of range_overflow.cpp: same storage shape, same access
+// patterns, but every index stays inside the extent and the one guard
+// present is genuinely undecidable (it tests a caller-supplied offset
+// the analysis knows nothing about). Neither index-range-overflow nor
+// index-check-dead may fire here.
+#include <cstdint>
+
+namespace fixture {
+
+struct WindowStorage2 {
+  WindowStorage2(std::uint32_t r, std::uint32_t c);
+  std::uint32_t rows() const;
+  std::uint32_t cols() const;
+  float mac(std::uint32_t col, const float* in) const;
+  float weight(std::uint32_t row, std::uint32_t col) const;
+};
+
+float sweep_window_clean(const float* input) {
+  WindowStorage2 s(16, 8);
+  float acc = 0.0F;
+  for (std::uint32_t c = 0; c < s.cols(); ++c) {
+    acc += s.mac(c, input);
+  }
+  return acc;
+}
+
+float offset_scan(const float* input, std::uint32_t offset) {
+  WindowStorage2 s(16, 8);
+  float acc = 0.0F;
+  for (std::uint32_t c = 0; c < s.cols(); ++c) {
+    // `offset` is caller data: the guard is live, not provably constant.
+    if (offset < 4) {
+      acc += s.weight(offset, c);
+    }
+  }
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: index-range-overflow + index-check-dead (2 findings).
+//
+// sweep_window() iterates `c <= s.cols()` over an 8-column storage: the
+// last iteration calls mac with column 8 against extent 8 — the classic
+// off-by-one window walk. index-range-overflow must report the mac call
+// with the proven interval. guarded_scan() carries a bounds check that
+// the loop condition already implies; index-check-dead must flag it.
+#include <cstdint>
+
+namespace fixture {
+
+struct WindowStorage {
+  WindowStorage(std::uint32_t r, std::uint32_t c);
+  std::uint32_t rows() const;
+  std::uint32_t cols() const;
+  float mac(std::uint32_t col, const float* in) const;
+  float weight(std::uint32_t row, std::uint32_t col) const;
+};
+
+float sweep_window(const float* input) {
+  WindowStorage s(16, 8);
+  float acc = 0.0F;
+  for (std::uint32_t c = 0; c <= s.cols(); ++c) {
+    acc += s.mac(c, input);
+  }
+  return acc;
+}
+
+float guarded_scan(const float* input) {
+  WindowStorage s(16, 8);
+  float acc = 0.0F;
+  for (std::uint32_t c = 0; c < s.cols(); ++c) {
+    if (c < 8) {
+      acc += s.mac(c, input);
+    }
+  }
+  return acc;
+}
+
+}  // namespace fixture

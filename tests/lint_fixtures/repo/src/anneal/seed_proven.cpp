@@ -1,0 +1,22 @@
+// Clean twin of seed_unproven.cpp: every Rng under the root is seeded
+// through the deterministic derivation chain — stream_seed/hash_combine
+// over a parameter, including a branch whose two arms are each proven
+// (the join keeps the proof). rng-unproven-seed must stay silent.
+
+namespace fixture {
+
+CIM_DETERMINISM_ROOT
+void seed_proven_replay(unsigned long long base_seed, bool alt_stream) {
+  const unsigned long long mixed = util::hash_combine(base_seed, 0x9e37ULL);
+  util::Rng rng(util::stream_seed(mixed, 2));
+  (void)rng;
+
+  unsigned long long pick = base_seed;
+  if (alt_stream) {
+    pick = util::splitmix64(base_seed);
+  }
+  util::Rng rng2(pick + 1);
+  (void)rng2;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: rng-unproven-seed (1 finding).
+//
+// The determinism root seeds an Rng from `mix`, whose provenance chain
+// bottoms out at ticket() — an opaque call that is neither a seed
+// derivation helper (stream_seed/hash_combine/splitmix64/fork) nor a
+// function parameter. The proof fails and the finding carries the
+// witness chain from the root.
+
+namespace fixture {
+
+unsigned long long ticket();
+
+CIM_DETERMINISM_ROOT
+void seed_unproven_replay() {
+  const unsigned long long mix = ticket() * 31ULL;
+  util::Rng rng(mix);
+  (void)rng;
+}
+
+}  // namespace fixture

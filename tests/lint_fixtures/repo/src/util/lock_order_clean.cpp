@@ -1,0 +1,38 @@
+// Clean twin of lock_order_cycle.cpp: the same two mutexes, every path
+// acquiring in the same global order (ledger_mu before audit_mu), plus
+// the RAII trap from the thread-pool worker loop — a guard that dies
+// with each loop iteration must NOT leak across the back edge into the
+// next iteration's call, or take_both() would fabricate an inverted
+// edge. lock-order-cycle must stay silent on this file.
+#include <mutex>
+
+namespace fx {
+
+std::mutex ledger_mu;
+std::mutex audit_mu;
+
+void record_audit(int entry) {
+  std::lock_guard<std::mutex> g(audit_mu);
+  (void)entry;
+}
+
+void take_both() {
+  std::lock_guard<std::mutex> g(ledger_mu);
+  record_audit(7);  // ledger_mu -> audit_mu, consistent everywhere
+}
+
+void settle() {
+  std::lock_guard<std::mutex> outer(ledger_mu);
+  std::lock_guard<std::mutex> inner(audit_mu);
+}
+
+void poll_ledger() {
+  for (int i = 0; i < 8; ++i) {
+    take_both();
+    // Scope guard taken *after* the call, released at the iteration
+    // boundary: the next iteration's take_both() runs lock-free.
+    std::lock_guard<std::mutex> g(audit_mu);
+  }
+}
+
+}  // namespace fx

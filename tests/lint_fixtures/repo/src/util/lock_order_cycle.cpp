@@ -1,0 +1,30 @@
+// Fixture: lock-order inversion across two functions (one edge direct,
+// one through a call made under a held lock). flush_table() holds
+// table_mu and calls append_journal(), which acquires journal_mu —
+// edge table_mu -> journal_mu. reload_table() nests the guards the
+// other way — edge journal_mu -> table_mu. Two threads running the two
+// paths concurrently deadlock; lock-order-cycle must report the cycle
+// with both acquisition paths.
+#include <mutex>
+
+namespace fx {
+
+std::mutex table_mu;
+std::mutex journal_mu;
+
+void append_journal(int entry) {
+  std::lock_guard<std::mutex> g(journal_mu);
+  (void)entry;
+}
+
+void flush_table() {
+  std::lock_guard<std::mutex> g(table_mu);
+  append_journal(42);
+}
+
+void reload_table() {
+  std::lock_guard<std::mutex> outer(journal_mu);
+  std::lock_guard<std::mutex> inner(table_mu);
+}
+
+}  // namespace fx

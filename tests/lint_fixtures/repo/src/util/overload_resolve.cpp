@@ -1,0 +1,25 @@
+// Fixture for callgraph name resolution (no findings expected).
+//
+// Two overloads of scale() plus a templated clamp_to(): the index keys
+// functions by unqualified last name, so both overloads land under one
+// name and resolution is deterministic (first definition in path/line
+// order wins). The callgraph tests pin that behaviour here.
+
+namespace fixture {
+
+int scale(int v) { return v * 2; }
+
+float scale(float v) { return v * 2.0F; }
+
+template <typename T>
+T clamp_to(T v, T hi) {
+  return v > hi ? hi : v;
+}
+
+int overload_driver() {
+  const int a = scale(3);
+  const float b = scale(1.5F);
+  return a + clamp_to(static_cast<int>(b), 7);
+}
+
+}  // namespace fixture

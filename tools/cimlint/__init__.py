@@ -12,6 +12,16 @@ Grown from the single-file determinism lint of PR 1 into a small framework:
   * baseline.py   — checked-in grandfather list for intentional findings
   * output.py     — text / JSON / SARIF 2.1.0 renderers
   * engine.py     — file collection and (optionally parallel) scanning
+  * index.py      — cross-TU project index (content-hash cached) feeding
+                    the @project_rule packs and the flow-facts summaries
+  * cfg.py        — per-function control-flow graphs with RAII scope
+                    tracking (lock_guard/unique_lock release edges)
+  * dataflow.py   — generic worklist solver (RPO, loop-scoped widening,
+                    narrowing) over cfg.Cfg
+  * flowfacts.py  — per-function dataflow summaries: lock acquisition
+                    sites, calls-under-lock, RNG seed provenance proofs
+  * stats.py      — per-phase / per-rule wall-time accounting (--stats)
+  * rulesdoc.py   — RULES.md generated from the registry
   * cli.py        — the command-line front end behind tools/lint.py
 
 The public entry point is cli.main(); `python3 tools/lint.py --help` shows
@@ -20,4 +30,4 @@ the interface and `--explain <rule>` documents any individual rule.
 
 from __future__ import annotations
 
-__version__ = "2.0.0"
+__version__ = "3.0.0"

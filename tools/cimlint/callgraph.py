@@ -89,6 +89,38 @@ class CallGraph:
             return node.name  # macro: name is already the whole story
         return node.qual_name
 
+    def reachable_functions(self) -> list[
+            tuple[FunctionInfo, "FunctionInfo", tuple[str, ...]]]:
+        """(root, function, witness chain) for every function reachable
+        from a determinism root — the shortest chain, first root wins.
+
+        Each function is reported once (keyed on its definition site),
+        visiting roots in sorted order, so the witness set is bit-stable.
+        The seed-flow proof consumes this: every RNG seeding site inside
+        a reachable function owes a provenance proof.
+        """
+        out: list[tuple[FunctionInfo, FunctionInfo, tuple[str, ...]]] = []
+        claimed: set[tuple[str, int, str]] = set()
+        for root in self.roots():
+            seen: set[tuple[str, int, str]] = {self._key(root)}
+            queue: collections.deque[
+                tuple[FunctionInfo | MacroInfo, tuple[str, ...]]] = \
+                collections.deque([(root, (self._label(root),))])
+            while queue:
+                node, chain = queue.popleft()
+                key = self._key(node)
+                if isinstance(node, FunctionInfo) and key not in claimed:
+                    claimed.add(key)
+                    out.append((root, node, chain))
+                for callee in self.callees(node):
+                    ckey = self._key(callee)
+                    if ckey in seen:
+                        continue
+                    seen.add(ckey)
+                    queue.append((callee, chain + (self._label(callee),)))
+        out.sort(key=lambda t: (t[1].path, t[1].line))
+        return out
+
     def reachable_taints(self) -> list[TaintFinding]:
         """All (root, taint site) pairs with one witness chain each.
 

@@ -8,11 +8,14 @@ scripts/ci.sh can consume it directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import textwrap
+import time
 from pathlib import Path
 
-from . import __version__, baseline as baseline_mod, engine, output
+from . import (__version__, baseline as baseline_mod, engine, output,
+               rulesdoc, stats)
 from .rules import all_project_rules, all_rules
 
 
@@ -68,6 +71,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-index-cache", action="store_true",
                         help="rebuild the cross-TU index from scratch and "
                              "do not write a cache")
+    parser.add_argument("--stats", type=Path, metavar="FILE",
+                        help="write per-rule and per-phase wall-time JSON "
+                             "to FILE after the scan")
+    parser.add_argument("--write-rules-md", action="store_true",
+                        help="regenerate tools/cimlint/RULES.md from the "
+                             "rule registry and exit")
+    parser.add_argument("--check-rules-md", action="store_true",
+                        help="exit 2 if tools/cimlint/RULES.md is stale "
+                             "vs the rule registry")
     parser.add_argument("--list-rules", action="store_true",
                         help="list every registered rule and exit")
     parser.add_argument("--explain", metavar="RULE",
@@ -110,6 +122,16 @@ def main(argv: list[str] | None = None) -> int:
         return _list_rules()
     if args.explain:
         return _explain(args.explain)
+    if args.write_rules_md:
+        rulesdoc.write()
+        print(f"cimlint: wrote {rulesdoc.DEFAULT_PATH}")
+        return 0
+    if args.check_rules_md:
+        if rulesdoc.check():
+            return 0
+        print("cimlint: tools/cimlint/RULES.md is stale — regenerate with "
+              "tools/lint.py --write-rules-md", file=sys.stderr)
+        return 2
 
     root = args.root.resolve()
     try:
@@ -131,9 +153,15 @@ def main(argv: list[str] | None = None) -> int:
         index_cache = (args.index_cache if args.index_cache is not None
                        else root / engine.INDEX_CACHE_REL)
 
+    t_start = time.perf_counter()
     findings, scanned = engine.lint_tree(root, config, jobs=args.jobs,
                                          changed=changed,
                                          index_cache=index_cache)
+    if args.stats:
+        args.stats.parent.mkdir(parents=True, exist_ok=True)
+        args.stats.write_text(json.dumps(stats.GLOBAL.to_json(
+            scanned, time.perf_counter() - t_start), indent=2) + "\n",
+            encoding="utf-8")
     if scanned == 0 and changed is None:
         # A misconfigured --root must not silently pass the gate. (With
         # --changed-only an empty change set is a legitimate clean run.)

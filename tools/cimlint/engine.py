@@ -19,9 +19,11 @@ import concurrent.futures
 import dataclasses
 import os
 import subprocess
+import time
 import tomllib
 from pathlib import Path, PurePosixPath
 
+from . import stats
 from .findings import Finding
 from .index import build_index
 from .nolint import NolintIndex
@@ -112,15 +114,19 @@ def lint_tree(root: Path, config: LintConfig, jobs: int | None = None,
     if jobs is None:
         jobs = min(8, os.cpu_count() or 1)
     findings: list[Finding] = []
-    if jobs > 1 and len(scan_files) > 16:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-            for result in pool.map(_lint_one_star,
-                                   [(root, f, config) for f in scan_files],
-                                   chunksize=8):
-                findings.extend(result)
-    else:
-        for path in scan_files:
-            findings.extend(lint_one(root, path, config))
+    with stats.GLOBAL.phase("scan"):
+        if jobs > 1 and len(scan_files) > 16:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=jobs) as pool:
+                for result, worker_stats in pool.map(
+                        _lint_one_star,
+                        [(root, f, config) for f in scan_files],
+                        chunksize=8):
+                    findings.extend(result)
+                    stats.GLOBAL.merge(*worker_stats)
+        else:
+            for path in scan_files:
+                findings.extend(lint_one(root, path, config))
 
     project = run_project_rules(root, files, config, index_cache)
     if changed is not None:
@@ -131,8 +137,13 @@ def lint_tree(root: Path, config: LintConfig, jobs: int | None = None,
     return findings, len(scan_files)
 
 
-def _lint_one_star(args: tuple[Path, Path, LintConfig]) -> list[Finding]:
-    return lint_one(*args)
+def _lint_one_star(args: tuple[Path, Path, LintConfig]
+                   ) -> tuple[list[Finding], tuple[dict, dict, dict]]:
+    """Worker entry: findings plus this task's stats delta. The snapshot
+    is reset per task so a worker reused across map batches never ships
+    the same seconds twice."""
+    result = lint_one(*args)
+    return result, stats.GLOBAL.snapshot_and_reset()
 
 
 def run_project_rules(root: Path, files: list[Path], config: LintConfig,
@@ -158,21 +169,26 @@ def run_project_rules(root: Path, files: list[Path], config: LintConfig,
         return raw_cache[rel]
 
     findings: list[Finding] = []
-    for pr in all_project_rules().values():
-        for finding in pr.check(index, config):
-            if pr.suppressible:
-                nolint = nolint_cache.get(finding.path)
-                if nolint is None:
-                    nolint = NolintIndex(raw_text(finding.path))
-                    nolint_cache[finding.path] = nolint
-                if nolint.suppresses(finding.rule, finding.line):
-                    continue
-            if not finding.snippet:
-                lines = raw_text(finding.path).splitlines()
-                if 0 < finding.line <= len(lines):
-                    finding = dataclasses.replace(
-                        finding, snippet=lines[finding.line - 1])
-            findings.append(finding)
+    with stats.GLOBAL.phase("project"):
+        for pr in all_project_rules().values():
+            t0 = time.perf_counter()
+            kept = 0
+            for finding in pr.check(index, config):
+                if pr.suppressible:
+                    nolint = nolint_cache.get(finding.path)
+                    if nolint is None:
+                        nolint = NolintIndex(raw_text(finding.path))
+                        nolint_cache[finding.path] = nolint
+                    if nolint.suppresses(finding.rule, finding.line):
+                        continue
+                if not finding.snippet:
+                    lines = raw_text(finding.path).splitlines()
+                    if 0 < finding.line <= len(lines):
+                        finding = dataclasses.replace(
+                            finding, snippet=lines[finding.line - 1])
+                findings.append(finding)
+                kept += 1
+            stats.GLOBAL.add_rule(pr.name, time.perf_counter() - t0, kept)
     return findings
 
 

@@ -22,23 +22,31 @@ Everything is *over-approximate by construction* (DESIGN.md §13): calls
 resolve by name, not by type; a lambda's calls attribute to its
 enclosing function; an indirect call through `std::function` resolves to
 nothing (which is why pool entry points are themselves roots). The index
-is serialized to JSON and cached keyed on (mtime_ns, size), so a warm
-`--changed-only` run re-parses only edited files.
+is serialized to JSON and cached keyed on content hash (sha256 of the
+file bytes; mtime/size ride along as diagnostics only), so a warm
+`--changed-only` run re-parses only edited files — and a touched-but-
+unchanged file, a same-size edit, or CI clock skew can never serve a
+stale index.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import re
 from pathlib import Path, PurePosixPath
 
+from . import stats
+from .flowfacts import (AcquireSite, FlowFacts, LockedCall, SeedSite,
+                        extract_flow_facts)
 from .functions import FunctionBlock, function_blocks
 from .tokenizer import line_of, strip_comments_and_strings
 
 #: Bump to invalidate on-disk caches when the index shape or the
 #: extraction heuristics change.
-INDEX_VERSION = 1
+#: v2: content-hash cache keys + per-function FlowFacts summaries.
+INDEX_VERSION = 2
 
 ROOT_MARKER = "CIM_DETERMINISM_ROOT"
 
@@ -62,9 +70,12 @@ TAINT_PATTERNS: tuple[tuple[str, str, re.Pattern[str]], ...] = (
     ("unordered-container",
      "unordered container (iteration order is unspecified)",
      re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\b")),
-    ("unseeded-rng",
-     "non-deterministic RNG source",
-     re.compile(r"\bstd\s*::\s*random_device\b|(?<![\w:])s?rand\s*\(")),
+    # "unseeded-rng" (std::random_device / rand) used to live here as a
+    # blacklist pattern; the rng-unproven-seed provenance proof
+    # (rules_seedflow.py) replaced it — every reachable RNG seeding site
+    # must now *prove* its lineage instead of merely avoiding two known-
+    # bad sources. The per-file rng-random-device / rng-libc-rand rules
+    # still flag the sources themselves at their use sites.
     ("address-hash",
      "pointer value used as data (address-as-value hashing)",
      re.compile(r"\bstd\s*::\s*hash\s*<[^>]*\*|"
@@ -90,6 +101,7 @@ class FunctionInfo:
     is_root: bool    # CIM_DETERMINISM_ROOT in the signature region
     calls: tuple[str, ...]        # callee names, sorted, deduped
     taints: tuple[TaintSite, ...]
+    flow: FlowFacts  # dataflow summaries (locks held, seed provenance)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -393,7 +405,9 @@ def index_file(code: str, rel: str) -> FileIndex:
             is_root=bool(_ROOT_RE.search(
                 _signature_region(code, name_offset))),
             calls=_extract_calls(block.body),
-            taints=_scan_taints(block.body, block.start + 1, code)))
+            taints=_scan_taints(block.body, block.start + 1, code),
+            flow=extract_flow_facts(code, block.start, block.end,
+                                    name_offset, _extract_calls)))
     return FileIndex(functions=tuple(functions),
                      macros=_extract_macros(code, rel),
                      classes=_extract_classes(code, rel))
@@ -402,12 +416,39 @@ def index_file(code: str, rel: str) -> FileIndex:
 # ------------------------------------------------------- (de)serializing
 
 
+def _flow_to_json(flow: FlowFacts) -> dict:
+    return {
+        "requires": list(flow.requires),
+        "acquires": [[a.mutex, a.line, list(a.held)]
+                     for a in flow.acquires],
+        "locked_calls": [[c.callee, c.line, list(c.held)]
+                         for c in flow.locked_calls],
+        "seed_sites": [[s.line, s.rng, s.proven, s.detail]
+                       for s in flow.seed_sites],
+    }
+
+
+def _flow_from_json(data: dict) -> FlowFacts:
+    return FlowFacts(
+        requires=tuple(data["requires"]),
+        acquires=tuple(AcquireSite(mutex=a[0], line=a[1], held=tuple(a[2]))
+                       for a in data["acquires"]),
+        locked_calls=tuple(LockedCall(callee=c[0], line=c[1],
+                                      held=tuple(c[2]))
+                           for c in data["locked_calls"]),
+        seed_sites=tuple(SeedSite(line=s[0], rng=s[1], proven=s[2],
+                                  detail=s[3])
+                         for s in data["seed_sites"]),
+    )
+
+
 def _file_index_to_json(fi: FileIndex) -> dict:
     return {
         "functions": [{
             "name": f.name, "qual_name": f.qual_name, "path": f.path,
             "line": f.line, "is_root": f.is_root, "calls": list(f.calls),
             "taints": [dataclasses.asdict(t) for t in f.taints],
+            "flow": _flow_to_json(f.flow),
         } for f in fi.functions],
         "macros": [dataclasses.asdict(m) for m in fi.macros],
         "classes": [{
@@ -424,7 +465,8 @@ def _file_index_from_json(data: dict) -> FileIndex:
         functions=tuple(FunctionInfo(
             name=f["name"], qual_name=f["qual_name"], path=f["path"],
             line=f["line"], is_root=f["is_root"], calls=tuple(f["calls"]),
-            taints=tuple(TaintSite(**t) for t in f["taints"]))
+            taints=tuple(TaintSite(**t) for t in f["taints"]),
+            flow=_flow_from_json(f["flow"]))
             for f in data["functions"]),
         macros=tuple(MacroInfo(name=m["name"], path=m["path"],
                                line=m["line"], calls=tuple(m["calls"]))
@@ -442,9 +484,20 @@ def _file_index_from_json(data: dict) -> FileIndex:
 def build_index(root: Path, files: list[Path],
                 cache_path: Path | None = None) -> ProjectIndex:
     """Indexes `files` (absolute paths under `root`), reusing the JSON
-    cache at `cache_path` for files whose (mtime_ns, size) is unchanged.
+    cache at `cache_path` for files whose *content hash* is unchanged.
+
+    Reuse is decided on sha256 of the file bytes, never on (mtime, size)
+    alone: a `touch` without an edit still hits the cache, and a same-
+    size edit (or CI clock skew restoring an old mtime) can never serve
+    a stale whole-program index. mtime/size are stored as diagnostics.
     The cache is best-effort: unreadable/unwritable caches degrade to a
     full re-parse, never to an error."""
+    with stats.GLOBAL.phase("index"):
+        return _build_index(root, files, cache_path)
+
+
+def _build_index(root: Path, files: list[Path],
+                 cache_path: Path | None) -> ProjectIndex:
     cache: dict = {}
     if cache_path is not None and cache_path.is_file():
         try:
@@ -460,19 +513,21 @@ def build_index(root: Path, files: list[Path],
         rel = str(PurePosixPath(*path.relative_to(root).parts))
         try:
             stat = path.stat()
-            key = {"mtime_ns": stat.st_mtime_ns, "size": stat.st_size}
+            raw_bytes = path.read_bytes()
         except OSError:
             continue
+        digest = hashlib.sha256(raw_bytes).hexdigest()
+        key = {"mtime_ns": stat.st_mtime_ns, "size": stat.st_size,
+               "sha256": digest}
         entry = cache.get(rel)
-        if (entry is not None and entry.get("mtime_ns") == key["mtime_ns"]
-                and entry.get("size") == key["size"]):
+        if entry is not None and entry.get("sha256") == digest:
             try:
                 out_files[rel] = _file_index_from_json(entry["index"])
-                out_cache[rel] = entry
+                out_cache[rel] = {**entry, **key}
                 continue
             except (KeyError, TypeError):
                 pass  # malformed entry: re-parse
-        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw = raw_bytes.decode("utf-8", errors="replace")
         fi = index_file(strip_comments_and_strings(raw), rel)
         out_files[rel] = fi
         out_cache[rel] = {**key, "index": _file_index_to_json(fi)}

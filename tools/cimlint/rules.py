@@ -16,9 +16,11 @@ SARIF metadata. The two registries use one namespace so a NOLINT
 from __future__ import annotations
 
 import dataclasses
+import time
 from pathlib import Path, PurePosixPath
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from . import stats
 from .findings import Finding
 from .nolint import NolintIndex
 
@@ -143,8 +145,9 @@ def _load_rule_packs() -> None:
     # Importing the packs registers their rules (idempotent).
     from . import (  # noqa: F401  (import side effects)
         rules_anneal, rules_cim, rules_determinism, rules_header,
-        rules_layering, rules_locks, rules_rng, rules_simd,
-        rules_telemetry, rules_thread, rules_units,
+        rules_layering, rules_lockorder, rules_locks, rules_ranges,
+        rules_rng, rules_seedflow, rules_simd, rules_telemetry,
+        rules_thread, rules_units,
     )
 
 
@@ -176,10 +179,12 @@ def scan_file(ctx: FileContext) -> list[Finding]:
     nolint = NolintIndex(ctx.raw)
     findings: list[Finding] = []
     for r in rules.values():
-        for finding in r.check(ctx):
-            if r.suppressible and nolint.suppresses(r.name, finding.line):
-                continue
-            findings.append(finding)
+        t0 = time.perf_counter()
+        produced = list(r.check(ctx))
+        kept = [f for f in produced
+                if not (r.suppressible and nolint.suppresses(r.name, f.line))]
+        stats.GLOBAL.add_rule(r.name, time.perf_counter() - t0, len(kept))
+        findings.extend(kept)
     # The audit rule: malformed / unknown NOLINT markers. Not itself
     # suppressible — a NOLINT cannot vouch for another NOLINT. Project
     # rule names are valid targets too (their suppressions live in the

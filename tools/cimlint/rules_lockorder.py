@@ -1,0 +1,274 @@
+"""Static deadlock detection: global lock-acquisition-order cycles.
+
+Every function's FlowFacts (index.py / flowfacts.py) record, from the
+must-hold lock-set dataflow over its CFG, (a) each guard acquisition
+with the locks already held and (b) each call made under a held lock.
+This pack stitches those summaries into one global digraph over mutex
+names:
+
+  * a direct edge `a -> b` when some function acquires `b` while the
+    solver proves `a` is held (CIM_REQUIRES contributes the entry set);
+  * a transitive edge `a -> b` when a function holding `a` calls into a
+    (name-resolved) callee whose may-acquire closure contains `b`.
+
+A cycle in that graph is a deadlock two threads can realise by running
+the two witness paths concurrently — the schedule TSan would need luck
+to hit, proven without running anything. Mutex identity is by *name*
+(the same over-approximation the rest of the analyzer uses): two
+classes with a member both called `mu_` conflate, which can produce a
+false cycle but never hides a true one. Self-edges (re-acquiring the
+mutex you hold) are skipped for exactly that reason — name conflation
+makes them mostly noise, and the recursive-mutex case is legitimate.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Iterable
+
+from .callgraph import _in_node_dirs
+from .findings import Finding
+from .index import FunctionInfo, ProjectIndex
+from .rules import LintConfig, project_rule
+
+_FnKey = tuple[str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class _Witness:
+    text: str   # human-readable acquisition path
+    path: str   # file of the first step (where the finding anchors)
+    line: int
+
+
+def _build_graph(index: ProjectIndex
+                 ) -> dict[tuple[str, str], _Witness]:
+    """(held, acquired) -> first witness, deterministically."""
+    funcs = sorted((f for f in index.all_functions()
+                    if _in_node_dirs(f.path)),
+                   key=lambda f: (f.path, f.line))
+    by_name: dict[str, list[FunctionInfo]] = collections.defaultdict(list)
+    for f in funcs:
+        by_name[f.name].append(f)
+
+    def key(f: FunctionInfo) -> _FnKey:
+        return (f.path, f.line)
+
+    by_key = {key(f): f for f in funcs}
+    adj: dict[_FnKey, list[_FnKey]] = {}
+    direct: dict[_FnKey, dict[str, int]] = {}  # mutex -> acquire line
+    for f in funcs:
+        callees: list[_FnKey] = []
+        for name in f.calls:
+            callees.extend(key(g) for g in by_name.get(name, ()))
+        adj[key(f)] = sorted(set(callees))
+        acq: dict[str, int] = {}
+        for site in f.flow.acquires:
+            acq.setdefault(site.mutex, site.line)
+        direct[key(f)] = acq
+
+    # May-acquire closure over the call graph (fixpoint; the graph is
+    # small and the sets are over mutex names, so this converges fast).
+    may: dict[_FnKey, frozenset[str]] = {
+        k: frozenset(direct[k]) for k in adj}
+    changed = True
+    while changed:
+        changed = False
+        for k in adj:
+            merged = set(may[k])
+            for c in adj[k]:
+                merged |= may[c]
+            fs = frozenset(merged)
+            if fs != may[k]:
+                may[k] = fs
+                changed = True
+
+    def acquire_chain(start: _FnKey, mutex: str
+                      ) -> tuple[list[_FnKey], int] | None:
+        """Shortest call path from `start` to a direct acquirer of
+        `mutex`; returns (path of function keys, acquire line)."""
+        seen = {start}
+        queue: collections.deque[tuple[_FnKey, list[_FnKey]]] = \
+            collections.deque([(start, [start])])
+        while queue:
+            node, path = queue.popleft()
+            if mutex in direct[node]:
+                return path, direct[node][mutex]
+            for c in adj[node]:
+                if c in seen or mutex not in may[c]:
+                    continue
+                seen.add(c)
+                queue.append((c, path + [c]))
+        return None
+
+    edges: dict[tuple[str, str], _Witness] = {}
+    for f in funcs:
+        for site in f.flow.acquires:
+            for held in site.held:
+                if held == site.mutex:
+                    continue
+                edges.setdefault((held, site.mutex), _Witness(
+                    text=f"{f.qual_name} ({f.path}:{site.line}) acquires "
+                         f"'{site.mutex}' while holding '{held}'",
+                    path=f.path, line=site.line))
+        for call in f.flow.locked_calls:
+            for g in by_name.get(call.callee, ()):
+                gk = key(g)
+                for mutex in sorted(may[gk]):
+                    if mutex in call.held:
+                        continue
+                    for held in call.held:
+                        if (held, mutex) in edges:
+                            continue
+                        found = acquire_chain(gk, mutex)
+                        if found is None:
+                            continue
+                        chain, acq_line = found
+                        names = " -> ".join(
+                            by_key[k].qual_name for k in chain)
+                        last = by_key[chain[-1]]
+                        edges[(held, mutex)] = _Witness(
+                            text=f"{f.qual_name} ({f.path}:{call.line}) "
+                                 f"holds '{held}' and calls {names}, "
+                                 f"which acquires '{mutex}' "
+                                 f"({last.path}:{acq_line})",
+                            path=f.path, line=call.line)
+    return edges
+
+
+def _sccs(nodes: list[str], succ: dict[str, list[str]]) -> list[list[str]]:
+    """Tarjan SCCs, iterative, deterministic (sorted roots/successors)."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index_of[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = succ.get(node, [])
+            for j in range(pi, len(children)):
+                child = children[j]
+                if child not in index_of:
+                    work[-1] = (node, j + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                scc: list[str] = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    scc.append(top)
+                    if top == node:
+                        break
+                out.append(sorted(scc))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    out.sort()
+    return out
+
+
+def _cycle_through(scc: list[str], succ: dict[str, list[str]]
+                   ) -> list[str]:
+    """A shortest cycle inside `scc` starting at its smallest mutex."""
+    members = set(scc)
+    start = scc[0]
+    prev: dict[str, str] = {}
+    queue: collections.deque[str] = collections.deque([start])
+    seen = {start}
+    while queue:
+        node = queue.popleft()
+        for nxt in succ.get(node, []):
+            if nxt not in members:
+                continue
+            if nxt == start:
+                cycle = [start]
+                back = node
+                while back != start:
+                    cycle.append(back)
+                    back = prev[back]
+                if len(cycle) > 1:
+                    cycle.append(start)
+                    cycle.reverse()
+                    return cycle
+                continue
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            prev[nxt] = node
+            queue.append(nxt)
+    return []
+
+
+@project_rule(
+    "lock-order-cycle",
+    "two lock acquisition paths take the same mutexes in opposite order "
+    "(static deadlock)",
+    """Builds the global lock-acquisition-order graph from every
+function's lock-set dataflow: an edge `a -> b` means some path acquires
+`b` while provably holding `a` — directly (a scoped guard inside
+another guard's scope, or under a CIM_REQUIRES precondition) or through
+a call chain into a function whose may-acquire closure contains `b`.
+The RAII scope tracking in the CFG means a guard released at an
+iteration or scope boundary does not leak into the next acquisition,
+so the thread-pool worker loop's sleep lock does not fabricate an
+inverted edge.
+
+A cycle `a -> b -> a` is a deadlock two threads can realise by running
+the two witness paths concurrently; ThreadSanitizer only reports it if
+the schedule actually interleaves that way in a test run, while this
+proof needs no execution. The finding names every mutex on the cycle
+and one witness acquisition path per edge.
+
+Mutex identity is by name (over-approximate, DESIGN.md §13): rename one
+of the mutexes or add a NOLINT(lock-order-cycle) with a justification
+if two unrelated members conflate. The real fix for a true positive is
+a single global acquisition order — lock the coarser mutex first, or
+collapse the pair into one std::scoped_lock(a, b).""",
+)
+def _lock_order_cycle(index: ProjectIndex, _config: LintConfig
+                      ) -> Iterable[Finding]:
+    edges = _build_graph(index)
+    succ: dict[str, list[str]] = collections.defaultdict(list)
+    nodes: set[str] = set()
+    for a, b in edges:
+        succ[a].append(b)
+        nodes.update((a, b))
+    for a in succ:
+        succ[a].sort()
+
+    for scc in _sccs(sorted(nodes), succ):
+        if len(scc) < 2:
+            continue
+        cycle = _cycle_through(scc, succ)
+        if len(cycle) < 3:  # start -> ... -> start needs >= 2 mutexes
+            continue
+        arrows = " -> ".join(f"'{m}'" for m in cycle)
+        steps = []
+        for i in range(len(cycle) - 1):
+            witness = edges[(cycle[i], cycle[i + 1])]
+            steps.append(f"[path {i + 1}] {witness.text}")
+        anchor = edges[(cycle[0], cycle[1])]
+        yield Finding(
+            path=anchor.path, line=anchor.line, rule="lock-order-cycle",
+            message=f"lock acquisition order cycle {arrows}; "
+                    + "; ".join(steps))

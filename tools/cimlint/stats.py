@@ -1,0 +1,72 @@
+"""Wall-time accounting for `cimlint --stats`.
+
+Process-local accumulators: phases (index / cfg / solve / scan /
+project) and per-rule seconds. The engine merges the per-process maps
+returned by parallel scan workers into the coordinator's, so the JSON
+the CLI writes covers the whole run regardless of --jobs. scripts/ci.sh
+archives the file and warns (softly) when the total blows the latency
+budget — the dataflow analyses must not creep pre-commit latency up
+unnoticed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+
+class StatsRegistry:
+    def __init__(self) -> None:
+        self.phases: dict[str, float] = {}
+        self.rules: dict[str, float] = {}
+        self.rule_findings: dict[str, int] = {}
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = (self.phases.get(name, 0.0)
+                                 + time.perf_counter() - t0)
+
+    def add_rule(self, name: str, seconds: float, findings: int) -> None:
+        self.rules[name] = self.rules.get(name, 0.0) + seconds
+        self.rule_findings[name] = self.rule_findings.get(name, 0) + findings
+
+    def snapshot_and_reset(self) -> tuple[dict[str, float], dict[str, float],
+                                          dict[str, int]]:
+        """Hands the accumulated maps to the caller and starts afresh —
+        how a scan worker ships its share back to the coordinator
+        without double-counting across the batches it processes."""
+        snap = (self.phases, self.rules, self.rule_findings)
+        self.phases, self.rules, self.rule_findings = {}, {}, {}
+        return snap
+
+    def merge(self, phases: dict[str, float], rules: dict[str, float],
+              rule_findings: dict[str, int]) -> None:
+        for k, v in phases.items():
+            self.phases[k] = self.phases.get(k, 0.0) + v
+        for k, v in rules.items():
+            self.rules[k] = self.rules.get(k, 0.0) + v
+        for k, n in rule_findings.items():
+            self.rule_findings[k] = self.rule_findings.get(k, 0) + n
+
+    def to_json(self, scanned_files: int, total_seconds: float) -> dict:
+        return {
+            "schema_version": 1,
+            "scanned_files": scanned_files,
+            "total_seconds": round(total_seconds, 6),
+            "phases": {k: round(v, 6)
+                       for k, v in sorted(self.phases.items())},
+            "rules": {
+                name: {"seconds": round(self.rules[name], 6),
+                       "findings": self.rule_findings.get(name, 0)}
+                for name in sorted(self.rules)
+            },
+        }
+
+
+#: The registry the current process accumulates into. Worker processes
+#: get a fresh one per task batch and ship the maps back to the parent.
+GLOBAL = StatsRegistry()

@@ -13,12 +13,17 @@ beats three: SARIF 2.1.0 models exactly this as one document with one
 Inputs that do not exist are skipped with a note (clang-tidy is
 optional in the gcc-only container); an output with zero runs is an
 error so the CI artifact gate cannot be satisfied by an empty shell.
+Results appearing in more than one input (a re-run SARIF merged twice,
+overlapping analyzer legs) are deduplicated by a stable fingerprint —
+ruleId + path + a content hash of the flagged line, so the identity
+survives line-number drift from unrelated edits above the site.
 Exit status: 0 wrote the merged document, 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import re
 import sys
@@ -80,6 +85,62 @@ def clang_tidy_run(log_path: Path, root: Path) -> dict:
     }
 
 
+def _result_key(result: dict, file_lines) -> tuple[str, str, str]:
+    """(ruleId, path, content-hash-of-flagged-line) — the same
+    whitespace-insensitive identity cimlint's baseline uses, so a
+    finding keeps one fingerprint across line-number drift. Falls back
+    to reading the line from disk when the region carries no snippet."""
+    rule = result.get("ruleId", "")
+    loc = (result.get("locations") or [{}])[0]
+    phys = loc.get("physicalLocation", {})
+    uri = phys.get("artifactLocation", {}).get("uri", "")
+    region = phys.get("region", {})
+    snippet = (region.get("snippet") or {}).get("text")
+    if snippet is None:
+        line = region.get("startLine", 0)
+        lines = file_lines(uri)
+        snippet = lines[line - 1] if 0 < line <= len(lines) else ""
+    normalized = "".join(snippet.split())
+    digest = hashlib.sha256(
+        f"{rule}|{uri}|{normalized}".encode()).hexdigest()[:16]
+    return (rule, uri, digest)
+
+
+def dedupe_runs(runs: list[dict], root: Path) -> int:
+    """Drops results whose fingerprint already appeared in an earlier
+    run; returns the number dropped. Two same-content findings *within*
+    one run stay distinct (occurrence ordinals disambiguate them) — only
+    cross-run repeats of the same Nth occurrence are duplicates."""
+    cache: dict[str, list[str]] = {}
+
+    def file_lines(uri: str) -> list[str]:
+        if uri not in cache:
+            try:
+                cache[uri] = (root / uri).read_text(
+                    encoding="utf-8", errors="replace").splitlines()
+            except OSError:
+                cache[uri] = []
+        return cache[uri]
+
+    seen: set[tuple] = set()
+    dropped = 0
+    for run in runs:
+        ordinals: dict[tuple, int] = {}
+        kept = []
+        for result in run.get("results", []):
+            base = _result_key(result, file_lines)
+            ordinal = ordinals.get(base, 0)
+            ordinals[base] = ordinal + 1
+            key = (*base, ordinal)
+            if key in seen:
+                dropped += 1
+                continue
+            seen.add(key)
+            kept.append(result)
+        run["results"] = kept
+    return dropped
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("sarif", nargs="*", type=Path,
@@ -122,6 +183,11 @@ def main(argv: list[str] | None = None) -> int:
         print("merge_sarif: no runs to merge — refusing to write an empty "
               "document", file=sys.stderr)
         return 2
+
+    dropped = dedupe_runs(runs, args.root.resolve())
+    if dropped:
+        print(f"merge_sarif: dropped {dropped} duplicate result(s) "
+              "(same ruleId + path + flagged-line content)")
 
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps({
