@@ -35,7 +35,9 @@
 #include "geo/kdtree.hpp"
 #include "ising/pbm.hpp"
 #include "noise/sram_model.hpp"
+#include "tsp/dist_cache.hpp"
 #include "tsp/generator.hpp"
+#include "tsp/neighbors.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -509,6 +511,37 @@ void BM_KdTreeNearest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KdTreeNearest)->Arg(1000)->Arg(100000);
+
+// The reuse-layer smoke row: candidate-scan distance traffic of a
+// perturbed re-solve routed through the sharded DistanceCache. Each
+// iteration replays every city's k-nearest scan (the window-build /
+// exact-delta access pattern); after the first lap the pair population is
+// stable, so the steady-state hit rate — exported as the `hit_rate`
+// counter — is what the annealer's repeated exact-distance queries see.
+void BM_DistanceCacheRescan(benchmark::State& state) {
+  const auto inst = cim::tsp::generate_clustered(
+      static_cast<std::size_t>(state.range(0)), 8, 21);
+  const cim::tsp::NeighborLists neighbors(inst, 10);
+  cim::tsp::DistanceCache cache(inst);
+  for (auto _ : state) {
+    long long sum = 0;
+    for (std::size_t c = 0; c < inst.size(); ++c) {
+      const auto city = static_cast<cim::tsp::CityId>(c);
+      for (const cim::tsp::CityId cand : neighbors.of(city)) {
+        sum += cache.distance(city, cand);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  const auto& stats = cache.stats();
+  const double total = static_cast<double>(stats.hits + stats.misses);
+  state.counters["hit_rate"] =
+      total > 0.0 ? static_cast<double>(stats.hits) / total : 0.0;
+  state.counters["bytes_touched"] = static_cast<double>(stats.bytes_touched);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()) * 10);
+}
+BENCHMARK(BM_DistanceCacheRescan)->Arg(2000);
 
 /// Times the three swap-kernel variants head-to-head over identical swap
 /// sequences and writes BENCH_swap_kernel.json. Aborts if the variants'

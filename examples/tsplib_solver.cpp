@@ -5,6 +5,8 @@
 //
 //   ./tsplib_solver path/to/board.tsp --out tour.txt
 //   ./tsplib_solver --instance pcb3038 --p 3 --seed 7
+//   ./tsplib_solver --instance pcb442 --warm-start-dir .cim-store
+//     (re-solves of the same board start from the stored best tour)
 //   ./tsplib_solver --instance pcb442 --telemetry-out telem.json
 //     (writes telem.json + telem.trace.json — load the latter in
 //      chrome://tracing or ui.perfetto.dev)
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
     config.p_max = static_cast<std::uint32_t>(args.get_int("p", 3));
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     config.telemetry_out = args.get_or("telemetry-out", "");
+    config.warm_start_dir = args.get_or("warm-start-dir", "");
 
     cim::util::Table table(
         {"solver", "tour length", "vs reference", "host time"});
@@ -97,6 +100,12 @@ int main(int argc, char** argv) {
                   config.telemetry_out.c_str(),
                   cim::core::telemetry_trace_path(config.telemetry_out)
                       .c_str());
+    }
+
+    if (!config.warm_start_dir.empty()) {
+      std::printf("warm start: %s (store at %s)\n",
+                  outcome.warm_started ? "hit" : "cold",
+                  config.warm_start_dir.c_str());
     }
 
     if (const auto out = args.get("out"); out && !out->empty()) {

@@ -6,11 +6,13 @@
 #   fast (default) — release preset (warnings-as-errors): configure, build,
 #                    ctest (includes lint.determinism + lint.selftest),
 #                    the annealer suites re-run with the vector kernel
-#                    forced on and off, a CIMANNEAL_DISABLE_SIMD=ON
-#                    portable-fallback build of the kernel suites, then
-#                    cimlint (archiving lint.sarif), the GCC -fanalyzer
-#                    triage gate, clang-tidy, and the merged
-#                    analysis.sarif artifact.
+#                    forced on and off and with the partial-sum memo
+#                    disabled, a CIMANNEAL_DISABLE_SIMD=ON
+#                    portable-fallback build of the kernel suites, the
+#                    bench smoke runs (BENCH_swap_kernel + BENCH_reuse
+#                    with structural gates), then cimlint (archiving
+#                    lint.sarif), the GCC -fanalyzer triage gate,
+#                    clang-tidy, and the merged analysis.sarif artifact.
 #   full           — fast + the asan-ubsan and tsan presets over the whole
 #                    test suite. This is the gate every perf PR must pass.
 #
@@ -75,6 +77,14 @@ for vec in 1 0; do
     ctest --preset release -j "${jobs}" -R "${anneal_suites}"
 done
 
+# Same idea for the partial-sum memo: it defaults on, so the discovery run
+# above already covers the memoized path; this leg proves the recompute
+# path (the §9 oracle the memo must stay bit-identical to) stays green
+# when the environment disables it.
+echo "==== annealer suites with CIMANNEAL_MEMOIZE=0"
+CIMANNEAL_MEMOIZE=0 \
+  ctest --preset release -j "${jobs}" -R "${anneal_suites}"
+
 echo "==== portable-SIMD build (no AVX2/popcnt tiers compiled in)"
 # A separate tree with CIMANNEAL_DISABLE_SIMD=ON: every util::simd entry
 # point must fall back to the portable scalar bodies and still match the
@@ -98,7 +108,7 @@ if [[ -x "${bench_bin}" ]]; then
     CIMANNEAL_BENCH_OUT="${bench_out_dir}/BENCH_swap_kernel.json" \
     CIMANNEAL_BENCH_OUT_RUNTIME="${bench_out_dir}/BENCH_parallel_runtime.json" \
     CIMANNEAL_BENCH_OUT_TRACE="${bench_out_dir}/BENCH_telemetry.json" \
-    "${bench_bin}" --benchmark_filter='BM_SwapKernel.*'
+    "${bench_bin}" --benchmark_filter='BM_SwapKernel.*|BM_DistanceCacheRescan.*'
   require_artifact "${bench_out_dir}/BENCH_swap_kernel.json"
   # Structural gate on the swap-kernel report: the vector head-to-head
   # columns must be present and self-consistent — a bench refactor that
@@ -133,6 +143,44 @@ PY
   require_artifact "${bench_out_dir}/BENCH_telemetry.trace.json"
 else
   echo "bench_micro_kernels not built (CIMANNEAL_BUILD_BENCH=OFF?); skipping"
+fi
+
+echo "==== bench_reuse (warm-start / tiled-scan / memoization head-to-head)"
+reuse_bin="${repo_root}/build/release/bench/bench_reuse"
+if [[ -x "${reuse_bin}" ]]; then
+  mkdir -p "${bench_out_dir}"
+  CIMANNEAL_BENCH_SMOKE=1 \
+    CIMANNEAL_BENCH_OUT_REUSE="${bench_out_dir}/BENCH_reuse.json" \
+    "${reuse_bin}"
+  require_artifact "${bench_out_dir}/BENCH_reuse.json"
+  # Structural gate on the reuse report: the three sections must be
+  # present, the memoized run must have stayed bit-identical with real
+  # hits, and the warm start must beat the cold solve to the 1% gap by
+  # the DESIGN.md §16 acceptance margin (>= 2x).
+  python3 - "${bench_out_dir}/BENCH_reuse.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+ws = report["warm_start"]
+for key in ("cold_seconds", "warm_seconds", "cold_time_to_target_s",
+            "warm_time_to_target_s", "speedup_time_to_target"):
+    assert ws.get(key, 0) > 0, (key, ws)
+assert ws["speedup_time_to_target"] >= 2.0, \
+    f"warm start only {ws['speedup_time_to_target']:.2f}x to the 1% gap"
+scan = report["scan"]
+for key in ("tiled_ns_per_candidate", "untiled_ns_per_candidate",
+            "speedup_tiled_vs_untiled"):
+    assert scan.get(key, 0) > 0, (key, scan)
+memo = report["memoization"]
+assert memo["identical"] is True, memo
+assert memo["memo_hits"] > 0 and memo["memo_misses"] > 0, memo
+assert memo.get("speedup_memo_vs_recompute", 0) > 0, memo
+print("reuse report structure OK "
+      f"(warm {ws['speedup_time_to_target']:.1f}x to 1% gap, "
+      f"scan {scan['speedup_tiled_vs_untiled']:.1f}x, "
+      f"memo hit rate {100 * memo['memo_hit_rate']:.1f}%)")
+PY
+else
+  echo "bench_reuse not built (CIMANNEAL_BUILD_BENCH=OFF?); skipping"
 fi
 
 echo "==== cimlint (also registered as ctest 'lint.determinism'/'lint.selftest')"

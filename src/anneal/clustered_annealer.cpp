@@ -8,6 +8,7 @@
 #include "anneal/top_ring.hpp"
 #include "cim/bitslice.hpp"
 #include "cim/window.hpp"
+#include "tsp/dist_cache.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/random.hpp"
@@ -68,6 +69,19 @@ struct Slot {
   std::vector<std::uint8_t> spin_drop;
   std::vector<std::uint32_t> spin_add;
 
+  /// Partial-sum memo (DESIGN.md §16): memo_value[col] is the MAC of
+  /// `col` under the input state identified by memo_stamp[col] ==
+  /// input_gen. input_gen moves to a fresh value from the monotonic
+  /// gen_counter whenever anything a MAC reads changes — an active-row
+  /// entry, the spin settle cache, or the weights at write-back — and a
+  /// rejected swap *restores* the pre-swap generation after reverting, so
+  /// entries cached before the attempt stay valid across rejection
+  /// streaks. A stamp of 0 never matches (generations start at 1).
+  std::vector<std::int64_t> memo_value;
+  std::vector<std::uint64_t> memo_stamp;
+  std::uint64_t gen_counter = 1;
+  std::uint64_t input_gen = 1;
+
   std::uint32_t p() const { return static_cast<std::uint32_t>(members.size()); }
 };
 
@@ -77,6 +91,10 @@ struct SwapScratch {
   std::vector<std::uint8_t> input;   ///< dense input (legacy kernel)
   std::vector<std::uint32_t> rows;   ///< noisy row list (kSramSpin sparse)
   std::vector<std::uint64_t> words;  ///< noisy packed input (vector kernel)
+  /// Per-worker distance cache for the accepted-swap exact deltas (level
+  /// 0 only). Worker-owned, so the hot path never shares mutable state or
+  /// touches an atomic; stats are flushed once per level.
+  std::unique_ptr<tsp::DistanceCache> dcache;
 };
 
 /// Solves the member order of every cluster at one hierarchy level.
@@ -87,7 +105,8 @@ class LevelSolver {
               const std::vector<std::uint32_t>& ring,
               const noise::SramCellModel& cell_model,
               const noise::AnnealSchedule& schedule, util::Rng& rng,
-              std::uint64_t epoch_base)
+              std::uint64_t epoch_base,
+              const std::vector<std::uint64_t>* member_rank = nullptr)
       : config_(config),
         instance_(instance),
         hierarchy_(hierarchy),
@@ -95,7 +114,16 @@ class LevelSolver {
         cell_model_(cell_model),
         schedule_(schedule),
         rng_(rng),
-        epoch_base_(epoch_base) {
+        epoch_base_(epoch_base),
+        member_rank_(member_rank),
+        memoize_(config.memoize_partial_sums && config.sparse_swap_kernel) {
+    if (level_ == 0) {
+      // Level 0 asks for exact TSPLIB distances (sqrt + rounding) from the
+      // window builder, the accepted-swap deltas and the ring scorer; the
+      // serial cache covers the coordinating thread, workers carry their
+      // own in SwapScratch.
+      dcache_ = std::make_unique<tsp::DistanceCache>(instance_);
+    }
     build_slots(ring);
     build_windows();
     if (config_.vector_kernel) {
@@ -142,14 +170,27 @@ class LevelSolver {
   }
 
   /// Exact member-to-member distance (TSPLIB integer metric at level 0,
-  /// centroid Euclidean above).
+  /// centroid Euclidean above). The level-0 metric goes through `cache`
+  /// when one is supplied — the cache returns the exact instance values,
+  /// so cached and uncached runs are bit-identical.
   double exact_distance(const geo::Point& a, const geo::Point& b,
-                        std::uint32_t item_a, std::uint32_t item_b) const {
+                        std::uint32_t item_a, std::uint32_t item_b,
+                        tsp::DistanceCache* cache) const {
     if (level_ == 0) {
-      return static_cast<double>(
-          instance_.distance(item_a, item_b));
+      if (cache != nullptr) {
+        return static_cast<double>(cache->distance(item_a, item_b));
+      }
+      return static_cast<double>(instance_.distance(item_a, item_b));
     }
     return geo::euclidean(a, b);
+  }
+
+  /// Serial-path overload: routes through the coordinating thread's cache.
+  /// Only the window builder, the ring scorer and other single-threaded
+  /// callers may use it — workers pass their own cache explicitly.
+  double exact_distance(const geo::Point& a, const geo::Point& b,
+                        std::uint32_t item_a, std::uint32_t item_b) const {
+    return exact_distance(a, b, item_a, item_b, dcache_.get());
   }
 
   std::uint8_t quantise(double d) const {
@@ -208,9 +249,11 @@ class LevelSolver {
                           LevelStats& stats, HardwareActivity& hw);
 
   /// Exact (noise-free, unquantised) energy delta of the swap (i, j) that
-  /// has already been applied to slot.perm.
+  /// has already been applied to slot.perm. `cache` is the caller's
+  /// distance cache (per-worker in the colour-parallel mode), or nullptr.
   double exact_swap_delta_applied(Slot& slot, std::uint32_t i,
-                                  std::uint32_t j) const;
+                                  std::uint32_t j,
+                                  tsp::DistanceCache* cache) const;
 
   const AnnealerConfig& config_;
   const tsp::Instance& instance_;
@@ -220,6 +263,10 @@ class LevelSolver {
   const noise::AnnealSchedule& schedule_;
   util::Rng& rng_;
   std::uint64_t epoch_base_;
+  /// Warm-start ranks (per item id one level below `level_`), or nullptr
+  /// for the cold identity order. Slot perms initialise sorted by rank.
+  const std::vector<std::uint64_t>* member_rank_;
+  const bool memoize_;  ///< partial-sum memo active for the swap kernel
 
   std::vector<Slot> slots_;
   /// Vector-kernel spin arena (structure-of-arrays): every slot's packed
@@ -239,6 +286,10 @@ class LevelSolver {
   std::vector<LevelStats> worker_stats_;
   std::vector<HardwareActivity> worker_hw_;
   std::vector<SwapScratch> worker_scratch_;
+  /// Coordinating thread's distance cache (level 0 only): window build,
+  /// ring scoring and the single-threaded swap path. Mutable because the
+  /// const scoring paths (exact_ring_length) still warm it.
+  mutable std::unique_ptr<tsp::DistanceCache> dcache_;
 };
 
 void LevelSolver::build_slots(const std::vector<std::uint32_t>& ring) {
@@ -255,6 +306,16 @@ void LevelSolver::build_slots(const std::vector<std::uint32_t>& ring) {
     }
     slot.perm.resize(slot.members.size());
     for (std::uint32_t i = 0; i < slot.perm.size(); ++i) slot.perm[i] = i;
+    if (member_rank_ != nullptr) {
+      // Warm start: visit members in the order the warm tour visits them.
+      // Ranks are min-city-ranks of disjoint city sets, hence distinct —
+      // the sort is a strict total order and fully deterministic.
+      std::sort(slot.perm.begin(), slot.perm.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return (*member_rank_)[slot.members[a]] <
+                         (*member_rank_)[slot.members[b]];
+                });
+    }
     slot.prev = static_cast<std::uint32_t>((r + ring.size() - 1) %
                                            ring.size());
     slot.next = static_cast<std::uint32_t>((r + 1) % ring.size());
@@ -361,6 +422,12 @@ void LevelSolver::build_windows() {
     slot.storage->write(image);
     cell_base += static_cast<std::uint64_t>(slot.shape.weights()) *
                  config_.weight_bits;
+    if (memoize_) {
+      // Stamp 0 never matches a generation (they start at 1), so every
+      // column opens cold.
+      slot.memo_value.assign(slot.shape.cols(), 0);
+      slot.memo_stamp.assign(slot.shape.cols(), 0);
+    }
   }
 }
 
@@ -421,6 +488,11 @@ void LevelSolver::set_active_entry(Slot& slot, std::uint32_t idx,
                                    std::uint32_t row) {
   const std::uint32_t old = slot.active[idx];
   if (old == row) return;
+  // The MAC input changed: move the slot to a fresh input generation so
+  // memoized partial sums for the old state stop matching. The counter is
+  // monotonic and generations are never reused, so a stale stamp can
+  // never come back to life.
+  slot.input_gen = ++slot.gen_counter;
   slot.in_mask[old] = 0;
   slot.active[idx] = row;
   slot.in_mask[row] = 1;
@@ -448,6 +520,9 @@ void LevelSolver::refresh_spin_cache(Slot& slot, const SchedulePhase& phase,
     return;
   }
   ++stats.settle_cache_refreshes;
+  // New epoch → new settle pattern → the noisy MAC input changes even
+  // though the active rows did not.
+  slot.input_gen = ++slot.gen_counter;
   slot.spin_epoch = phase.epoch;
   const std::uint32_t rows = slot.shape.rows();
   // One settle decision per row for each written value (1 and 0).
@@ -524,6 +599,31 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
 
   std::int64_t before = 0;
   std::int64_t after = 0;
+  // Partial-sum memo front-end (DESIGN.md §16): answer a (column, input
+  // generation) pair from the slot's memo when the stamp matches, else run
+  // the real MAC and remember it. A hit still charges the full hardware
+  // read cost — the memo models skipping the host-side reduction, not the
+  // row reads — and is sound because a column already MAC'd under this
+  // generation has settled its lazy pseudo-read corruption (touched cells
+  // never re-draw), so the repeat MAC would be a pure function.
+  const auto memo_mac = [&](std::uint32_t col,
+                            auto&& compute) -> std::int64_t {
+    if (!memoize_) return compute();
+    if (slot.memo_stamp[col] == slot.input_gen) {
+      ++stats.memo_hits;
+      slot.storage->charge_repeat_mac();
+      return slot.memo_value[col];
+    }
+    const std::int64_t value = compute();
+    slot.memo_value[col] = value;
+    slot.memo_stamp[col] = slot.input_gen;
+    ++stats.memo_misses;
+    return value;
+  };
+  // Input generation to restore when the swap is rejected: the revert
+  // returns the slot to exactly this input state, so partial sums stamped
+  // with it stay valid across rejection streaks.
+  std::uint64_t pre_gen = 0;
   if (config_.vector_kernel) {
     // Bit-sliced vector kernel: the same 4-MAC schedule as the sparse
     // oracle, but the input travels as packed 64-cell words through
@@ -534,16 +634,31 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
     if (config_.noise == NoiseMode::kSramSpin) {
       refresh_spin_cache(slot, phase, stats);
     }
+    pre_gen = slot.input_gen;
     const auto words_pre = noisy_input_words(slot, scratch.words);
-    before = slot.storage->mac_packed(hw::ColIndex(i * p + k), words_pre) +
-             slot.storage->mac_packed(hw::ColIndex(j * p + l), words_pre);
+    before = memo_mac(i * p + k,
+                      [&] {
+                        return slot.storage->mac_packed(
+                            hw::ColIndex(i * p + k), words_pre);
+                      }) +
+             memo_mac(j * p + l, [&] {
+               return slot.storage->mac_packed(hw::ColIndex(j * p + l),
+                                               words_pre);
+             });
     std::swap(slot.perm[i], slot.perm[j]);
     set_active_entry(slot, i, i * p + slot.perm[i]);
     set_active_entry(slot, j, j * p + slot.perm[j]);
     refresh_boundary(slot);  // a single-slot ring neighbours itself
     const auto words_post = noisy_input_words(slot, scratch.words);
-    after = slot.storage->mac_packed(hw::ColIndex(i * p + l), words_post) +
-            slot.storage->mac_packed(hw::ColIndex(j * p + k), words_post);
+    after = memo_mac(i * p + l,
+                     [&] {
+                       return slot.storage->mac_packed(
+                           hw::ColIndex(i * p + l), words_post);
+                     }) +
+            memo_mac(j * p + k, [&] {
+              return slot.storage->mac_packed(hw::ColIndex(j * p + k),
+                                              words_post);
+            });
   } else if (config_.sparse_swap_kernel) {
     // Incremental sparse kernel: the persistent active-row list holds the
     // p + 2 set input bits; a swap moves two own entries and the boundary
@@ -553,18 +668,33 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
     if (config_.noise == NoiseMode::kSramSpin) {
       refresh_spin_cache(slot, phase, stats);
     }
+    pre_gen = slot.input_gen;
     // Two MACs with the pre-swap spin state (Fig. 5(a), cycles 1–2).
     const auto rows_pre = noisy_input_rows(slot, scratch.rows);
-    before = slot.storage->mac_sparse(hw::ColIndex(i * p + k), rows_pre) +
-             slot.storage->mac_sparse(hw::ColIndex(j * p + l), rows_pre);
+    before = memo_mac(i * p + k,
+                      [&] {
+                        return slot.storage->mac_sparse(
+                            hw::ColIndex(i * p + k), rows_pre);
+                      }) +
+             memo_mac(j * p + l, [&] {
+               return slot.storage->mac_sparse(hw::ColIndex(j * p + l),
+                                               rows_pre);
+             });
     // Apply the swap, two MACs with the post-swap state (cycles 3–4).
     std::swap(slot.perm[i], slot.perm[j]);
     set_active_entry(slot, i, i * p + slot.perm[i]);
     set_active_entry(slot, j, j * p + slot.perm[j]);
     refresh_boundary(slot);  // a single-slot ring neighbours itself
     const auto rows_post = noisy_input_rows(slot, scratch.rows);
-    after = slot.storage->mac_sparse(hw::ColIndex(i * p + l), rows_post) +
-            slot.storage->mac_sparse(hw::ColIndex(j * p + k), rows_post);
+    after = memo_mac(i * p + l,
+                     [&] {
+                       return slot.storage->mac_sparse(
+                           hw::ColIndex(i * p + l), rows_post);
+                     }) +
+            memo_mac(j * p + k, [&] {
+              return slot.storage->mac_sparse(hw::ColIndex(j * p + k),
+                                              rows_post);
+            });
   } else {
     // Dense reference baseline (ablation + micro-bench): rebuild the full
     // input vector and scan every row per MAC.
@@ -617,11 +747,21 @@ bool LevelSolver::attempt_swap(Slot& slot, const SchedulePhase& phase,
     if (config_.sparse_swap_kernel) {
       set_active_entry(slot, i, i * p + slot.perm[i]);
       set_active_entry(slot, j, j * p + slot.perm[j]);
+      // On a single-slot ring the boundary rows follow this slot's own
+      // perm, so re-sync them now (a no-op on multi-slot rings, whose
+      // neighbours did not move). Only then is the input state exactly
+      // the pre-swap one and the generation may be restored — partial
+      // sums memoized before the attempt become valid again.
+      refresh_boundary(slot);
+      slot.input_gen = pre_gen;
     }
     return false;
   }
   ++stats.swaps_accepted;
-  if (exact_swap_delta_applied(slot, i, j) > 1e-9) {
+  if (level_ == 0 && scratch.dcache == nullptr) {
+    scratch.dcache = std::make_unique<tsp::DistanceCache>(instance_);
+  }
+  if (exact_swap_delta_applied(slot, i, j, scratch.dcache.get()) > 1e-9) {
     ++stats.uphill_accepted;
   }
   return true;
@@ -674,13 +814,16 @@ void LevelSolver::run_color_parallel(std::uint8_t color,
     stats.settle_cache_hits += worker_stats_[t].settle_cache_hits;
     stats.settle_cache_refreshes += worker_stats_[t].settle_cache_refreshes;
     stats.noise_draws += worker_stats_[t].noise_draws;
+    stats.memo_hits += worker_stats_[t].memo_hits;
+    stats.memo_misses += worker_stats_[t].memo_misses;
     hw.swap_attempts += worker_hw_[t].swap_attempts;
     hw.dataflow += worker_hw_[t].dataflow;
   }
 }
 
-double LevelSolver::exact_swap_delta_applied(Slot& slot, std::uint32_t i,
-                                             std::uint32_t j) const {
+double LevelSolver::exact_swap_delta_applied(
+    Slot& slot, std::uint32_t i, std::uint32_t j,
+    tsp::DistanceCache* cache) const {
   // The swap is already applied to slot.perm; evaluate the exact energy
   // difference it produced: local energies of the swapped orders after
   // minus before (the noise-free counterpart of the 4-MAC comparison).
@@ -692,20 +835,22 @@ double LevelSolver::exact_swap_delta_applied(Slot& slot, std::uint32_t i,
     const std::uint32_t item = slot.members[member];
     if (order == 0) {
       const std::uint32_t b = prev.perm.back();
-      acc += exact_distance(prev.points[b], pt, prev.members[b], item);
+      acc += exact_distance(prev.points[b], pt, prev.members[b], item, cache);
     } else {
       const std::uint32_t m = slot.perm[order - 1];
       if (m != member) {
-        acc += exact_distance(slot.points[m], pt, slot.members[m], item);
+        acc += exact_distance(slot.points[m], pt, slot.members[m], item,
+                              cache);
       }
     }
     if (order + 1 == slot.p()) {
       const std::uint32_t b = next.perm.front();
-      acc += exact_distance(next.points[b], pt, next.members[b], item);
+      acc += exact_distance(next.points[b], pt, next.members[b], item, cache);
     } else {
       const std::uint32_t m = slot.perm[order + 1];
       if (m != member) {
-        acc += exact_distance(slot.points[m], pt, slot.members[m], item);
+        acc += exact_distance(slot.points[m], pt, slot.members[m], item,
+                              cache);
       }
     }
     return acc;
@@ -754,7 +899,12 @@ LevelStats LevelSolver::run(HardwareActivity& hw,
     phase.epoch += epoch_base_;
 
     if (phase.write_back) {
-      for (Slot& slot : slots_) slot.storage->write_back(phase);
+      for (Slot& slot : slots_) {
+        slot.storage->write_back(phase);
+        // Weights changed (golden restore + fresh corruption pattern):
+        // every memoized partial sum is stale.
+        slot.input_gen = ++slot.gen_counter;
+      }
       // All arrays refresh in parallel; rows within an array are written
       // sequentially.
       hw.writeback_cycles += max_rows;
@@ -836,6 +986,22 @@ LevelStats LevelSolver::run(HardwareActivity& hw,
   for (const Slot& slot : slots_) {
     hw.storage += slot.storage->counters();
   }
+  // Collect the level's distance-cache traffic: the coordinating thread's
+  // cache (window build + ring scoring + serial swap path) plus every
+  // worker's private cache. A LevelSolver lives for exactly one level, so
+  // the cumulative cache stats are the level totals.
+  const auto flush_dcache =
+      [&stats](const std::unique_ptr<tsp::DistanceCache>& cache) {
+        if (!cache) return;
+        stats.dcache_hits += cache->stats().hits;
+        stats.dcache_misses += cache->stats().misses;
+        stats.dcache_bytes += cache->stats().bytes_touched;
+      };
+  flush_dcache(dcache_);
+  flush_dcache(scratch_.dcache);
+  for (const SwapScratch& scratch : worker_scratch_) {
+    flush_dcache(scratch.dcache);
+  }
 
   if constexpr (telemetry::kEnabled) {
     // Flush the level totals into the monotonic registry counters.
@@ -847,6 +1013,11 @@ LevelStats LevelSolver::run(HardwareActivity& hw,
     telem.counter("anneal.settle_cache_refreshes")
         .add(stats.settle_cache_refreshes);
     telem.counter("anneal.noise_draws").add(stats.noise_draws);
+    telem.counter("anneal.memo_hits").add(stats.memo_hits);
+    telem.counter("anneal.memo_misses").add(stats.memo_misses);
+    telem.counter("anneal.dcache_hits").add(stats.dcache_hits);
+    telem.counter("anneal.dcache_misses").add(stats.dcache_misses);
+    telem.counter("anneal.dcache_bytes").add(stats.dcache_bytes);
     telem.counter("anneal.update_cycles").add(stats.update_cycles);
     telem.counter("anneal.levels_solved").add(1);
   }
@@ -942,14 +1113,61 @@ AnnealResult ClusteredAnnealer::solve(const tsp::Instance& instance) const {
   const noise::AnnealSchedule schedule(config_.schedule);
   util::Rng rng(util::hash_combine(config_.seed, 0xA22EA1));
 
-  // Order the top level's super-clusters into a ring.
-  const std::size_t top = hierarchy.depth() - 1;
-  std::vector<geo::Point> top_centroids;
-  top_centroids.reserve(hierarchy.top().clusters.size());
-  for (const cluster::Cluster& c : hierarchy.top().clusters) {
-    top_centroids.push_back(c.centroid);
+  // Warm start (src/store): rank every city by its position in the given
+  // tour, propagate min-ranks up the hierarchy, and let ranks drive the
+  // initial ring and member orders instead of the cold construction.
+  const bool warm = !config_.initial_order.empty();
+  std::vector<std::uint64_t> city_rank;
+  std::vector<std::vector<std::uint64_t>> level_rank;
+  if (warm) {
+    CIM_REQUIRE(config_.initial_order.size() == instance.size(),
+                "initial_order must be a permutation of the instance's "
+                "cities");
+    std::vector<std::uint8_t> seen(instance.size(), 0);
+    city_rank.assign(instance.size(), 0);
+    for (std::size_t pos = 0; pos < config_.initial_order.size(); ++pos) {
+      const tsp::CityId city = config_.initial_order[pos];
+      CIM_REQUIRE(city < instance.size() && !seen[city],
+                  "initial_order must be a permutation of the instance's "
+                  "cities");
+      seen[city] = 1;
+      city_rank[city] = pos;
+    }
+    // level_rank[k][c] = min rank over the cities of cluster c at level k
+    // (distinct across clusters of a level: their city sets are disjoint).
+    level_rank.resize(hierarchy.depth());
+    for (std::size_t k = 0; k < hierarchy.depth(); ++k) {
+      const auto& clusters = hierarchy.level(k).clusters;
+      level_rank[k].resize(clusters.size());
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        std::uint64_t best = ~0ULL;
+        for (const std::uint32_t m : clusters[c].members) {
+          best = std::min(best, k == 0 ? city_rank[m] : level_rank[k - 1][m]);
+        }
+        level_rank[k][c] = best;
+      }
+    }
   }
-  std::vector<std::uint32_t> ring = order_top_ring(top_centroids);
+
+  // Order the top level's super-clusters into a ring: by warm-tour rank
+  // when warm-starting, by the centroid space-filling heuristic otherwise.
+  const std::size_t top = hierarchy.depth() - 1;
+  std::vector<std::uint32_t> ring;
+  if (warm) {
+    ring.resize(hierarchy.top().clusters.size());
+    for (std::uint32_t c = 0; c < ring.size(); ++c) ring[c] = c;
+    std::sort(ring.begin(), ring.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return level_rank[top][a] < level_rank[top][b];
+              });
+  } else {
+    std::vector<geo::Point> top_centroids;
+    top_centroids.reserve(hierarchy.top().clusters.size());
+    for (const cluster::Cluster& c : hierarchy.top().clusters) {
+      top_centroids.push_back(c.centroid);
+    }
+    ring = order_top_ring(top_centroids);
+  }
 
   // Hierarchical annealing: descend level-by-level. The same physical
   // arrays are rewritten per level, so cell ids restart at 0 while the
@@ -957,8 +1175,14 @@ AnnealResult ClusteredAnnealer::solve(const tsp::Instance& instance) const {
   // levels on the same spatial variation).
   std::uint64_t epoch_base = 0;
   for (std::size_t k = top + 1; k-- > 0;) {
+    const std::vector<std::uint64_t>* member_rank = nullptr;
+    if (warm) {
+      // A level-k slot's members are items one level below: cities at
+      // level 0, level-(k-1) clusters above.
+      member_rank = k == 0 ? &city_rank : &level_rank[k - 1];
+    }
     LevelSolver solver(config_, instance, hierarchy, k, ring, cell_model,
-                       schedule, rng, epoch_base);
+                       schedule, rng, epoch_base, member_rank);
     std::vector<double>* trace =
         (config_.record_trace && k == 0) ? &result.trace : nullptr;
     result.levels.push_back(solver.run(result.hw, trace));

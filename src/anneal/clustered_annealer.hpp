@@ -69,8 +69,25 @@ struct AnnealerConfig {
   /// the determinism oracle; requires sparse_swap_kernel. Defaults to the
   /// CIMANNEAL_VECTOR_KERNEL env flag so CI can force either path.
   bool vector_kernel = default_vector_kernel();
+  /// Per-window partial-sum memoization (DESIGN.md §16): each slot keeps
+  /// the last MAC sum per column stamped with an input-state generation,
+  /// so a repeated (column, input) pair — common during rejection streaks,
+  /// where the reverted spin state recurs — returns the remembered sum and
+  /// charges the hardware counters without re-reducing. Bit-identical to
+  /// the unmemoized sparse/packed kernels (values, noise evolution,
+  /// StorageCounters), which stay the oracle; the dense ablation kernel
+  /// ignores it. Defaults from CIMANNEAL_MEMOIZE (unset → on); effective
+  /// only with sparse_swap_kernel.
+  bool memoize_partial_sums = default_memoize();
   std::uint32_t weight_bits = 8;
   std::uint64_t seed = 1;
+  /// Optional warm start (src/store): a full city tour from a previous
+  /// solve of the same (or a perturbed) instance. When non-empty it must
+  /// be a valid permutation of the instance's cities; the top ring and
+  /// every slot's initial member order then follow these ranks instead of
+  /// the cold construction. Deterministic for a given order + seed, but
+  /// not bit-identical to a cold solve.
+  std::vector<tsp::CityId> initial_order;
   /// Record the level-0 ring length after every iteration (costly; for
   /// convergence studies on small instances).
   bool record_trace = false;
@@ -97,6 +114,17 @@ struct LevelStats {
   std::size_t settle_cache_hits = 0;
   std::size_t settle_cache_refreshes = 0;
   std::size_t noise_draws = 0;
+  /// Partial-sum memo behaviour: swap-kernel MACs answered from the
+  /// per-slot column memo vs. real reductions that (re)filled it. Both 0
+  /// when memoization is off or the dense kernel runs.
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  /// Distance-cache behaviour of the exact-distance paths (window build,
+  /// accepted-swap exact deltas, ring-length scoring) and the bytes of
+  /// cache entries touched — the reuse-layer traffic observable.
+  std::uint64_t dcache_hits = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t dcache_bytes = 0;
   double ring_length_after = 0.0; ///< expanded ring length (level metric)
 };
 

@@ -1,11 +1,19 @@
 #include "anneal/kernel_config.hpp"
 
+#include <cstdlib>
+
 #include "util/args.hpp"
 
 namespace cim::anneal {
 
 bool default_vector_kernel() {
   return util::Args::env_flag("CIMANNEAL_VECTOR_KERNEL");
+}
+
+bool default_memoize() {
+  const char* value = std::getenv("CIMANNEAL_MEMOIZE");
+  if (value == nullptr || *value == '\0') return true;
+  return util::Args::env_flag("CIMANNEAL_MEMOIZE");
 }
 
 }  // namespace cim::anneal

@@ -14,4 +14,10 @@ namespace cim::anneal {
 /// "off"/"no" → scalar kernel).
 bool default_vector_kernel();
 
+/// Default for the annealers' `memoize_partial_sums` config field: the
+/// CIMANNEAL_MEMOIZE environment flag, with the opposite resting state —
+/// unset/empty means ON (memoization is the production path; CI forces
+/// the recompute ablation with CIMANNEAL_MEMOIZE=0).
+bool default_memoize();
+
 }  // namespace cim::anneal

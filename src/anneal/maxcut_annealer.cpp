@@ -79,11 +79,35 @@ MaxCutResult MaxCutAnnealer::solve(
   MaxCutResult result;
   result.color_count = color_count;
   result.sweeps = schedule.total_iterations();
-  result.spins = ising::random_spins(n, rng);
+  if (!config_.initial_spins.empty()) {
+    CIM_REQUIRE(config_.initial_spins.size() == n,
+                "initial_spins must have one spin per vertex");
+    for (const ising::Spin s : config_.initial_spins) {
+      CIM_REQUIRE(s == 1 || s == -1, "initial_spins entries must be ±1");
+    }
+    result.spins = config_.initial_spins;
+  } else {
+    result.spins = ising::random_spins(n, rng);
+  }
 
   std::vector<std::uint8_t> sigma_plus(n);
   const std::vector<std::uint8_t> ones(n, 1);
   std::vector<std::int64_t> row_sum(n, 0);
+
+  // Per-vertex partial-sum memo (DESIGN.md §16): the combined
+  // (MAC+ − MAC−)(σ+) per column, stamped with an input-state generation
+  // that advances on any flip or write-back. The per-sweep σ+ rebuild
+  // copies the unchanged spin state and therefore does not advance it.
+  // Sound because FastStorage weights are pure between write-backs.
+  const bool memoize = config_.memoize_partial_sums;
+  std::vector<std::int64_t> memo_value;
+  std::vector<std::uint64_t> memo_stamp;  // 0 never matches (gens start at 1)
+  std::uint64_t gen_counter = 1;
+  std::uint64_t input_gen = 1;
+  if (memoize) {
+    memo_value.assign(n, 0);
+    memo_stamp.assign(n, 0);
+  }
 
   // Vector-kernel state: σ+ and the all-ones vector as packed 64-cell
   // words, the flip sites updated bit-for-bit with sigma_plus.
@@ -116,6 +140,8 @@ MaxCutResult MaxCutAnnealer::solve(
     if (phase.write_back) {
       pos_storage->write_back(phase);
       neg_storage->write_back(phase);
+      // Weights changed: every memoized field value is stale.
+      input_gen = ++gen_counter;
       refresh_row_sums();
       result.update_cycles += rows;  // sequential row write
     }
@@ -134,14 +160,28 @@ MaxCutResult MaxCutAnnealer::solve(
       for (std::uint32_t v = 0; v < n; ++v) {
         if (colors[v] != color) continue;
         // field_v = Σ_j w_vj σ_j = 2·(MAC+ − MAC−)(σ+) − row_sum.
-        const std::int64_t mac =
-            config_.vector_kernel
-                ? pos_storage->mac_packed(hw::ColIndex(v),
-                                          sigma_packed.words()) -
-                      neg_storage->mac_packed(hw::ColIndex(v),
-                                              sigma_packed.words())
-                : pos_storage->mac(hw::ColIndex(v), sigma_plus) -
-                      neg_storage->mac(hw::ColIndex(v), sigma_plus);
+        std::int64_t mac;
+        if (memoize && memo_stamp[v] == input_gen) {
+          // Repeat (column, σ+) pair: the hardware still reads both
+          // planes in full; only the host-side reduction is skipped.
+          pos_storage->charge_repeat_mac();
+          neg_storage->charge_repeat_mac();
+          mac = memo_value[v];
+          ++result.memo_hits;
+        } else {
+          mac = config_.vector_kernel
+                    ? pos_storage->mac_packed(hw::ColIndex(v),
+                                              sigma_packed.words()) -
+                          neg_storage->mac_packed(hw::ColIndex(v),
+                                                  sigma_packed.words())
+                    : pos_storage->mac(hw::ColIndex(v), sigma_plus) -
+                          neg_storage->mac(hw::ColIndex(v), sigma_plus);
+          if (memoize) {
+            memo_value[v] = mac;
+            memo_stamp[v] = input_gen;
+            ++result.memo_misses;
+          }
+        }
         const std::int64_t field = 2 * mac - row_sum[v];
 
         ising::Spin next = result.spins[v];
@@ -178,6 +218,8 @@ MaxCutResult MaxCutAnnealer::solve(
             }
           }
           ++result.flips;
+          // σ+ changed: memoized fields of every vertex are stale.
+          input_gen = ++gen_counter;
         }
       }
       ++result.update_cycles;  // all spins of a colour in one cycle
@@ -205,6 +247,8 @@ MaxCutResult MaxCutAnnealer::solve(
     telem.counter("maxcut.solves").add(1);
     telem.counter("maxcut.sweeps").add(result.sweeps);
     telem.counter("maxcut.flips").add(result.flips);
+    telem.counter("maxcut.memo_hits").add(result.memo_hits);
+    telem.counter("maxcut.memo_misses").add(result.memo_misses);
     telem.counter("maxcut.update_cycles").add(result.update_cycles);
     telem.gauge("maxcut.last_best_cut")
         .set(static_cast<double>(result.best_cut));

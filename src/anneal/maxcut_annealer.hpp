@@ -34,8 +34,21 @@ struct MaxCutConfig {
   /// WeightStorage::mac_packed. Bit-identical to the dense scalar path
   /// (cuts, flip sequence, storage counters), which stays the oracle.
   bool vector_kernel = default_vector_kernel();
+  /// Per-vertex partial-sum memoization (DESIGN.md §16): the combined
+  /// (MAC+ − MAC−)(σ+) of a vertex is remembered under an input-state
+  /// generation that advances on any spin flip or write-back, so sweeps
+  /// over a frozen neighbourhood skip the host-side reduction while still
+  /// charging the hardware read cost. Bit-identical to the unmemoized
+  /// paths (cuts, flip sequence, StorageCounters). Defaults from
+  /// CIMANNEAL_MEMOIZE (unset → on).
+  bool memoize_partial_sums = default_memoize();
   std::uint32_t weight_bits = 8;
   std::uint64_t seed = 1;
+  /// Optional warm start (src/store): a full ±1 spin assignment from a
+  /// previous solve. When non-empty it must have one spin per vertex;
+  /// it replaces the random initial assignment. Deterministic for a given
+  /// assignment + seed, but not bit-identical to a cold solve.
+  std::vector<ising::Spin> initial_spins;
   bool record_trace = false;
 };
 
@@ -46,6 +59,10 @@ struct MaxCutResult {
   std::size_t sweeps = 0;
   std::size_t flips = 0;
   std::size_t color_count = 0;  ///< chromatic classes (parallel groups)
+  /// Field evaluations answered from the per-vertex memo vs. real MAC
+  /// pairs that (re)filled it. Both 0 when memoization is off.
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
   std::uint64_t update_cycles = 0;
   hw::StorageCounters storage;
   std::vector<long long> trace;  ///< cut after each sweep (optional)

@@ -111,6 +111,21 @@ class WeightStorage {
                                 std::uint32_t words_per_input,
                                 std::span<std::int64_t> out);
 
+  /// Charges the hardware cost of re-issuing a MAC whose value the caller
+  /// already holds (the annealer's partial-sum memo). The counters model
+  /// hardware row reads, so a memoized repeat still pays the full
+  /// rows()·bits read like every mac() variant; the host-side reduction is
+  /// what the memo skips. Sound only for a (column, input) pair already
+  /// MAC'd since the last write_back — by then any lazy pseudo-read
+  /// corruption of the column has settled (touched cells never re-draw),
+  /// so the repeat MAC would have been a pure function returning the
+  /// memoized value and flipping nothing.
+  void charge_repeat_mac() {
+    ++counters_.macs;
+    counters_.mac_bit_reads +=
+        static_cast<std::uint64_t>(rows()) * weight_bits();
+  }
+
   /// Current (possibly corrupted) weight value — for tests and debugging.
   virtual std::uint8_t weight(RowIndex row, ColIndex col) const = 0;
 

@@ -3,6 +3,7 @@
 #include "core/report.hpp"
 #include "heuristics/or_opt.hpp"
 #include "heuristics/two_opt.hpp"
+#include "tsp/fingerprint.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
 #include "util/timer.hpp"
@@ -63,16 +64,30 @@ SolveOutcome CimSolver::solve(const tsp::Instance& instance) const {
   SolveOutcome outcome;
   const util::Timer timer;
 
+  // Warm start: seed the annealer from the persistent store when a valid
+  // tour for this instance fingerprint exists (DESIGN.md §16).
+  std::optional<store::WarmStartStore> warm_store;
+  std::string fingerprint;
+  anneal::AnnealerConfig base = annealer_config();
+  if (!config_.warm_start_dir.empty()) {
+    warm_store.emplace(config_.warm_start_dir);
+    fingerprint = tsp::instance_fingerprint(instance);
+    if (auto order = warm_store->load_tour(fingerprint, instance.size())) {
+      base.initial_order = std::move(*order);
+      outcome.warm_started = true;
+    }
+  }
+
   if (config_.replicas > 1) {
     anneal::EnsembleConfig ensemble_config;
-    ensemble_config.base = annealer_config();
+    ensemble_config.base = base;
     ensemble_config.replicas = config_.replicas;
     const anneal::ReplicaEnsemble ensemble(ensemble_config);
     auto ensemble_result = ensemble.solve(instance);
     outcome.replica_lengths = std::move(ensemble_result.replica_lengths);
     outcome.anneal = std::move(ensemble_result.best);
   } else {
-    const anneal::ClusteredAnnealer annealer(annealer_config());
+    const anneal::ClusteredAnnealer annealer(base);
     outcome.anneal = annealer.solve(instance);
   }
   outcome.hardware_length = outcome.anneal.length;
@@ -92,6 +107,14 @@ SolveOutcome CimSolver::solve(const tsp::Instance& instance) const {
     outcome.tour_length = refined.final_length;
   }
   outcome.solve_wall_seconds = timer.seconds();
+
+  if (warm_store) {
+    const auto order = outcome.anneal.tour.order();
+    warm_store->store_tour(
+        fingerprint, std::span<const tsp::CityId>(order.data(), order.size()),
+        outcome.tour_length);
+    outcome.warm_start = warm_store->stats();
+  }
 
   if (config_.compute_reference) {
     const heuristics::Reference ref = heuristics::compute_reference(instance);

@@ -22,6 +22,7 @@
 #include "anneal/ensemble.hpp"
 #include "heuristics/reference.hpp"
 #include "ppa/report.hpp"
+#include "store/warm_start.hpp"
 #include "tsp/instance.hpp"
 
 namespace cim::core {
@@ -64,6 +65,14 @@ struct SolverConfig {
   /// CPU post-refinement of the hardware tour (see PostRefine).
   PostRefine post_refine = PostRefine::kNone;
 
+  /// Non-empty → persistent warm-start store directory (DESIGN.md §16).
+  /// Before the solve, the instance fingerprint is looked up and any
+  /// stored best tour seeds the annealer's initial ring/slot order; after
+  /// the solve, the final tour is written back when it improves on the
+  /// stored score. A corrupt or version-mismatched store entry degrades
+  /// to a cold start.
+  std::string warm_start_dir;
+
   /// Non-empty → after the solve, the global telemetry registry is
   /// serialised here as a versioned JSON snapshot, with the Chrome-trace
   /// event buffer beside it at telemetry_trace_path(telemetry_out). With
@@ -88,6 +97,10 @@ struct SolveOutcome {
   std::optional<double> optimal_ratio;
   std::optional<ppa::PpaReport> ppa;
   double solve_wall_seconds = 0.0;  ///< host-side simulation time
+  /// True when a stored tour seeded this solve (warm_start_dir hit).
+  bool warm_started = false;
+  /// Store traffic for this solve when warm_start_dir is set.
+  std::optional<store::WarmStartStats> warm_start;
 };
 
 class CimSolver {

@@ -142,7 +142,10 @@ OrOptResult or_opt(const Instance& instance, Tour& tour,
                 if (removed <= 0) continue;
 
                 for (const CityId endpoint : {s0, s1}) {
-                  for (const CityId c : nbrs->of(endpoint)) {
+                  const auto cands = nbrs->of(endpoint);
+                  const auto cand_d = nbrs->dist_of(endpoint);
+                  for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+                    const CityId c = cands[ci];
                     bool inside = false;
                     CityId walk = s0;
                     for (std::size_t k = 0; k < len; ++k) {
@@ -155,9 +158,17 @@ OrOptResult or_opt(const Instance& instance, Tour& tour,
                     if (inside || c == before) continue;
                     const CityId c_next = lt.next[c];
                     if (c_next == s0) continue;
+                    // cand_d[ci] is d(endpoint, c) precomputed; the
+                    // non-endpoint terms still come from the metric.
+                    const long long d_c_end =
+                        cand_d.empty() ? d(c, endpoint) : cand_d[ci];
+                    const long long d_c_s0 = endpoint == s0 ? d_c_end
+                                                            : d(c, s0);
+                    const long long d_c_s1 = endpoint == s1 ? d_c_end
+                                                            : d(c, s1);
                     const long long base = d(c, c_next);
-                    const long long add_fwd = d(c, s0) + d(s1, c_next) - base;
-                    const long long add_rev = d(c, s1) + d(s0, c_next) - base;
+                    const long long add_fwd = d_c_s0 + d(s1, c_next) - base;
+                    const long long add_rev = d_c_s1 + d(s0, c_next) - base;
                     const bool reversed = add_rev < add_fwd;
                     const long long added = reversed ? add_rev : add_fwd;
                     const long long gain = removed - added;
@@ -237,7 +248,10 @@ OrOptResult or_opt(const Instance& instance, Tour& tour,
           // Try inserting between c and next[c] for candidate cities c near
           // the segment endpoints.
           for (const CityId* endpoint : {&s0, &s1}) {
-            for (const CityId c : nbrs->of(*endpoint)) {
+            const auto cands = nbrs->of(*endpoint);
+            const auto cand_d = nbrs->dist_of(*endpoint);
+            for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+              const CityId c = cands[ci];
               // c must lie outside the segment.
               bool inside = false;
               CityId walk = s0;
@@ -253,9 +267,14 @@ OrOptResult or_opt(const Instance& instance, Tour& tour,
               if (c_next == s0) continue;
 
               // Forward: c → s0 … s1 → c_next; reversed: c → s1 … s0 → c_next.
+              // cand_d[ci] is d(*endpoint, c) precomputed.
+              const long long d_c_end =
+                  cand_d.empty() ? d(c, *endpoint) : cand_d[ci];
+              const long long d_c_s0 = *endpoint == s0 ? d_c_end : d(c, s0);
+              const long long d_c_s1 = *endpoint == s1 ? d_c_end : d(c, s1);
               const long long base = d(c, c_next);
-              const long long add_fwd = d(c, s0) + d(s1, c_next) - base;
-              const long long add_rev = d(c, s1) + d(s0, c_next) - base;
+              const long long add_fwd = d_c_s0 + d(s1, c_next) - base;
+              const long long add_rev = d_c_s1 + d(s0, c_next) - base;
               const bool reversed = add_rev < add_fwd;
               const long long added = reversed ? add_rev : add_fwd;
               if (added >= removed) continue;

@@ -20,7 +20,11 @@ Reference compute_heuristic_reference(const tsp::Instance& instance,
     return ref;
   }
 
-  const tsp::NeighborLists nbrs(instance, options.neighbor_k);
+  // Candidate distances are precomputed once here and reused across every
+  // 2-opt/Or-opt round — the scans then read d(city, cand) from the
+  // blocked arrays instead of recomputing the metric per visit.
+  const tsp::NeighborLists nbrs(instance, options.neighbor_k,
+                                {.with_distances = true});
   TwoOptOptions two;
   two.neighbors = &nbrs;
   two.scan_threads = options.threads;

@@ -112,8 +112,12 @@ TwoOptResult two_opt(const Instance& instance, Tour& tour,
                     dir == 0 ? (pa + 1) % n : (pa + n - 1) % n;
                 const CityId a_next = order[pa_next];
                 const long long d_a = instance.distance(a, a_next);
-                for (const CityId b : nbrs->of(a)) {
-                  const long long d_ab = instance.distance(a, b);
+                const auto cands = nbrs->of(a);
+                const auto cand_d = nbrs->dist_of(a);
+                for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+                  const CityId b = cands[ci];
+                  const long long d_ab =
+                      cand_d.empty() ? instance.distance(a, b) : cand_d[ci];
                   if (d_ab >= d_a) break;  // candidates sorted by distance
                   const std::size_t pb = pos[b];
                   const std::size_t pb_next =
@@ -183,8 +187,12 @@ TwoOptResult two_opt(const Instance& instance, Tour& tour,
           const CityId a_next = order[pa_next];
           const long long d_a = instance.distance(a, a_next);
 
-          for (const CityId b : nbrs->of(a)) {
-            const long long d_ab = instance.distance(a, b);
+          const auto cands = nbrs->of(a);
+          const auto cand_d = nbrs->dist_of(a);
+          for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+            const CityId b = cands[ci];
+            const long long d_ab =
+                cand_d.empty() ? instance.distance(a, b) : cand_d[ci];
             if (d_ab >= d_a) break;  // candidates sorted by distance
             const std::size_t pb = pos[b];
             const std::size_t pb_next = dir == 0 ? (pb + 1) % n

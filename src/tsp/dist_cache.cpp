@@ -1,0 +1,49 @@
+#include "tsp/dist_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::tsp {
+
+DistanceCache::DistanceCache(const Instance& instance,
+                             std::size_t capacity_log2)
+    : instance_(&instance) {
+  CIM_REQUIRE(capacity_log2 >= kShardBits && capacity_log2 < 30,
+              "DistanceCache: capacity_log2 out of range");
+  slots_.assign(std::size_t{1} << capacity_log2, Slot{kEmptyKey, 0});
+  shard_mask_ = (slots_.size() >> kShardBits) - 1;
+}
+
+long long DistanceCache::distance(CityId a, CityId b) {
+  if (a == b) return 0;
+  const CityId lo = std::min(a, b);
+  const CityId hi = std::max(a, b);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(lo) << 32) | static_cast<std::uint64_t>(hi);
+  std::uint64_t mix_state = key;
+  const std::uint64_t hash = util::splitmix64(mix_state);
+  const std::size_t shard = static_cast<std::size_t>(hash) &
+                            ((std::size_t{1} << kShardBits) - 1);
+  const std::size_t slot_in_shard =
+      static_cast<std::size_t>(hash >> kShardBits) & shard_mask_;
+  Slot& slot = slots_[shard * (shard_mask_ + 1) + slot_in_shard];
+  stats_.bytes_touched += sizeof(Slot);
+  if (slot.key == key) {
+    ++stats_.hits;
+    return slot.value;
+  }
+  ++stats_.misses;
+  const long long d = instance_->distance(lo, hi);
+  slot.key = key;
+  slot.value = d;
+  stats_.bytes_touched += sizeof(Slot);
+  return d;
+}
+
+void DistanceCache::clear() {
+  std::fill(slots_.begin(), slots_.end(), Slot{kEmptyKey, 0});
+}
+
+}  // namespace cim::tsp

@@ -1,0 +1,59 @@
+#include "tsp/fingerprint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "util/sha256.hpp"
+
+namespace cim::tsp {
+
+namespace {
+
+// Canonicalised little-endian byte image, independent of host endianness
+// so fingerprints written on one machine stay valid on another.
+template <typename T>
+void update_le(util::Sha256& hasher, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::array<std::uint8_t, sizeof(T)> bytes{};
+  std::memcpy(bytes.data(), &value, sizeof(T));
+  if constexpr (std::endian::native == std::endian::big) {
+    std::reverse(bytes.begin(), bytes.end());
+  }
+  hasher.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+}  // namespace
+
+std::string instance_fingerprint(const Instance& instance) {
+  util::Sha256 hasher;
+  hasher.update(std::string_view("cimanneal-instance-v1\n"));
+  hasher.update(geo::metric_name(instance.metric()));
+  hasher.update(std::string_view("\n"));
+  update_le(hasher, static_cast<std::uint64_t>(instance.size()));
+  if (instance.has_coords()) {
+    for (const geo::Point p : instance.coords()) {
+      update_le(hasher, p.x);
+      update_le(hasher, p.y);
+    }
+  } else {
+    const std::size_t n = instance.size();
+    for (CityId a = 0; a < n; ++a) {
+      for (CityId b = 0; b < n; ++b) {
+        update_le(hasher,
+                  static_cast<std::int64_t>(instance.distance(a, b)));
+      }
+    }
+  }
+  return util::sha256_tagged(hasher.hex_digest());
+}
+
+std::string instance_key(const Instance& instance) {
+  return instance.name() + "|" + std::to_string(instance.size()) + "|" +
+         geo::metric_name(instance.metric());
+}
+
+}  // namespace cim::tsp

@@ -1,0 +1,27 @@
+// Content fingerprints for TSP instances.
+//
+// The warm-start store (src/store) keys records by what the solver
+// actually optimises — metric, size, and the exact coordinate or matrix
+// payload — never by the instance name or comment, so a renamed copy of
+// pla85900 hits the same record while a perturbed copy misses it. The
+// companion instance_key() is the coarser "name|n|metric" bucket used to
+// find a compatible prior solution for perturbed re-solves.
+#pragma once
+
+#include <string>
+
+#include "tsp/instance.hpp"
+
+namespace cim::tsp {
+
+/// Canonical content hash of an instance in "sha256:<hex>" form. Hashes
+/// the metric keyword, city count, and the little-endian byte images of
+/// either the coordinate doubles (in city order) or the explicit matrix
+/// values. Name and comment are deliberately excluded.
+std::string instance_fingerprint(const Instance& instance);
+
+/// Coarse compatibility bucket "name|n|metric" for same-instance-family
+/// lookups (e.g. a perturbed re-solve of the same TSPLIB file).
+std::string instance_key(const Instance& instance);
+
+}  // namespace cim::tsp

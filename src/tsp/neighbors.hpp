@@ -1,12 +1,23 @@
-// k-nearest-neighbour candidate lists.
+// k-nearest-neighbour candidate lists, built and laid out in cache tiles.
 //
 // Local-search heuristics (2-opt, Or-opt) and the clustering passes only
 // ever consider geometrically close city pairs; candidate lists make them
 // O(n·k) instead of O(n²). Built with the kd-tree for coordinate instances
-// and by exhaustive scan for explicit-matrix instances. Construction is
-// parallelised over cities on the shared util::ThreadPool (each city's
-// list is a pure function of the instance, so the result is identical on
-// any worker count); small instances build inline.
+// and by exhaustive scan for explicit-matrix instances.
+//
+// Construction walks the cities in fixed tiles of kTileCities: each tile
+// gathers its query coordinates into SoA scratch (or copies its matrix
+// rows contiguously) once, and every per-tile scratch buffer is allocated
+// once per tile, not per city. Tiles are the parallel grain on the shared
+// util::ThreadPool; tile boundaries are index-fixed (never pool width), so
+// the result is bit-identical on any CIMANNEAL_THREADS. Small instances
+// fall below one tile and build inline.
+//
+// With Options::with_distances the lists also carry each candidate's
+// TSPLIB distance in a blocked array aligned with of(): consumers scanning
+// candidates (2-opt/Or-opt) read d(city, cand) from contiguous memory
+// instead of recomputing sqrt+round per visit. The stored values are the
+// exact instance.distance() integers, so consumption is bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -19,21 +30,43 @@ namespace cim::tsp {
 
 class NeighborLists {
  public:
+  struct Options {
+    /// Also store each candidate's distance (doubles the footprint;
+    /// enables dist_of()).
+    bool with_distances = false;
+  };
+
+  /// Cities per build tile and per parallel chunk. Fixed so scratch reuse
+  /// and chunk boundaries are identical on any worker count.
+  static constexpr std::size_t kTileCities = 64;
+
   /// Builds k-nearest candidate lists for every city. O(n log n · k) for
   /// coordinate instances.
-  NeighborLists(const Instance& instance, std::size_t k);
+  NeighborLists(const Instance& instance, std::size_t k)
+      : NeighborLists(instance, k, Options{}) {}
+  NeighborLists(const Instance& instance, std::size_t k, Options options);
 
   std::size_t k() const { return k_; }
   std::size_t size() const { return lists_.size() / k_; }
+  bool has_distances() const { return !dists_.empty(); }
 
   /// Neighbours of `city`, nearest first.
   std::span<const CityId> of(CityId city) const {
     return {lists_.data() + static_cast<std::size_t>(city) * k_, k_};
   }
 
+  /// Distances aligned with of(city): dist_of(city)[j] ==
+  /// instance.distance(city, of(city)[j]). Empty unless built
+  /// with_distances.
+  std::span<const long long> dist_of(CityId city) const {
+    if (dists_.empty()) return {};
+    return {dists_.data() + static_cast<std::size_t>(city) * k_, k_};
+  }
+
  private:
   std::size_t k_ = 0;
-  std::vector<CityId> lists_;  // flattened n*k
+  std::vector<CityId> lists_;     // flattened n*k, tile-built
+  std::vector<long long> dists_;  // n*k when with_distances, else empty
 };
 
 }  // namespace cim::tsp

@@ -1,0 +1,180 @@
+#include "util/sha256.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace cim::util {
+
+namespace {
+
+// FIPS 180-4 round constants: first 32 bits of the fractional parts of
+// the cube roots of the first 64 primes.
+constexpr std::array<std::uint32_t, 64> kRound = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int k) {
+  return std::rotr(x, k);
+}
+
+constexpr char kHex[] = "0123456789abcdef";
+
+}  // namespace
+
+void Sha256::reset() {
+  // Initial hash values: fractional parts of the square roots of the
+  // first 8 primes.
+  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha256::compress(const std::uint8_t* block) {
+  std::array<std::uint32_t, 64> w{};
+  for (std::size_t t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (std::size_t t = 16; t < 64; ++t) {
+    const std::uint32_t s0 =
+        rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (std::size_t t = 0; t < 64; ++t) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kRound[t] + w[t];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ < 64) return;
+    compress(buffer_.data());
+    buffered_ = 0;
+  }
+  while (offset + 64 <= data.size()) {
+    compress(data.data() + offset);
+    offset += 64;
+  }
+  const std::size_t rest = data.size() - offset;
+  if (rest > 0) {
+    std::memcpy(buffer_.data(), data.data() + offset, rest);
+    buffered_ = rest;
+  }
+}
+
+std::array<std::uint8_t, 32> Sha256::digest() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  // Pad: 0x80, zeros to 56 mod 64, then the big-endian bit length.
+  const std::uint8_t one = 0x80;
+  update(std::span<const std::uint8_t>(&one, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::array<std::uint8_t, 8> length{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    length[i] = static_cast<std::uint8_t>(bit_length >> (56 - i * 8));
+  }
+  update(length);
+  CIM_ASSERT(buffered_ == 0);
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+std::string Sha256::hex_digest() {
+  const auto raw = digest();
+  std::string hex;
+  hex.reserve(64);
+  for (const std::uint8_t byte : raw) {
+    hex.push_back(kHex[byte >> 4]);
+    hex.push_back(kHex[byte & 0x0F]);
+  }
+  return hex;
+}
+
+std::string sha256_hex(std::span<const std::uint8_t> data) {
+  Sha256 hasher;
+  hasher.update(data);
+  return hasher.hex_digest();
+}
+
+std::string sha256_hex(std::string_view text) {
+  Sha256 hasher;
+  hasher.update(text);
+  return hasher.hex_digest();
+}
+
+std::string sha256_tagged(const std::string& hex) {
+  return "sha256:" + hex;
+}
+
+std::string hash_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CIM_REQUIRE(in.good(), "hash_file: cannot open " + path);
+  Sha256 hasher;
+  std::array<char, 1 << 16> chunk{};
+  while (in.good()) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    hasher.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(chunk.data()),
+        static_cast<std::size_t>(got)));
+  }
+  CIM_REQUIRE(!in.bad(), "hash_file: read error on " + path);
+  return sha256_tagged(hasher.hex_digest());
+}
+
+}  // namespace cim::util

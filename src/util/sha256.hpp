@@ -1,0 +1,62 @@
+// SHA-256 content hashing for persistent artifacts.
+//
+// The warm-start store (src/store) keys its on-disk records by content
+// hash, and the same "sha256:<hex>" format is the contract shared with
+// cimlint's content-hash index cache (tools/cimlint/contenthash.py) —
+// one canonical fingerprint spelling across the C++ and Python sides.
+// The implementation is the FIPS 180-4 compression function, streamed so
+// hash_file() never materialises the whole input.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace cim::util {
+
+/// Incremental SHA-256: update() any number of times, then digest().
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+  /// Finalises and returns the 32-byte digest. The object must be
+  /// reset() before further updates.
+  std::array<std::uint8_t, 32> digest();
+
+  /// digest() rendered as 64 lowercase hex characters.
+  std::string hex_digest();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot hex digest of a byte span.
+std::string sha256_hex(std::span<const std::uint8_t> data);
+
+/// One-shot hex digest of a string.
+std::string sha256_hex(std::string_view text);
+
+/// Content fingerprint of a file in the canonical "sha256:<hex>" form
+/// shared with the warm-start store keys and cimlint's index cache.
+/// Streams the file; throws cim::Error when the file cannot be read.
+std::string hash_file(const std::string& path);
+
+/// Prefixes a raw hex digest with the canonical "sha256:" scheme tag.
+std::string sha256_tagged(const std::string& hex);
+
+}  // namespace cim::util

@@ -1,0 +1,17 @@
+// Fixture: the sanctioned serialisation path — src/store/format.cpp is
+// allowlisted, so its raw stdio calls fire nothing.
+#include <cstdio>
+#include <vector>
+
+namespace fixture {
+
+void write_record_like(const std::vector<unsigned char>& body,
+                       std::FILE* file) {
+  std::fwrite(body.data(), 1, body.size(), file);
+}
+
+void read_record_like(std::vector<unsigned char>& body, std::FILE* file) {
+  std::fread(body.data(), 1, body.size(), file);
+}
+
+}  // namespace fixture

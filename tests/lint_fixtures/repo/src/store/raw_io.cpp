@@ -1,0 +1,29 @@
+// Fixture: raw stdio serialisation outside the record format
+// (2 × store-unversioned-io; the console write and the NOLINTed site
+// stay silent).
+#include <cstdio>
+#include <vector>
+
+namespace fixture {
+
+void save_state(const std::vector<unsigned char>& bytes, std::FILE* file) {
+  // expected: store-unversioned-io — unversioned byte dump to a file.
+  std::fwrite(bytes.data(), 1, bytes.size(), file);
+}
+
+void load_state(std::vector<unsigned char>& bytes, std::FILE* file) {
+  // expected: store-unversioned-io — reads back with no digest check.
+  std::fread(bytes.data(), 1, bytes.size(), file);
+}
+
+// Silent: console output is not serialisation.
+void print_state(const std::vector<unsigned char>& bytes) {
+  std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+}
+
+// Silent: vouched-for legacy dump path.
+void legacy_dump(const std::vector<unsigned char>& bytes, std::FILE* file) {
+  std::fwrite(bytes.data(), 1, bytes.size(), file);  // NOLINT(store-unversioned-io)
+}
+
+}  // namespace fixture

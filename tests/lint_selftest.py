@@ -48,6 +48,7 @@ EXPECTED_COUNTS = {
     "rng-time-seed": 1,
     "rng-unproven-seed": 1,
     "simd-intrinsics-confined": 2,
+    "store-unversioned-io": 2,
     "telemetry-in-header": 1,
     "unit-float-eq": 3,
     "unit-raw-double": 2,

@@ -246,6 +246,60 @@ TEST(Annealer, InvalidConfigThrows) {
   EXPECT_THROW(ClusteredAnnealer{config}, ConfigError);
 }
 
+TEST(Annealer, WarmStartFromPreviousTour) {
+  // Seeding with a previous solve's tour (the src/store warm-start path)
+  // must produce a valid tour, be deterministic, and not lose the warm
+  // tour's quality by more than the anneal can recover — on a re-solve of
+  // the same instance the warm result should be at least competitive.
+  const auto inst = test::random_instance(120, 7);
+  auto config = base_config();
+  const auto cold = ClusteredAnnealer(config).solve(inst);
+  const auto cold_order = cold.tour.order();
+  config.initial_order.assign(cold_order.begin(), cold_order.end());
+  const auto warm_a = ClusteredAnnealer(config).solve(inst);
+  const auto warm_b = ClusteredAnnealer(config).solve(inst);
+  EXPECT_TRUE(warm_a.tour.is_valid(120));
+  EXPECT_TRUE(warm_a.tour == warm_b.tour);
+  EXPECT_EQ(warm_a.length, warm_b.length);
+  // The warm construction preserves the tour's visiting order through the
+  // hierarchy, so the warm solve starts near the cold optimum instead of
+  // the cold construction's starting point.
+  EXPECT_LE(warm_a.length, cold.length * 3 / 2);
+}
+
+TEST(Annealer, WarmStartValidation) {
+  const auto inst = test::random_instance(30, 3);
+  auto config = base_config();
+  config.initial_order.assign(10, 0);  // wrong size
+  EXPECT_THROW(ClusteredAnnealer(config).solve(inst), ConfigError);
+  config.initial_order.resize(30);
+  for (std::uint32_t i = 0; i < 30; ++i) config.initial_order[i] = i;
+  config.initial_order[5] = 4;  // duplicate
+  EXPECT_THROW(ClusteredAnnealer(config).solve(inst), ConfigError);
+  config.initial_order[5] = 5;
+  EXPECT_NO_THROW(ClusteredAnnealer(config).solve(inst));
+}
+
+TEST(Annealer, DistanceCacheCountersPopulateAtLevelZero) {
+  // Level 0 routes exact-distance queries (window build, ring scoring,
+  // accepted-swap deltas) through the sharded distance cache; its traffic
+  // lands in the level stats. Upper levels use centroid geometry and
+  // never touch the cache.
+  const auto inst = test::random_instance(100, 13);
+  const auto result = ClusteredAnnealer(base_config()).solve(inst);
+  ASSERT_FALSE(result.levels.empty());
+  const auto& level0 = result.levels.back();  // levels are top-first
+  EXPECT_EQ(level0.level, 0U);
+  EXPECT_GT(level0.dcache_hits + level0.dcache_misses, 0U);
+  EXPECT_GT(level0.dcache_hits, 0U);  // window build re-queries pairs
+  EXPECT_GT(level0.dcache_bytes, 0U);
+  for (const auto& level : result.levels) {
+    if (level.level != 0) {
+      EXPECT_EQ(level.dcache_hits + level.dcache_misses, 0U);
+    }
+  }
+}
+
 TEST(Annealer, ClusteredStructureInstance) {
   // On a clustered instance (the annealer's home turf) quality should be
   // decent: within 2x of the greedy reference.

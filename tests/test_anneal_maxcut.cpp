@@ -165,6 +165,72 @@ TEST(MaxCutAnnealer, VectorKernelMatchesScalarExactly) {
   }
 }
 
+TEST(MaxCutAnnealer, MemoMatchesRecomputeExactly) {
+  // The per-vertex partial-sum memo must be a pure optimisation: same
+  // flip sequence, same cuts, same hardware counters (a hit charges the
+  // full read cost of both planes), for every noise mode and both MAC
+  // paths.
+  for (const NoiseMode mode :
+       {NoiseMode::kNone, NoiseMode::kSramWeight, NoiseMode::kLfsr}) {
+    for (const bool vector : {false, true}) {
+      const auto problem = ising::random_maxcut(90, 0.15, 21, 3);
+      auto config = base_config();
+      config.noise = mode;
+      config.record_trace = true;
+      config.vector_kernel = vector;
+      config.memoize_partial_sums = true;
+      const auto memo = MaxCutAnnealer(config).solve(problem);
+      config.memoize_partial_sums = false;
+      const auto recompute = MaxCutAnnealer(config).solve(problem);
+      EXPECT_EQ(memo.spins, recompute.spins)
+          << "mode " << static_cast<int>(mode) << " vector " << vector;
+      EXPECT_EQ(memo.cut, recompute.cut);
+      EXPECT_EQ(memo.best_cut, recompute.best_cut);
+      EXPECT_EQ(memo.flips, recompute.flips);
+      EXPECT_EQ(memo.trace, recompute.trace);
+      EXPECT_EQ(memo.storage.macs, recompute.storage.macs);
+      EXPECT_EQ(memo.storage.mac_bit_reads, recompute.storage.mac_bit_reads);
+      EXPECT_EQ(memo.storage.writeback_bits, recompute.storage.writeback_bits);
+      EXPECT_EQ(memo.storage.pseudo_read_flips,
+                recompute.storage.pseudo_read_flips);
+      // Every vertex is evaluated once per sweep; each evaluation is a
+      // hit or a miss with the memo on, neither with it off.
+      EXPECT_EQ(memo.memo_hits + memo.memo_misses,
+                memo.sweeps * problem.size());
+      EXPECT_GT(memo.memo_hits, 0U);
+      EXPECT_EQ(recompute.memo_hits, 0U);
+      EXPECT_EQ(recompute.memo_misses, 0U);
+    }
+  }
+}
+
+TEST(MaxCutAnnealer, WarmStartFromSpinAssignment) {
+  // A warm start replaces the random initial spins; starting at a
+  // previous solution must be deterministic and end at least as good as
+  // the assignment it started from on a frozen-noise re-solve.
+  const auto problem = ising::random_maxcut(60, 0.2, 11, 3);
+  auto config = base_config();
+  const auto cold = MaxCutAnnealer(config).solve(problem);
+  config.initial_spins = cold.spins;
+  const auto warm_a = MaxCutAnnealer(config).solve(problem);
+  const auto warm_b = MaxCutAnnealer(config).solve(problem);
+  EXPECT_EQ(warm_a.spins, warm_b.spins);
+  EXPECT_EQ(warm_a.cut, warm_b.cut);
+  EXPECT_GE(warm_a.best_cut, cold.cut);
+}
+
+TEST(MaxCutAnnealer, WarmStartValidation) {
+  const auto problem = ising::random_maxcut(16, 0.4, 31, 4);
+  auto config = base_config();
+  config.initial_spins.assign(8, 1);  // wrong size
+  EXPECT_THROW(MaxCutAnnealer(config).solve(problem), ConfigError);
+  config.initial_spins.assign(16, 1);
+  config.initial_spins[3] = 0;  // not ±1
+  EXPECT_THROW(MaxCutAnnealer(config).solve(problem), ConfigError);
+  config.initial_spins[3] = -1;
+  EXPECT_NO_THROW(MaxCutAnnealer(config).solve(problem));
+}
+
 TEST(MaxCutAnnealer, VectorKernelMultiWordSpinRegister) {
   // Past 64 vertices the packed σ+ register spans multiple words.
   const auto problem = ising::random_maxcut(150, 0.05, 23, 2);

@@ -195,6 +195,118 @@ TEST(SwapKernel, ColorParallelStress) {
   }
 }
 
+std::size_t total_memo_hits(const AnnealResult& r) {
+  std::size_t total = 0;
+  for (const auto& level : r.levels) total += level.memo_hits;
+  return total;
+}
+
+std::size_t total_memo_misses(const AnnealResult& r) {
+  std::size_t total = 0;
+  for (const auto& level : r.levels) total += level.memo_misses;
+  return total;
+}
+
+std::size_t total_attempts(const AnnealResult& r) {
+  std::size_t total = 0;
+  for (const auto& level : r.levels) total += level.swaps_attempted;
+  return total;
+}
+
+class MemoKernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<NoiseMode, BackendKind>> {};
+
+TEST_P(MemoKernelEquivalence, MatchesRecomputeExactly) {
+  // The partial-sum memo must be a pure optimisation of the sparse
+  // kernel: identical tours, identical noise evolution and identical
+  // hardware counters (a memo hit charges the full row-read cost), for
+  // every noise mode and both storage backends — including the
+  // bit-level backend's lazy corrupted-weight path.
+  const auto [mode, backend] = GetParam();
+  const auto inst = test::random_instance(60, 17);
+  AnnealerConfig config = base_config(3, 5);
+  config.noise = mode;
+  config.backend = backend;
+
+  config.memoize_partial_sums = true;
+  const auto memo = ClusteredAnnealer(config).solve(inst);
+  config.memoize_partial_sums = false;
+  const auto recompute = ClusteredAnnealer(config).solve(inst);
+
+  expect_identical(memo, recompute, "memo vs recompute");
+  // Every swap attempt issues exactly 4 MAC requests; each is either a
+  // hit or a miss when the memo is on, and neither when it is off.
+  EXPECT_EQ(total_memo_hits(memo) + total_memo_misses(memo),
+            4 * total_attempts(memo));
+  EXPECT_GT(total_memo_hits(memo), 0U);
+  EXPECT_EQ(total_memo_hits(recompute), 0U);
+  EXPECT_EQ(total_memo_misses(recompute), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndBackends, MemoKernelEquivalence,
+    ::testing::Combine(::testing::Values(NoiseMode::kNone,
+                                         NoiseMode::kSramWeight,
+                                         NoiseMode::kSramSpin,
+                                         NoiseMode::kLfsr),
+                       ::testing::Values(BackendKind::kFast,
+                                         BackendKind::kBitLevel)));
+
+TEST(SwapKernel, MemoMatchesRecomputeUnderVectorKernel) {
+  // The memo front-end sits above both scalar-sparse and packed MACs;
+  // the packed path must stay bit-identical to the unmemoized scalar
+  // oracle with it on.
+  const auto inst = test::random_instance(80, 29);
+  AnnealerConfig config = base_config(4, 3);
+  config.vector_kernel = true;
+  config.memoize_partial_sums = true;
+  const auto memo_vector = ClusteredAnnealer(config).solve(inst);
+  config.vector_kernel = false;
+  config.memoize_partial_sums = false;
+  const auto scalar = ClusteredAnnealer(config).solve(inst);
+  expect_identical(memo_vector, scalar, "memo vector vs plain scalar");
+  EXPECT_GT(total_memo_hits(memo_vector), 0U);
+}
+
+TEST(SwapKernel, MemoMatchesRecomputeUnderColorThreads) {
+  // Memo state is per-slot and slots are partitioned across colour
+  // workers, so the memo must not perturb the thread-count-independence
+  // contract.
+  const auto inst = test::random_instance(150, 31);
+  AnnealerConfig config = base_config(4, 11);
+  config.color_threads = 4;
+  config.memoize_partial_sums = true;
+  const auto memo = ClusteredAnnealer(config).solve(inst);
+  config.memoize_partial_sums = false;
+  const auto recompute = ClusteredAnnealer(config).solve(inst);
+  expect_identical(memo, recompute, "memo vs recompute under threads");
+  config.memoize_partial_sums = true;
+  config.color_threads = 8;
+  const auto memo8 = ClusteredAnnealer(config).solve(inst);
+  expect_identical(memo, memo8, "memo 4 vs 8 threads");
+}
+
+TEST(SwapKernel, MemoOnCorruptedWeightGrids) {
+  // Structured (grid) instances under heavy weight corruption: long
+  // rejection streaks on ties are exactly where the memo earns hits, and
+  // where a stale entry would surface as a divergent tour or counter.
+  for (const BackendKind backend :
+       {BackendKind::kFast, BackendKind::kBitLevel}) {
+    const auto inst = test::grid_instance(8, 8);
+    AnnealerConfig config = base_config(4, 21);
+    config.noise = NoiseMode::kSramWeight;
+    config.backend = backend;
+    config.sram.sigma_vth = 0.10;  // heavier mismatch → more noisy LSBs
+    config.memoize_partial_sums = true;
+    const auto memo = ClusteredAnnealer(config).solve(inst);
+    config.memoize_partial_sums = false;
+    const auto recompute = ClusteredAnnealer(config).solve(inst);
+    expect_identical(memo, recompute, "corrupted grid");
+    EXPECT_GT(memo.hw.storage.pseudo_read_flips, 0U);
+    EXPECT_GT(total_memo_hits(memo), 0U);
+  }
+}
+
 TEST(SwapKernel, ConfigValidation) {
   AnnealerConfig config = base_config(3, 1);
   config.color_threads = 0;

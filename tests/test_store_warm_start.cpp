@@ -1,0 +1,404 @@
+// Warm-start store: versioned record format, two-level LRU behaviour,
+// corruption / version-mismatch degradation, and the core::CimSolver
+// warm_start_dir wiring (DESIGN.md §16).
+#include "store/warm_start.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "store/format.hpp"
+#include "test_helpers.hpp"
+#include "tsp/fingerprint.hpp"
+#include "util/error.hpp"
+#include "util/sha256.hpp"
+
+namespace cim::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test store directory under the system temp root.
+class WarmStartStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("cim_store_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+std::string make_key(int i) {
+  return util::sha256_tagged(util::sha256_hex("key" + std::to_string(i)));
+}
+
+std::vector<tsp::CityId> make_order(std::size_t n, std::size_t rotate) {
+  std::vector<tsp::CityId> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<tsp::CityId>((i + rotate) % n);
+  }
+  return order;
+}
+
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_all(const std::string& path,
+               const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The one file the key owns at `level` — mirrors the store's naming rule
+/// (first 16 hex chars of the key after "sha256:").
+std::string path_of(const std::string& dir, const std::string& key,
+                    int level) {
+  return (fs::path(dir) / (key.substr(7, 16) + (level == 0 ? ".l0" : ".l1")))
+      .string();
+}
+
+/// Re-signs a tampered record body so only the version gate can reject it.
+void resign(std::vector<std::uint8_t>& bytes) {
+  ASSERT_GT(bytes.size(), 32U);
+  util::Sha256 hasher;
+  hasher.update(std::span<const std::uint8_t>(bytes.data(),
+                                              bytes.size() - 32));
+  const auto digest = hasher.digest();
+  std::copy(digest.begin(), digest.end(), bytes.end() - 32);
+}
+
+TEST_F(WarmStartStoreTest, FormatRoundTrip) {
+  fs::create_directories(dir_);
+  Record record;
+  record.kind = RecordKind::kSpins;
+  record.key = make_key(1);
+  record.sequence = 42;
+  record.score = -17;
+  record.payload = {1, -1, -1, 1};
+  const std::string path = (fs::path(dir_) / "r.l0").string();
+  write_record(path, record);
+
+  ReadStatus status = ReadStatus::kCorrupt;
+  const auto back = read_record(path, &status);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(status, ReadStatus::kOk);
+  EXPECT_EQ(back->kind, record.kind);
+  EXPECT_EQ(back->key, record.key);
+  EXPECT_EQ(back->sequence, record.sequence);
+  EXPECT_EQ(back->score, record.score);
+  EXPECT_EQ(back->payload, record.payload);
+}
+
+TEST_F(WarmStartStoreTest, FormatDetectsDamage) {
+  fs::create_directories(dir_);
+  Record record;
+  record.key = make_key(2);
+  record.payload = {0, 1, 2, 3};
+  const std::string path = (fs::path(dir_) / "r.l0").string();
+  write_record(path, record);
+  const auto pristine = read_all(path);
+
+  // Single flipped payload bit → digest mismatch.
+  auto flipped = pristine;
+  flipped[flipped.size() - 40] ^= 0x01;
+  write_all(path, flipped);
+  ReadStatus status = ReadStatus::kOk;
+  EXPECT_FALSE(read_record(path, &status).has_value());
+  EXPECT_EQ(status, ReadStatus::kCorrupt);
+
+  // Truncation (torn write) → corrupt, not a crash.
+  auto truncated = pristine;
+  truncated.resize(truncated.size() / 2);
+  write_all(path, truncated);
+  EXPECT_FALSE(read_record(path, &status).has_value());
+  EXPECT_EQ(status, ReadStatus::kCorrupt);
+
+  // Wrong magic → corrupt.
+  auto wrong_magic = pristine;
+  wrong_magic[0] = 'X';
+  write_all(path, wrong_magic);
+  EXPECT_FALSE(read_record(path, &status).has_value());
+  EXPECT_EQ(status, ReadStatus::kCorrupt);
+
+  // Missing file reports kMissing.
+  fs::remove(path);
+  EXPECT_FALSE(read_record(path, &status).has_value());
+  EXPECT_EQ(status, ReadStatus::kMissing);
+}
+
+TEST_F(WarmStartStoreTest, FormatVersionGate) {
+  fs::create_directories(dir_);
+  Record record;
+  record.key = make_key(3);
+  record.payload = {5, 6};
+  const std::string path = (fs::path(dir_) / "r.l0").string();
+  write_record(path, record);
+
+  auto bytes = read_all(path);
+  ASSERT_EQ(bytes[8], kFormatVersion);  // u32 LE version after 8-byte magic
+  bytes[8] = kFormatVersion + 1;
+
+  // Version bumped but digest stale → corruption wins over the version gate.
+  write_all(path, bytes);
+  ReadStatus status = ReadStatus::kOk;
+  EXPECT_FALSE(read_record(path, &status).has_value());
+  EXPECT_EQ(status, ReadStatus::kCorrupt);
+
+  // Re-signed foreign version → clean kVersionMismatch.
+  resign(bytes);
+  write_all(path, bytes);
+  EXPECT_FALSE(read_record(path, &status).has_value());
+  EXPECT_EQ(status, ReadStatus::kVersionMismatch);
+}
+
+TEST_F(WarmStartStoreTest, TourRoundTrip) {
+  WarmStartStore store(dir_);
+  const std::string key = make_key(4);
+  EXPECT_FALSE(store.load_tour(key, 8).has_value());
+  EXPECT_EQ(store.stats().misses, 1U);
+
+  const auto order = make_order(8, 3);
+  store.store_tour(key, order, 1000);
+  const auto back = store.load_tour(key, 8);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, order);
+  EXPECT_EQ(store.stats().hits, 1U);
+  EXPECT_EQ(store.stats().stores, 1U);
+
+  // A second store instance sees the persisted record.
+  WarmStartStore reopened(dir_);
+  EXPECT_TRUE(reopened.load_tour(key, 8).has_value());
+}
+
+TEST_F(WarmStartStoreTest, KeepsBetterScore) {
+  WarmStartStore store(dir_);
+  const std::string key = make_key(5);
+  const auto best = make_order(6, 1);
+  store.store_tour(key, best, 100);
+  store.store_tour(key, make_order(6, 2), 150);  // worse → kept
+  EXPECT_EQ(store.stats().kept, 1U);
+  EXPECT_EQ(*store.load_tour(key, 6), best);
+
+  const auto improved = make_order(6, 4);
+  store.store_tour(key, improved, 90);  // better → replaces
+  EXPECT_EQ(store.stats().stores, 2U);
+  EXPECT_EQ(*store.load_tour(key, 6), improved);
+}
+
+TEST_F(WarmStartStoreTest, CorruptEntryDegradesToColdStart) {
+  WarmStartStore store(dir_);
+  const std::string key = make_key(6);
+  store.store_tour(key, make_order(8, 0), 50);
+
+  const std::string path = path_of(dir_, key, 0);
+  auto bytes = read_all(path);
+  bytes[bytes.size() - 8] ^= 0xFF;
+  write_all(path, bytes);
+
+  EXPECT_FALSE(store.load_tour(key, 8).has_value());
+  EXPECT_EQ(store.stats().dropped, 1U);
+  EXPECT_FALSE(fs::exists(path)) << "corrupt record must be removed";
+
+  // The healed slot accepts a fresh store.
+  store.store_tour(key, make_order(8, 2), 60);
+  EXPECT_TRUE(store.load_tour(key, 8).has_value());
+}
+
+TEST_F(WarmStartStoreTest, VersionMismatchDegradesToColdStart) {
+  WarmStartStore store(dir_);
+  const std::string key = make_key(7);
+  store.store_tour(key, make_order(8, 0), 50);
+
+  const std::string path = path_of(dir_, key, 0);
+  auto bytes = read_all(path);
+  bytes[8] = kFormatVersion + 3;
+  resign(bytes);
+  write_all(path, bytes);
+
+  EXPECT_FALSE(store.load_tour(key, 8).has_value());
+  EXPECT_EQ(store.stats().dropped, 1U);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(WarmStartStoreTest, NonPermutationPayloadIsDropped) {
+  WarmStartStore store(dir_);
+  const std::string key = make_key(8);
+
+  Record record;
+  record.kind = RecordKind::kTour;
+  record.key = key;
+  record.sequence = 1;
+  record.score = 10;
+  record.payload = {0, 1, 1, 3};  // duplicate city
+  write_record(path_of(dir_, key, 0), record);
+
+  EXPECT_FALSE(store.load_tour(key, 4).has_value());
+  EXPECT_EQ(store.stats().dropped, 1U);
+
+  // Wrong length for this instance is equally useless.
+  record.payload = {0, 1, 2, 3};
+  write_record(path_of(dir_, key, 0), record);
+  EXPECT_FALSE(store.load_tour(key, 5).has_value());
+  EXPECT_EQ(store.stats().dropped, 2U);
+}
+
+TEST_F(WarmStartStoreTest, StemCollisionIsAMissNotAWrongAnswer) {
+  // Filenames use only a 16-hex prefix of the key, so two keys can share a
+  // slot. The record carries the full key and the store verifies it: a
+  // foreign record in our slot is a miss, never a wrong answer.
+  WarmStartStore store(dir_);
+  Record record;
+  record.kind = RecordKind::kTour;
+  record.key = make_key(9);  // record claims another key...
+  record.sequence = 1;
+  record.score = 1;
+  record.payload = {0, 1, 2, 3};
+  const std::string victim = make_key(10);
+  write_record(path_of(dir_, victim, 0), record);  // ...at the victim's slot
+  EXPECT_FALSE(store.load_tour(victim, 4).has_value());
+  EXPECT_EQ(store.stats().misses, 1U);
+  EXPECT_EQ(store.stats().dropped, 0U) << "foreign record is left in place";
+}
+
+TEST_F(WarmStartStoreTest, LruDemotionPromotionEviction) {
+  WarmStartStore store(dir_, /*l0_capacity=*/2, /*l1_capacity=*/2);
+  const auto key0 = make_key(20);
+  const auto key1 = make_key(21);
+  const auto key2 = make_key(22);
+  store.store_tour(key0, make_order(4, 0), 10);
+  store.store_tour(key1, make_order(4, 1), 11);
+  store.store_tour(key2, make_order(4, 2), 12);
+
+  // Oldest entry (key0) demoted to L1.
+  EXPECT_EQ(store.stats().demotions, 1U);
+  EXPECT_TRUE(fs::exists(path_of(dir_, key0, 1)));
+  EXPECT_FALSE(fs::exists(path_of(dir_, key0, 0)));
+
+  // A hit on the demoted entry promotes it back to L0 (displacing key1,
+  // now the least recent).
+  ASSERT_TRUE(store.load_tour(key0, 4).has_value());
+  EXPECT_EQ(store.stats().promotions, 1U);
+  EXPECT_TRUE(fs::exists(path_of(dir_, key0, 0)));
+  EXPECT_EQ(store.stats().demotions, 2U);
+  EXPECT_TRUE(fs::exists(path_of(dir_, key1, 1)));
+
+  // Two more inserts overflow L1 → the least recent cold entry is evicted
+  // for good, and every surviving record still loads.
+  store.store_tour(make_key(23), make_order(4, 3), 13);
+  store.store_tour(make_key(24), make_order(4, 0), 14);
+  EXPECT_GE(store.stats().evictions, 1U);
+  std::size_t live = 0;
+  for (const int i : {20, 21, 22, 23, 24}) {
+    WarmStartStore probe(dir_, 2, 2);
+    if (probe.load_tour(make_key(i), 4).has_value()) ++live;
+  }
+  EXPECT_EQ(live, 4U);
+}
+
+TEST_F(WarmStartStoreTest, SpinsRoundTripAndValidation) {
+  WarmStartStore store(dir_);
+  const std::string key = make_key(30);
+  const std::vector<std::int8_t> spins = {1, -1, -1, 1, 1};
+  store.store_spins(key, spins, 7);
+  const auto back = store.load_spins(key, 5);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, spins);
+
+  // A larger cut replaces; a smaller one is kept out.
+  store.store_spins(key, std::vector<std::int8_t>(5, 1), 3);
+  EXPECT_EQ(store.stats().kept, 1U);
+  EXPECT_EQ(*store.load_spins(key, 5), spins);
+
+  // Tours and spins under the same key do not alias.
+  EXPECT_FALSE(store.load_tour(key, 5).has_value());
+
+  // Out-of-alphabet spin values are dropped.
+  Record record;
+  record.kind = RecordKind::kSpins;
+  record.key = make_key(31);
+  record.sequence = 99;
+  record.score = 0;
+  record.payload = {1, 0, -1};
+  write_record(path_of(dir_, record.key, 0), record);
+  EXPECT_FALSE(store.load_spins(record.key, 3).has_value());
+  EXPECT_EQ(store.stats().dropped, 1U);
+}
+
+TEST_F(WarmStartStoreTest, RejectsNonHexKeys) {
+  WarmStartStore store(dir_);
+  EXPECT_THROW(store.load_tour("sha256:", 4), ConfigError);
+  EXPECT_THROW(store.load_tour("sha256:NOTHEX!", 4), ConfigError);
+}
+
+TEST_F(WarmStartStoreTest, SolverWarmStartRoundTrip) {
+  const auto inst = cim::test::random_instance(120, 11);
+  core::SolverConfig config;
+  config.seed = 5;
+  config.compute_reference = false;
+  config.compute_ppa = false;
+  config.warm_start_dir = dir_;
+
+  const auto cold = core::CimSolver(config).solve(inst);
+  EXPECT_FALSE(cold.warm_started);
+  ASSERT_TRUE(cold.warm_start.has_value());
+  EXPECT_EQ(cold.warm_start->stores, 1U);
+
+  const auto warm = core::CimSolver(config).solve(inst);
+  EXPECT_TRUE(warm.warm_started);
+  ASSERT_TRUE(warm.warm_start.has_value());
+  EXPECT_EQ(warm.warm_start->hits, 1U);
+  EXPECT_TRUE(warm.anneal.tour.is_valid(120));
+
+  // The stored record always tracks the best score seen so far.
+  WarmStartStore probe(dir_);
+  const auto stored = probe.load_tour(tsp::instance_fingerprint(inst), 120);
+  ASSERT_TRUE(stored.has_value());
+  const tsp::Tour stored_tour(*stored);
+  EXPECT_LE(stored_tour.length(inst),
+            std::max(cold.tour_length, warm.tour_length));
+
+  // A perturbed instance has a different fingerprint → cold start again.
+  const auto other = cim::test::random_instance(120, 12);
+  const auto cross = core::CimSolver(config).solve(other);
+  EXPECT_FALSE(cross.warm_started);
+}
+
+TEST_F(WarmStartStoreTest, SolverSurvivesCorruptStore) {
+  const auto inst = cim::test::random_instance(80, 13);
+  core::SolverConfig config;
+  config.compute_reference = false;
+  config.compute_ppa = false;
+  config.warm_start_dir = dir_;
+  (void)core::CimSolver(config).solve(inst);
+
+  const std::string key = tsp::instance_fingerprint(inst);
+  const std::string path = path_of(dir_, key, 0);
+  ASSERT_TRUE(fs::exists(path));
+  auto bytes = read_all(path);
+  bytes[bytes.size() / 2] ^= 0x10;
+  write_all(path, bytes);
+
+  const auto outcome = core::CimSolver(config).solve(inst);
+  EXPECT_FALSE(outcome.warm_started);
+  ASSERT_TRUE(outcome.warm_start.has_value());
+  EXPECT_EQ(outcome.warm_start->dropped, 1U);
+  EXPECT_TRUE(outcome.anneal.tour.is_valid(80));
+}
+
+}  // namespace
+}  // namespace cim::store

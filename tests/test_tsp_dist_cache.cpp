@@ -1,0 +1,103 @@
+#include "tsp/dist_cache.hpp"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim::tsp {
+namespace {
+
+TEST(DistCache, ReturnsExactMetricValues) {
+  const auto inst = test::random_instance(120, 17);
+  DistanceCache cache(inst, 10);
+  for (CityId a = 0; a < inst.size(); ++a) {
+    for (CityId b = 0; b < inst.size(); ++b) {
+      EXPECT_EQ(cache.distance(a, b), inst.distance(a, b));
+    }
+  }
+}
+
+TEST(DistCache, SymmetricPairsShareASlot) {
+  const auto inst = test::random_instance(50, 23);
+  DistanceCache cache(inst, 10);
+  EXPECT_EQ(cache.distance(3, 17), cache.distance(17, 3));
+  // The second orientation of a cached pair must be a hit.
+  cache.reset_stats();
+  (void)cache.distance(17, 3);
+  EXPECT_EQ(cache.stats().hits, 1U);
+  EXPECT_EQ(cache.stats().misses, 0U);
+}
+
+TEST(DistCache, RepeatQueriesHit) {
+  const auto inst = test::random_instance(64, 5);
+  DistanceCache cache(inst, 12);
+  cache.reset_stats();
+  for (int round = 0; round < 4; ++round) {
+    for (CityId a = 0; a < 8; ++a) {
+      for (CityId b = 0; b < 8; ++b) {
+        (void)cache.distance(a, b);
+      }
+    }
+  }
+  // 28 distinct pairs; unless two collide in the table, rounds 2-4 hit.
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 4U * 8U * 7U);
+  EXPECT_GT(s.hits, s.misses);
+  EXPECT_GT(s.bytes_touched, 0U);
+}
+
+TEST(DistCache, SelfDistanceIsZeroAndUncounted) {
+  const auto inst = test::random_instance(10, 3);
+  DistanceCache cache(inst, 10);
+  cache.reset_stats();
+  EXPECT_EQ(cache.distance(4, 4), 0);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0U);
+}
+
+TEST(DistCache, ClearDropsEntriesKeepsStats) {
+  const auto inst = test::random_instance(30, 7);
+  DistanceCache cache(inst, 10);
+  (void)cache.distance(1, 2);
+  (void)cache.distance(1, 2);
+  const auto before = cache.stats();
+  EXPECT_EQ(before.hits, 1U);
+  cache.clear();
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  (void)cache.distance(1, 2);
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+}
+
+// Determinism: the hit/miss sequence is a pure function of the query
+// sequence — two caches fed the same queries report identical stats.
+TEST(DistCache, DeterministicFillOrder) {
+  const auto inst = test::random_instance(200, 41);
+  DistanceCache a(inst, 8);
+  DistanceCache b(inst, 8);
+  std::uint64_t state = 99;
+  std::vector<std::pair<CityId, CityId>> queries;
+  for (int i = 0; i < 5000; ++i) {
+    const CityId x = static_cast<CityId>(util::splitmix64(state) % 200);
+    const CityId y = static_cast<CityId>(util::splitmix64(state) % 200);
+    queries.emplace_back(x, y);
+  }
+  for (const auto& [x, y] : queries) EXPECT_EQ(a.distance(x, y), inst.distance(x, y));
+  for (const auto& [x, y] : queries) (void)b.distance(x, y);
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().misses, b.stats().misses);
+  EXPECT_EQ(a.stats().bytes_touched, b.stats().bytes_touched);
+}
+
+TEST(DistCache, RejectsDegenerateCapacity) {
+  const auto inst = test::random_instance(10, 1);
+  EXPECT_THROW(DistanceCache(inst, 2), ConfigError);
+  EXPECT_THROW(DistanceCache(inst, 40), ConfigError);
+}
+
+}  // namespace
+}  // namespace cim::tsp

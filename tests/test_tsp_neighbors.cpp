@@ -116,5 +116,55 @@ TEST(Neighbors, TooSmallInstanceThrows) {
   EXPECT_THROW(NeighborLists(inst, 3), ConfigError);
 }
 
+// Blocked candidate distances must equal the metric exactly on both build
+// paths — consumers substitute dist_of() for instance.distance() and rely
+// on bit-identical values.
+TEST(Neighbors, CandidateDistancesMatchMetric) {
+  const auto inst = test::random_instance(250, 55);
+  const auto expl = test::to_explicit(test::random_instance(90, 56));
+  for (const Instance* target : {&inst, &expl}) {
+    const NeighborLists lists(*target, 9, {.with_distances = true});
+    ASSERT_TRUE(lists.has_distances());
+    for (CityId c = 0; c < target->size(); ++c) {
+      const auto nb = lists.of(c);
+      const auto nd = lists.dist_of(c);
+      ASSERT_EQ(nb.size(), nd.size());
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        EXPECT_EQ(nd[i], target->distance(c, nb[i]));
+      }
+    }
+  }
+}
+
+TEST(Neighbors, DistancesAbsentByDefault) {
+  const auto inst = test::random_instance(40, 3);
+  const NeighborLists lists(inst, 5);
+  EXPECT_FALSE(lists.has_distances());
+  EXPECT_TRUE(lists.dist_of(0).empty());
+}
+
+// Tile determinism: the whole lists_/dists_ images must be bit-identical
+// across repeated builds in the same process (the pool's worker count and
+// scheduling must never leak into tile contents). The ctest registrations
+// additionally rerun this binary under CIMANNEAL_THREADS=1/2/8 and the
+// brute-force oracles above pin the absolute answer, so worker-count
+// variation across processes is covered too.
+TEST(Neighbors, TileDeterminismAcrossRebuilds) {
+  const std::size_t n = 500;
+  const auto inst = test::random_instance(n, 91);
+  const NeighborLists first(inst, 11, {.with_distances = true});
+  for (int rebuild = 0; rebuild < 3; ++rebuild) {
+    const NeighborLists again(inst, 11, {.with_distances = true});
+    for (CityId c = 0; c < n; ++c) {
+      const auto a = first.of(c);
+      const auto b = again.of(c);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+      const auto da = first.dist_of(c);
+      const auto db = again.dist_of(c);
+      ASSERT_TRUE(std::equal(da.begin(), da.end(), db.begin(), db.end()));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cim::tsp

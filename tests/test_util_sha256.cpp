@@ -1,0 +1,131 @@
+// SHA-256 and instance-fingerprint tests. The digests are pinned to the
+// FIPS 180-4 / NIST CAVP vectors so the warm-start store keys and the
+// cimlint index cache (tools/cimlint/contenthash.py) can never drift
+// apart: both sides must produce the same "sha256:<hex>" strings.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tsp/fingerprint.hpp"
+#include "tsp/generator.hpp"
+#include "util/error.hpp"
+#include "util/sha256.hpp"
+
+namespace {
+
+using cim::util::hash_file;
+using cim::util::Sha256;
+using cim::util::sha256_hex;
+using cim::util::sha256_tagged;
+
+TEST(Sha256, EmptyStringVector) {
+  EXPECT_EQ(sha256_hex(std::string_view{}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(sha256_hex(std::string_view("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  // 56-byte message: exercises the pad-spills-into-second-block path.
+  EXPECT_EQ(sha256_hex(std::string_view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(hasher.hex_digest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  // Feeding awkward chunk sizes (1, 63, 64, 65 bytes) must agree with the
+  // one-shot digest — the buffered path is where streaming bugs hide.
+  std::string text;
+  for (int i = 0; i < 300; ++i) text.push_back(static_cast<char>('a' + i % 26));
+  const std::string expected = sha256_hex(text);
+  for (const std::size_t step : {std::size_t{1}, std::size_t{63},
+                                 std::size_t{64}, std::size_t{65}}) {
+    Sha256 hasher;
+    for (std::size_t off = 0; off < text.size(); off += step) {
+      hasher.update(std::string_view(text).substr(off, step));
+    }
+    EXPECT_EQ(hasher.hex_digest(), expected) << "chunk step " << step;
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 hasher;
+  hasher.update(std::string_view("abc"));
+  (void)hasher.hex_digest();
+  hasher.reset();
+  hasher.update(std::string_view("abc"));
+  EXPECT_EQ(hasher.hex_digest(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TaggedForm) {
+  EXPECT_EQ(sha256_tagged("deadbeef"), "sha256:deadbeef");
+}
+
+TEST(Sha256, HashFileMatchesInMemoryDigest) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "cim_sha256_test.bin";
+  std::string payload;
+  for (int i = 0; i < 100000; ++i) payload.push_back(static_cast<char>(i));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  EXPECT_EQ(hash_file(path.string()), sha256_tagged(sha256_hex(payload)));
+  std::filesystem::remove(path);
+}
+
+TEST(Sha256, HashFileMissingThrows) {
+  EXPECT_THROW(hash_file("/nonexistent/cim_sha256_missing"), cim::Error);
+}
+
+TEST(InstanceFingerprint, IgnoresNameAndComment) {
+  auto a = cim::tsp::generate_clustered(64, 4, 1234);
+  auto b = cim::tsp::generate_clustered(64, 4, 1234);
+  b.set_comment("different comment");
+  const std::string fp_a = cim::tsp::instance_fingerprint(a);
+  EXPECT_TRUE(fp_a.starts_with("sha256:"));
+  EXPECT_EQ(fp_a, cim::tsp::instance_fingerprint(b));
+}
+
+TEST(InstanceFingerprint, SensitiveToContent) {
+  const auto a = cim::tsp::generate_clustered(64, 4, 1234);
+  const auto b = cim::tsp::generate_clustered(64, 4, 1235);
+  EXPECT_NE(cim::tsp::instance_fingerprint(a),
+            cim::tsp::instance_fingerprint(b));
+}
+
+TEST(InstanceFingerprint, MatrixInstancesHashValues) {
+  const std::vector<long long> m1 = {0, 2, 2, 0};
+  std::vector<long long> m2 = {0, 3, 3, 0};
+  const cim::tsp::Instance a("a", m1, 2);
+  const cim::tsp::Instance b("b", m1, 2);
+  const cim::tsp::Instance c("c", m2, 2);
+  EXPECT_EQ(cim::tsp::instance_fingerprint(a),
+            cim::tsp::instance_fingerprint(b));
+  EXPECT_NE(cim::tsp::instance_fingerprint(a),
+            cim::tsp::instance_fingerprint(c));
+}
+
+TEST(InstanceFingerprint, KeyFormat) {
+  const auto inst = cim::tsp::generate_clustered(32, 4, 7);
+  const std::string key = cim::tsp::instance_key(inst);
+  EXPECT_NE(key.find("|32|"), std::string::npos) << key;
+}
+
+}  // namespace

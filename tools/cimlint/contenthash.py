@@ -1,0 +1,41 @@
+"""Canonical content-hash helpers shared across the Python tooling.
+
+Content identity in this repo is SHA-256 everywhere: the C++ side keys
+warm-start records on util::sha256 / tsp::instance_fingerprint
+("sha256:<hex>"), and the Python tooling keys the cimlint index cache,
+baseline fingerprints and SARIF dedup identities on the same digest.
+This module is the single Python home of those conventions so the three
+call sites (index cache, Finding.fingerprint, merge_sarif dedup) cannot
+drift apart — in particular, baseline fingerprints and merge_sarif
+fingerprints MUST stay byte-identical, or cross-run dedup silently
+breaks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Tag prefix of a self-describing content hash, matching the C++ side's
+#: util::sha256_tagged ("sha256:<hex>").
+SCHEME = "sha256:"
+
+
+def content_hash(data: bytes) -> str:
+    """Full lowercase hex SHA-256 of raw bytes (index-cache keys)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def tagged(data: bytes) -> str:
+    """Self-describing "sha256:<hex>" form of content_hash()."""
+    return SCHEME + content_hash(data)
+
+
+def finding_fingerprint(rule: str, path: str, snippet: str) -> str:
+    """Stable 16-hex identity of one finding: rule + path + the
+    whitespace-insensitive content of the flagged line — never the line
+    number, so unrelated edits above the site keep the identity. Used by
+    the cimlint baseline and by merge_sarif's cross-run dedup; both MUST
+    agree, which is why this is the only implementation."""
+    normalized = "".join(snippet.split())
+    digest = hashlib.sha256(f"{rule}|{path}|{normalized}".encode()).hexdigest()
+    return digest[:16]

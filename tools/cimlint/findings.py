@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
-import hashlib
+
+from . import contenthash
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -21,9 +22,7 @@ class Finding:
         """Stable identity for the baseline: rule + path + the content of
         the offending line (whitespace-insensitive), *not* the line
         number, so unrelated edits above a grandfathered finding do not
-        invalidate the baseline entry."""
-        normalized = "".join(self.snippet.split())
-        digest = hashlib.sha256(
-            f"{self.rule}|{self.path}|{normalized}".encode()
-        ).hexdigest()
-        return digest[:16]
+        invalidate the baseline entry. Shared with merge_sarif's dedup
+        via cimlint.contenthash — the two must stay byte-identical."""
+        return contenthash.finding_fingerprint(self.rule, self.path,
+                                               self.snippet)

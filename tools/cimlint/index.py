@@ -32,12 +32,11 @@ stale index.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import re
 from pathlib import Path, PurePosixPath
 
-from . import stats
+from . import contenthash, stats
 from .flowfacts import (AcquireSite, FlowFacts, LockedCall, SeedSite,
                         extract_flow_facts)
 from .functions import FunctionBlock, function_blocks
@@ -516,7 +515,7 @@ def _build_index(root: Path, files: list[Path],
             raw_bytes = path.read_bytes()
         except OSError:
             continue
-        digest = hashlib.sha256(raw_bytes).hexdigest()
+        digest = contenthash.content_hash(raw_bytes)
         key = {"mtime_ns": stat.st_mtime_ns, "size": stat.st_size,
                "sha256": digest}
         entry = cache.get(rel)

@@ -146,8 +146,8 @@ def _load_rule_packs() -> None:
     from . import (  # noqa: F401  (import side effects)
         rules_anneal, rules_cim, rules_determinism, rules_header,
         rules_layering, rules_lockorder, rules_locks, rules_ranges,
-        rules_rng, rules_seedflow, rules_simd, rules_telemetry,
-        rules_thread, rules_units,
+        rules_rng, rules_seedflow, rules_simd, rules_store,
+        rules_telemetry, rules_thread, rules_units,
     )
 
 

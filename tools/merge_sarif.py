@@ -23,11 +23,14 @@ Exit status: 0 wrote the merged document, 2 usage error.
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from cimlint import contenthash  # noqa: E402
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -100,9 +103,7 @@ def _result_key(result: dict, file_lines) -> tuple[str, str, str]:
         line = region.get("startLine", 0)
         lines = file_lines(uri)
         snippet = lines[line - 1] if 0 < line <= len(lines) else ""
-    normalized = "".join(snippet.split())
-    digest = hashlib.sha256(
-        f"{rule}|{uri}|{normalized}".encode()).hexdigest()[:16]
+    digest = contenthash.finding_fingerprint(rule, uri, snippet)
     return (rule, uri, digest)
 
 
