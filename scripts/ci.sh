@@ -9,8 +9,9 @@
 #                    forced on and off and with the partial-sum memo
 #                    disabled, a CIMANNEAL_DISABLE_SIMD=ON
 #                    portable-fallback build of the kernel suites, the
-#                    bench smoke runs (BENCH_swap_kernel + BENCH_reuse
-#                    with structural gates), then cimlint (archiving
+#                    bench smoke runs (BENCH_swap_kernel, BENCH_reuse and
+#                    BENCH_ext_qubo with structural gates), then cimlint
+#                    (archiving
 #                    lint.sarif), the GCC -fanalyzer triage gate,
 #                    clang-tidy, and the merged analysis.sarif artifact.
 #   full           — fast + the asan-ubsan and tsan presets over the whole
@@ -70,7 +71,7 @@ done
 # environment CI happens to inherit. The bit-identity tests inside the
 # suites compare the two paths directly; these legs additionally pin the
 # default-path plumbing.
-anneal_suites='^(Annealer|AnnealEdge|MaxCutAnnealer|SwapKernel|Ensemble|EnsembleThreads|Tempering|Integration|CimSolver|TopRing|NoiseSource)\.'
+anneal_suites='^(Annealer|AnnealEdge|MaxCutAnnealer|GenericAnnealer|SwapKernel|Ensemble|EnsembleThreads|Tempering|Integration|CimSolver|TopRing|NoiseSource)\.'
 for vec in 1 0; do
   echo "==== annealer suites with CIMANNEAL_VECTOR_KERNEL=${vec}"
   CIMANNEAL_VECTOR_KERNEL="${vec}" \
@@ -181,6 +182,48 @@ print("reuse report structure OK "
 PY
 else
   echo "bench_reuse not built (CIMANNEAL_BUILD_BENCH=OFF?); skipping"
+fi
+
+echo "==== bench_ext_qubo (QUBO/Ising front-end quality/speed table)"
+qubo_bin="${repo_root}/build/release/bench/bench_ext_qubo"
+if [[ -x "${qubo_bin}" ]]; then
+  mkdir -p "${bench_out_dir}"
+  CIMANNEAL_BENCH_SMOKE=1 \
+    CIMANNEAL_BENCH_OUT_QUBO="${bench_out_dir}/BENCH_ext_qubo.json" \
+    "${qubo_bin}"
+  require_artifact "${bench_out_dir}/BENCH_ext_qubo.json"
+  # Structural gate on the front-end report: all three problem families
+  # must be covered, every row needs its quality and speed columns, and
+  # the four kernel variants must have stayed bit-identical on every
+  # workload — a refactor that breaks the scalar/vector/memo equivalence
+  # must fail here, not in a dashboard.
+  python3 - "${bench_out_dir}/BENCH_ext_qubo.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["benchmark"] == "ext_qubo", report.get("benchmark")
+assert report["all_variants_equivalent"] is True, "kernel variants diverged"
+rows = report["rows"]
+assert rows, "empty ext_qubo row table"
+families = {row["family"] for row in rows}
+assert {"maxcut", "coloring", "knapsack"} <= families, families
+for row in rows:
+    for key in ("instance", "spins", "strategy", "best_energy",
+                "solve_seconds", "update_cycles"):
+        assert key in row, (key, row)
+    assert row["spins"] > 0 and row["update_cycles"] > 0, row
+    assert row["variants_equivalent"] is True, row
+    if row["oracle_known"]:
+        assert row["oracle_gap"] >= 0, row
+oracle_rows = [r for r in rows if r["oracle_known"]]
+reached = sum(1 for r in oracle_rows if r["reached_oracle"])
+assert any(r["reached_oracle"] for r in oracle_rows), \
+    "no oracle-verified row reached its brute-force optimum"
+print(f"ext_qubo report structure OK ({len(rows)} rows, "
+      f"{len(families)} families, {reached}/{len(oracle_rows)} "
+      "oracle rows at optimum)")
+PY
+else
+  echo "bench_ext_qubo not built (CIMANNEAL_BUILD_BENCH=OFF?); skipping"
 fi
 
 echo "==== cimlint (also registered as ctest 'lint.determinism'/'lint.selftest')"

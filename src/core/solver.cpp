@@ -60,6 +60,97 @@ ppa::DesignPoint CimSolver::design_point(const std::string& name,
   return point;
 }
 
+IsingOutcome CimSolver::solve_ising(const ising::GenericModel& model) const {
+  IsingOutcome outcome;
+  const util::Timer timer;
+
+  anneal::GenericAnnealConfig cfg;
+  cfg.schedule = config_.schedule;
+  cfg.sram = config_.sram;
+  cfg.noise = config_.noise;
+  cfg.strategy = config_.group_strategy;
+  cfg.group_block = config_.group_block;
+  cfg.weight_bits = config_.weight_bits;
+  cfg.seed = config_.seed;
+  cfg.record_trace = config_.record_trace;
+
+  std::optional<store::WarmStartStore> warm_store;
+  std::string fingerprint;
+  if (!config_.warm_start_dir.empty()) {
+    warm_store.emplace(config_.warm_start_dir);
+    fingerprint = model.fingerprint();
+    if (auto spins = warm_store->load_spins(fingerprint, model.size())) {
+      cfg.initial_spins = std::move(*spins);
+      outcome.warm_started = true;
+    }
+  }
+
+  const anneal::GenericAnnealer annealer(cfg);
+  outcome.anneal = annealer.solve(model);
+  outcome.energy_hw = outcome.anneal.best_energy_hw;
+  outcome.energy = outcome.anneal.best_energy;
+  outcome.solve_wall_seconds = timer.seconds();
+
+  if (warm_store) {
+    // The store ranks scores higher-is-better; energies are minimised.
+    warm_store->store_spins(
+        fingerprint,
+        std::span<const ising::Spin>(outcome.anneal.best_spins.data(),
+                                     outcome.anneal.best_spins.size()),
+        -outcome.energy_hw);
+    outcome.warm_start = warm_store->stats();
+  }
+
+  if (!config_.telemetry_out.empty()) {
+    save_telemetry(config_.telemetry_out);
+  }
+  return outcome;
+}
+
+MaxCutOutcome CimSolver::solve_maxcut(
+    const ising::MaxCutProblem& problem) const {
+  MaxCutOutcome outcome;
+  const util::Timer timer;
+
+  anneal::MaxCutConfig cfg;
+  cfg.schedule = config_.schedule;
+  cfg.sram = config_.sram;
+  cfg.noise = config_.noise;
+  cfg.weight_bits = config_.weight_bits;
+  cfg.seed = config_.seed;
+  cfg.record_trace = config_.record_trace;
+
+  std::optional<store::WarmStartStore> warm_store;
+  std::string fingerprint;
+  if (!config_.warm_start_dir.empty()) {
+    warm_store.emplace(config_.warm_start_dir);
+    fingerprint = ising::GenericModel::from_maxcut(problem).fingerprint();
+    if (auto spins = warm_store->load_spins(fingerprint, problem.size())) {
+      cfg.initial_spins = std::move(*spins);
+      outcome.warm_started = true;
+    }
+  }
+
+  const anneal::MaxCutAnnealer annealer(cfg);
+  outcome.anneal = annealer.solve(problem);
+  outcome.cut = outcome.anneal.best_cut;
+  outcome.solve_wall_seconds = timer.seconds();
+
+  if (warm_store) {
+    warm_store->store_spins(
+        fingerprint,
+        std::span<const ising::Spin>(outcome.anneal.spins.data(),
+                                     outcome.anneal.spins.size()),
+        outcome.anneal.cut);
+    outcome.warm_start = warm_store->stats();
+  }
+
+  if (!config_.telemetry_out.empty()) {
+    save_telemetry(config_.telemetry_out);
+  }
+  return outcome;
+}
+
 SolveOutcome CimSolver::solve(const tsp::Instance& instance) const {
   SolveOutcome outcome;
   const util::Timer timer;

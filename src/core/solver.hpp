@@ -20,7 +20,11 @@
 
 #include "anneal/clustered_annealer.hpp"
 #include "anneal/ensemble.hpp"
+#include "anneal/generic_annealer.hpp"
+#include "anneal/maxcut_annealer.hpp"
 #include "heuristics/reference.hpp"
+#include "ising/generic.hpp"
+#include "ising/partition.hpp"
 #include "ppa/report.hpp"
 #include "store/warm_start.hpp"
 #include "tsp/instance.hpp"
@@ -52,6 +56,11 @@ struct SolverConfig {
   std::uint32_t weight_bits = 8;
   std::uint64_t seed = 1;
   bool record_trace = false;
+
+  /// Spin-grouping strategy for solve_ising (ising/partition.hpp): the
+  /// window-clustering axis of the generic QUBO/Ising front-end.
+  ising::GroupStrategy group_strategy = ising::GroupStrategy::kChromatic;
+  std::uint32_t group_block = 64;  ///< width bound for blocked strategies
 
   /// Compute the classical reference tour for optimal-ratio reporting
   /// (costs one greedy+2-opt+Or-opt pass; disable for timing studies).
@@ -103,6 +112,26 @@ struct SolveOutcome {
   std::optional<store::WarmStartStats> warm_start;
 };
 
+/// Outcome of a generic QUBO/Ising solve (CimSolver::solve_ising).
+struct IsingOutcome {
+  anneal::GenericResult anneal;  ///< spins, energies, window stats
+  long long energy_hw = 0;       ///< best integer energy (hardware units)
+  double energy = 0.0;           ///< same in model units (incl. offset)
+  double solve_wall_seconds = 0.0;
+  /// True when a stored assignment seeded this solve (warm_start_dir hit).
+  bool warm_started = false;
+  std::optional<store::WarmStartStats> warm_start;
+};
+
+/// Outcome of a Max-Cut solve (CimSolver::solve_maxcut).
+struct MaxCutOutcome {
+  anneal::MaxCutResult anneal;
+  long long cut = 0;  ///< best cut seen
+  double solve_wall_seconds = 0.0;
+  bool warm_started = false;
+  std::optional<store::WarmStartStats> warm_start;
+};
+
 class CimSolver {
  public:
   CimSolver() : CimSolver(SolverConfig{}) {}
@@ -112,6 +141,17 @@ class CimSolver {
 
   /// Solves `instance` end-to-end; see SolveOutcome.
   SolveOutcome solve(const tsp::Instance& instance) const;
+
+  /// Solves a generic QUBO/Ising model on the CIM substrate using the
+  /// configured group strategy. With warm_start_dir set, the model's
+  /// content fingerprint is looked up for a stored ±1 assignment before
+  /// the solve and the best assignment is written back after (score =
+  /// −energy_hw; a corrupt record degrades to a cold start).
+  IsingOutcome solve_ising(const ising::GenericModel& model) const;
+
+  /// Solves a Max-Cut instance, with the same warm-start wiring keyed by
+  /// the instance's Ising-image fingerprint (score = cut).
+  MaxCutOutcome solve_maxcut(const ising::MaxCutProblem& problem) const;
 
   /// The annealer configuration this solver drives (for advanced use).
   anneal::AnnealerConfig annealer_config() const;

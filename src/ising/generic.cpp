@@ -1,0 +1,237 @@
+#include "ising/generic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/sha256.hpp"
+
+namespace cim::ising {
+
+GenericModel::GenericModel(std::string name, std::size_t n)
+    : name_(std::move(name)), fields_(n, 0.0) {
+  CIM_REQUIRE(n >= 1, "generic Ising model needs at least one spin");
+  CIM_REQUIRE(n <= std::numeric_limits<SpinIndex>::max(),
+              "generic Ising model exceeds the spin-index range");
+}
+
+void GenericModel::add_coupling(SpinIndex a, SpinIndex b, double j) {
+  CIM_REQUIRE(a < size() && b < size(), "coupling index out of range");
+  CIM_REQUIRE(a != b, "self-couplings are not allowed (use add_field)");
+  CIM_REQUIRE(std::isfinite(j), "coupling must be finite");
+  if (a > b) std::swap(a, b);
+  couplings_.push_back({a, b, j});
+  coalesced_ = false;
+}
+
+void GenericModel::add_field(SpinIndex i, double h) {
+  CIM_REQUIRE(i < size(), "field index out of range");
+  CIM_REQUIRE(std::isfinite(h), "field must be finite");
+  fields_[i] += h;
+}
+
+bool GenericModel::has_fields() const {
+  for (const double h : fields_) {
+    if (h != 0.0) return true;  // NOLINT(unit-float-eq) structural zero
+  }
+  return false;
+}
+
+void GenericModel::coalesce() const {
+  if (coalesced_) return;
+  std::sort(couplings_.begin(), couplings_.end(),
+            [](const Coupling& x, const Coupling& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  std::vector<Coupling> merged;
+  merged.reserve(couplings_.size());
+  for (const Coupling& c : couplings_) {
+    if (!merged.empty() && merged.back().a == c.a && merged.back().b == c.b) {
+      merged.back().j += c.j;
+    } else {
+      merged.push_back(c);
+    }
+  }
+  std::erase_if(merged, [](const Coupling& c) {
+    return c.j == 0.0;  // NOLINT(unit-float-eq) exact cancellation only
+  });
+  couplings_ = std::move(merged);
+  coalesced_ = true;
+}
+
+std::span<const GenericModel::Coupling> GenericModel::couplings() const {
+  coalesce();
+  return couplings_;
+}
+
+std::uint32_t GenericModel::max_degree() const {
+  std::vector<std::uint32_t> degree(size(), 0);
+  for (const Coupling& c : couplings()) {
+    ++degree[c.a];
+    ++degree[c.b];
+  }
+  std::uint32_t best = 0;
+  for (const auto d : degree) best = std::max(best, d);
+  return best;
+}
+
+double GenericModel::energy(std::span<const Spin> spins) const {
+  CIM_ASSERT(spins.size() == size());
+  double acc = offset_;
+  for (const Coupling& c : couplings()) {
+    acc -= c.j * static_cast<double>(spins[c.a]) *
+           static_cast<double>(spins[c.b]);
+  }
+  for (SpinIndex i = 0; i < size(); ++i) {
+    acc -= fields_[i] * static_cast<double>(spins[i]);
+  }
+  return acc;
+}
+
+IsingModel GenericModel::to_ising() const {
+  IsingModel model(size());
+  for (const Coupling& c : couplings()) {
+    model.add_coupling(c.a, c.b, c.j);
+  }
+  for (SpinIndex i = 0; i < size(); ++i) {
+    if (fields_[i] != 0.0) model.add_field(i, fields_[i]);  // NOLINT(unit-float-eq)
+  }
+  return model;
+}
+
+std::string GenericModel::fingerprint() const {
+  util::Sha256 hash;
+  const auto feed_u32 = [&hash](std::uint32_t v) {
+    std::uint8_t bytes[4];
+    for (int k = 0; k < 4; ++k) bytes[k] = static_cast<std::uint8_t>(v >> (8 * k));
+    hash.update(std::span<const std::uint8_t>(bytes, 4));
+  };
+  const auto feed_f64 = [&hash](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    std::uint8_t bytes[8];
+    for (int k = 0; k < 8; ++k) bytes[k] = static_cast<std::uint8_t>(bits >> (8 * k));
+    hash.update(std::span<const std::uint8_t>(bytes, 8));
+  };
+  hash.update(std::string_view("cim-generic-ising-v1"));
+  feed_u32(static_cast<std::uint32_t>(size()));
+  const auto terms = couplings();
+  feed_u32(static_cast<std::uint32_t>(terms.size()));
+  for (const Coupling& c : terms) {
+    feed_u32(c.a);
+    feed_u32(c.b);
+    feed_f64(c.j);
+  }
+  for (const double h : fields_) feed_f64(h);
+  feed_f64(offset_);
+  return util::sha256_tagged(hash.hex_digest());
+}
+
+GenericModel GenericModel::from_qubo(std::string name, const Qubo& qubo) {
+  const IsingImage image = ::cim::ising::to_ising(qubo);
+  GenericModel model(std::move(name), qubo.size());
+  model.add_offset(image.offset);
+  for (SpinIndex i = 0; i < qubo.size(); ++i) {
+    for (const IsingModel::Neighbor& nb : image.model.neighbors(i)) {
+      if (nb.index > i) model.add_coupling(i, nb.index, nb.j);
+    }
+    const double h = image.model.field(i);
+    if (h != 0.0) model.add_field(i, h);  // NOLINT(unit-float-eq)
+  }
+  return model;
+}
+
+GenericModel GenericModel::from_maxcut(const MaxCutProblem& maxcut) {
+  GenericModel model(maxcut.name(), maxcut.size());
+  for (const WeightedEdge& e : maxcut.edges()) {
+    model.add_coupling(e.a, e.b, -static_cast<double>(e.w));
+  }
+  return model;
+}
+
+long long HardwareMapping::energy_hw(std::span<const Spin> spins) const {
+  CIM_ASSERT(spins.size() == fields.size());
+  long long acc = 0;
+  for (const Term& t : couplings) {
+    acc -= static_cast<long long>(t.w) * spins[t.a] * spins[t.b];
+  }
+  for (SpinIndex i = 0; i < fields.size(); ++i) {
+    acc -= static_cast<long long>(fields[i]) * spins[i];
+  }
+  return acc;
+}
+
+namespace {
+
+/// value·multiplier rounded to integer, or ConfigError when it is not
+/// integral (within 1e-6 of an integer) or exceeds the int32 plane range.
+std::int32_t scaled_int(double value, std::int64_t multiplier,
+                        const char* what) {
+  const double scaled = value * static_cast<double>(multiplier);
+  const double rounded = std::round(scaled);
+  CIM_REQUIRE(std::abs(scaled - rounded) <= 1e-6,
+              std::string("hardware mapping: ") + what +
+                  " is not an integral multiple of 1/4 — pre-scale the "
+                  "model to quarter-integral coefficients");
+  CIM_REQUIRE(std::abs(rounded) <=
+                  static_cast<double>(std::numeric_limits<std::int32_t>::max()),
+              std::string("hardware mapping: ") + what +
+                  " overflows the int32 coefficient plane");
+  return static_cast<std::int32_t>(rounded);
+}
+
+bool integral_under(double value, std::int64_t multiplier) {
+  const double scaled = value * static_cast<double>(multiplier);
+  return std::abs(scaled - std::round(scaled)) <= 1e-6;
+}
+
+}  // namespace
+
+HardwareMapping map_to_hardware(const GenericModel& model) {
+  std::int64_t multiplier = 4;
+  for (const std::int64_t m : {std::int64_t{1}, std::int64_t{2}}) {
+    bool ok = true;
+    for (const GenericModel::Coupling& c : model.couplings()) {
+      if (!integral_under(c.j, m)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const double h : model.fields()) {
+        if (!integral_under(h, m)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      multiplier = m;
+      break;
+    }
+  }
+
+  HardwareMapping mapping;
+  mapping.multiplier = multiplier;
+  mapping.fields.assign(model.size(), 0);
+  mapping.couplings.reserve(model.coupling_count());
+  for (const GenericModel::Coupling& c : model.couplings()) {
+    const std::int32_t w = scaled_int(c.j, multiplier, "coupling");
+    if (w == 0) continue;  // rounded-away noise term
+    mapping.couplings.push_back({c.a, c.b, w});
+    mapping.max_abs = std::max(mapping.max_abs, std::abs(w));
+  }
+  for (SpinIndex i = 0; i < model.size(); ++i) {
+    const std::int32_t h = scaled_int(model.field(i), multiplier, "field");
+    mapping.fields[i] = h;
+    if (h != 0) {
+      mapping.has_fields = true;
+      mapping.max_abs = std::max(mapping.max_abs, std::abs(h));
+    }
+  }
+  return mapping;
+}
+
+}  // namespace cim::ising

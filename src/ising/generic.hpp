@@ -1,0 +1,135 @@
+// General QUBO/Ising front-end model (ROADMAP item 3).
+//
+// GenericModel is the loader-facing Ising container every new problem
+// family maps onto: sparse symmetric couplings J_ij, external fields h_i
+// and a constant offset, under the paper's sign convention
+//
+//   E(σ) = offset − Σ_{i<j} J_ij σ_i σ_j − Σ_i h_i σ_i,   σ ∈ {±1}.
+//
+// Unlike IsingModel (the in-memory physics engine) it keeps a canonical,
+// coalesced coefficient list — so instances round-trip through the sparse
+// J/h text format (src/qubo/io.hpp) byte-identically, content-fingerprint
+// stably (warm-start store keys), and convert exactly to the integer
+// coefficient plane images the noisy-SRAM window annealer stores
+// (map_to_hardware below).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ising/maxcut.hpp"
+#include "ising/model.hpp"
+#include "ising/qubo.hpp"
+
+namespace cim::ising {
+
+class GenericModel {
+ public:
+  struct Coupling {
+    SpinIndex a = 0;  ///< canonical: a < b
+    SpinIndex b = 0;
+    double j = 0.0;
+  };
+
+  GenericModel(std::string name, std::size_t n);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return fields_.size(); }
+
+  /// Adds J to the coupling between a and b (symmetric; a != b, both in
+  /// range — ConfigError otherwise). Repeated pairs accumulate; terms
+  /// that cancel to exactly zero are dropped from couplings().
+  void add_coupling(SpinIndex a, SpinIndex b, double j);
+  void add_field(SpinIndex i, double h);
+  void add_offset(double c) { offset_ += c; }
+
+  double offset() const { return offset_; }
+  double field(SpinIndex i) const { return fields_[i]; }
+  std::span<const double> fields() const { return fields_; }
+  /// True when any h_i is non-zero (the annealer then provisions the
+  /// always-on bias row).
+  bool has_fields() const;
+
+  /// Coalesced couplings in canonical (a < b) lexicographic order.
+  std::span<const Coupling> couplings() const;
+  std::size_t coupling_count() const { return couplings().size(); }
+  std::uint32_t max_degree() const;
+
+  /// E(σ) as defined in the file comment.
+  double energy(std::span<const Spin> spins) const;
+
+  /// The physics-engine view (couplings + fields, offset dropped) — used
+  /// for chromatic partitions and Metropolis baselines.
+  IsingModel to_ising() const;
+
+  /// Canonical content hash in "sha256:<hex>" form over (n, coalesced
+  /// couplings, fields, offset). Name is deliberately excluded, matching
+  /// tsp::instance_fingerprint — a renamed copy hits the same warm-start
+  /// record.
+  std::string fingerprint() const;
+
+  /// Exact QUBO image via the x = (1+σ)/2 substitution (ising/qubo.hpp):
+  /// qubo.value(x(σ)) == model.energy(σ) for every assignment.
+  static GenericModel from_qubo(std::string name, const Qubo& qubo);
+
+  /// Max-Cut image: minimising E recovers the maximum cut,
+  /// cut = (W_total − (E − offset_terms))/2 with J_ab = −w_ab and zero
+  /// fields; maxcut.cut_value(argmin spins) is the decoded cut.
+  static GenericModel from_maxcut(const MaxCutProblem& maxcut);
+
+ private:
+  void coalesce() const;
+
+  std::string name_;
+  std::vector<double> fields_;
+  double offset_ = 0.0;
+
+  mutable std::vector<Coupling> couplings_;  // canonicalised lazily
+  mutable bool coalesced_ = true;
+};
+
+/// Integer coefficient image of a GenericModel for the SRAM weight
+/// planes. Coefficients are multiplied by the smallest m ∈ {1, 2, 4}
+/// making every J and h integral (m = 4 always suffices for models built
+/// from integer QUBOs; m = 1 for integer-weight graph files) and checked
+/// against the int32 plane range — a model that is not quarter-integral
+/// or overflows raises ConfigError instead of silently mis-loading.
+struct HardwareMapping {
+  struct Term {
+    SpinIndex a = 0;
+    SpinIndex b = 0;
+    std::int32_t w = 0;
+  };
+
+  std::vector<Term> couplings;
+  std::vector<std::int32_t> fields;
+  std::int64_t multiplier = 1;  ///< hardware units per model unit
+  std::int32_t max_abs = 0;     ///< largest |coefficient| in hw units
+  bool has_fields = false;
+
+  std::size_t size() const { return fields.size(); }
+
+  /// True when the coefficients fit the storage word verbatim — the
+  /// annealer then represents the model exactly (no quantisation loss).
+  bool exact_in_bits(std::uint32_t weight_bits) const {
+    return max_abs <= static_cast<std::int32_t>((1U << weight_bits) - 1U);
+  }
+
+  /// Hardware-unit energy −ΣWσσ − ΣFσ (integer; exact).
+  long long energy_hw(std::span<const Spin> spins) const;
+
+  /// Maps a hardware-unit energy back to model units:
+  /// model_offset + hw / multiplier.
+  double to_model_energy(long long hw, double model_offset) const {
+    return model_offset +
+           static_cast<double>(hw) / static_cast<double>(multiplier);
+  }
+};
+
+/// See HardwareMapping. Throws ConfigError when the model cannot be
+/// represented (non-quarter-integral coefficients, int32 overflow).
+HardwareMapping map_to_hardware(const GenericModel& model);
+
+}  // namespace cim::ising

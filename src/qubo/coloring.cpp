@@ -1,0 +1,170 @@
+#include "qubo/coloring.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace cim::qubo {
+
+std::uint32_t ColoringInstance::max_degree() const {
+  std::vector<std::uint32_t> degree(vertices, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  std::uint32_t top = 0;
+  for (const std::uint32_t d : degree) top = std::max(top, d);
+  return top;
+}
+
+ColoringInstance make_coloring(
+    std::string name, std::size_t vertices, std::uint32_t colors,
+    std::vector<std::pair<ising::SpinIndex, ising::SpinIndex>> edges) {
+  CIM_REQUIRE(vertices >= 1, "coloring: need at least one vertex");
+  CIM_REQUIRE(colors >= 2, "coloring: need at least two colors");
+  std::set<std::pair<ising::SpinIndex, ising::SpinIndex>> seen;
+  for (auto& [a, b] : edges) {
+    CIM_REQUIRE(a < vertices && b < vertices,
+                "coloring: edge endpoint out of range");
+    CIM_REQUIRE(a != b, "coloring: self-loop");
+    if (a > b) std::swap(a, b);
+    CIM_REQUIRE(seen.insert({a, b}).second, "coloring: duplicate edge");
+  }
+  return ColoringInstance{std::move(name), vertices, colors,
+                          std::move(edges)};
+}
+
+ColoringInstance ring_coloring(std::size_t n, std::uint32_t colors) {
+  CIM_REQUIRE(n >= 3, "ring coloring: need at least three vertices");
+  std::vector<std::pair<ising::SpinIndex, ising::SpinIndex>> edges;
+  edges.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    edges.emplace_back(static_cast<ising::SpinIndex>(v),
+                       static_cast<ising::SpinIndex>((v + 1) % n));
+  }
+  return make_coloring("ring" + std::to_string(n), n, colors,
+                       std::move(edges));
+}
+
+ColoringInstance petersen_coloring(std::uint32_t colors) {
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes v -> v+5.
+  std::vector<std::pair<ising::SpinIndex, ising::SpinIndex>> edges;
+  for (ising::SpinIndex v = 0; v < 5; ++v) {
+    edges.emplace_back(v, (v + 1) % 5);
+    edges.emplace_back(5 + v, 5 + (v + 2) % 5);
+    edges.emplace_back(v, 5 + v);
+  }
+  return make_coloring("petersen", 10, colors, std::move(edges));
+}
+
+ColoringEncoding encode_coloring(const ColoringInstance& instance,
+                                 long long one_hot_penalty,
+                                 long long conflict_penalty) {
+  CIM_REQUIRE(conflict_penalty >= 1,
+              "coloring: conflict penalty must be positive");
+  if (one_hot_penalty == 0) {
+    one_hot_penalty = conflict_penalty * instance.max_degree() + 1;
+  }
+  CIM_REQUIRE(one_hot_penalty >= 1,
+              "coloring: one-hot penalty must be positive");
+
+  const std::size_t n = instance.vertices * instance.colors;
+  ising::Qubo qubo(n);
+  ColoringEncoding encoding{
+      ising::GenericModel(instance.name, n), instance.vertices,
+      instance.colors, one_hot_penalty, conflict_penalty};
+  const double a = static_cast<double>(one_hot_penalty);
+  const double b = static_cast<double>(conflict_penalty);
+
+  // A(1 − Σ_c x)² = A − 2AΣx + AΣx² + 2AΣ_{c<c'} x x'; the constant A
+  // per vertex is carried as the model offset below.
+  for (std::size_t v = 0; v < instance.vertices; ++v) {
+    for (std::uint32_t c = 0; c < instance.colors; ++c) {
+      const auto i = static_cast<ising::SpinIndex>(encoding.var(v, c));
+      qubo.add(i, i, -a);
+      for (std::uint32_t d = c + 1; d < instance.colors; ++d) {
+        qubo.add(i, static_cast<ising::SpinIndex>(encoding.var(v, d)),
+                 2.0 * a);
+      }
+    }
+  }
+  for (const auto& [u, v] : instance.edges) {
+    for (std::uint32_t c = 0; c < instance.colors; ++c) {
+      qubo.add(static_cast<ising::SpinIndex>(encoding.var(u, c)),
+               static_cast<ising::SpinIndex>(encoding.var(v, c)), b);
+    }
+  }
+
+  encoding.model = ising::GenericModel::from_qubo(instance.name, qubo);
+  encoding.model.add_offset(a * static_cast<double>(instance.vertices));
+  return encoding;
+}
+
+ColoringEncoding::Decoded ColoringEncoding::decode(
+    const ColoringInstance& instance,
+    std::span<const ising::Spin> spins) const {
+  CIM_REQUIRE(spins.size() == model.size(),
+              "coloring decode: spin count mismatch");
+  Decoded decoded;
+  decoded.color.assign(vertices, -1);
+  for (std::size_t v = 0; v < vertices; ++v) {
+    int chosen = -1;
+    std::uint32_t set_count = 0;
+    for (std::uint32_t c = 0; c < colors; ++c) {
+      if (spins[var(v, c)] > 0) {
+        ++set_count;
+        chosen = static_cast<int>(c);
+      }
+    }
+    if (set_count == 1) {
+      decoded.color[v] = chosen;
+    } else {
+      ++decoded.one_hot_violations;
+    }
+  }
+  for (const auto& [u, v] : instance.edges) {
+    if (decoded.color[u] >= 0 && decoded.color[u] == decoded.color[v]) {
+      ++decoded.conflicts;
+    }
+  }
+  decoded.feasible =
+      decoded.one_hot_violations == 0 && decoded.conflicts == 0;
+  return decoded;
+}
+
+namespace {
+
+bool colorable_rec(const ColoringInstance& instance,
+                   const std::vector<std::vector<ising::SpinIndex>>& adj,
+                   std::vector<int>& color, std::size_t v) {
+  if (v == instance.vertices) return true;
+  for (std::uint32_t c = 0; c < instance.colors; ++c) {
+    bool clash = false;
+    for (const ising::SpinIndex u : adj[v]) {
+      if (u < v && color[u] == static_cast<int>(c)) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    color[v] = static_cast<int>(c);
+    if (colorable_rec(instance, adj, color, v + 1)) return true;
+    color[v] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool brute_force_colorable(const ColoringInstance& instance) {
+  std::vector<std::vector<ising::SpinIndex>> adj(instance.vertices);
+  for (const auto& [a, b] : instance.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> color(instance.vertices, -1);
+  return colorable_rec(instance, adj, color, 0);
+}
+
+}  // namespace cim::qubo

@@ -1,0 +1,82 @@
+// Graph k-colouring as a penalty QUBO (new workload family for the
+// generic front-end, ROADMAP item 3).
+//
+// One binary x_{v,c} per (vertex, colour). Two integer penalties:
+//
+//   one-hot   A · Σ_v (1 − Σ_c x_{v,c})²     every vertex gets 1 colour
+//   conflict  B · Σ_{(u,v)∈E} Σ_c x_{u,c} x_{v,c}
+//
+// With A > B·Δ (Δ = max degree) the global optimum of the encoded model
+// is a proper colouring whenever one exists, at energy exactly 0 — the
+// encoding carries its constant so feasibility is a crisp integer test.
+// All coefficients are integers, so the hardware mapping is exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ising/generic.hpp"
+#include "ising/model.hpp"
+
+namespace cim::qubo {
+
+/// A k-colouring instance: simple undirected graph + colour budget.
+/// Construction validates: n >= 1, colors >= 2, endpoints in range, no
+/// self-loops, no duplicate edges (ConfigError otherwise).
+struct ColoringInstance {
+  std::string name;
+  std::size_t vertices = 0;
+  std::uint32_t colors = 0;
+  std::vector<std::pair<ising::SpinIndex, ising::SpinIndex>> edges;
+
+  std::uint32_t max_degree() const;
+};
+
+ColoringInstance make_coloring(
+    std::string name, std::size_t vertices, std::uint32_t colors,
+    std::vector<std::pair<ising::SpinIndex, ising::SpinIndex>> edges);
+
+/// Cycle C_n with k colours (2-colourable iff n even).
+ColoringInstance ring_coloring(std::size_t n, std::uint32_t colors);
+
+/// The Petersen graph (10 vertices, 15 edges, chromatic number 3).
+ColoringInstance petersen_coloring(std::uint32_t colors);
+
+/// The penalty encoding of an instance plus its decoding bookkeeping.
+struct ColoringEncoding {
+  ising::GenericModel model;     ///< vertices·colors spins
+  std::size_t vertices = 0;
+  std::uint32_t colors = 0;
+  long long one_hot_penalty = 0;   ///< A
+  long long conflict_penalty = 0;  ///< B
+
+  /// Variable index of indicator x_{v,c}.
+  std::size_t var(std::size_t v, std::uint32_t c) const {
+    return v * colors + c;
+  }
+
+  struct Decoded {
+    /// Colour per vertex; −1 when the vertex's one-hot row is violated.
+    std::vector<int> color;
+    std::size_t one_hot_violations = 0;
+    std::size_t conflicts = 0;  ///< monochromatic edges (one-hot rows only)
+    bool feasible = false;
+  };
+  Decoded decode(const ColoringInstance& instance,
+                 std::span<const ising::Spin> spins) const;
+};
+
+/// Builds the encoding. `one_hot_penalty` 0 selects the default
+/// B·Δ + 1 (with conflict penalty B); both must end up >= 1.
+ColoringEncoding encode_coloring(const ColoringInstance& instance,
+                                 long long one_hot_penalty = 0,
+                                 long long conflict_penalty = 1);
+
+/// True when a proper colouring with the instance's budget exists.
+/// Exhaustive (colors^vertices); vertices·log2(colors) <= ~24.
+bool brute_force_colorable(const ColoringInstance& instance);
+
+}  // namespace cim::qubo

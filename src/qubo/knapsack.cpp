@@ -1,0 +1,119 @@
+#include "qubo/knapsack.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cim::qubo {
+
+KnapsackInstance make_knapsack(std::string name,
+                               std::vector<long long> values,
+                               std::vector<long long> weights,
+                               long long capacity) {
+  CIM_REQUIRE(!values.empty(), "knapsack: need at least one item");
+  CIM_REQUIRE(values.size() == weights.size(),
+              "knapsack: values/weights size mismatch");
+  CIM_REQUIRE(capacity >= 1, "knapsack: capacity must be positive");
+  for (const long long v : values) {
+    CIM_REQUIRE(v >= 1, "knapsack: item values must be positive");
+  }
+  for (const long long w : weights) {
+    CIM_REQUIRE(w >= 1, "knapsack: item weights must be positive");
+  }
+  return KnapsackInstance{std::move(name), std::move(values),
+                          std::move(weights), capacity};
+}
+
+KnapsackEncoding encode_knapsack(const KnapsackInstance& instance,
+                                 long long penalty) {
+  const long long max_value =
+      *std::max_element(instance.values.begin(), instance.values.end());
+  if (penalty == 0) penalty = max_value + 1;
+  CIM_REQUIRE(penalty >= 1, "knapsack: penalty must be positive");
+
+  // Slack digits spanning 0..C: 1, 2, 4, …, C + 1 − 2^{M−1}.
+  std::vector<long long> slack_coeff;
+  long long covered = 0;  // slack register spans 0..covered
+  while (covered < instance.capacity) {
+    const long long next =
+        std::min(covered + 1, instance.capacity - covered);
+    slack_coeff.push_back(next);
+    covered += next;
+  }
+
+  const std::size_t n = instance.items() + slack_coeff.size();
+  KnapsackEncoding encoding{ising::GenericModel(instance.name, n),
+                            instance.items(), slack_coeff.size(), penalty,
+                            slack_coeff};
+
+  // All n variables enter the penalty square with coefficient g_k (item
+  // weight or slack digit): A(Σ g t − C)² expands to diagonal
+  // A·g(g − 2C), pairwise 2A·g_k·g_l, constant A·C² (model offset).
+  std::vector<long long> g(n, 0);
+  for (std::size_t i = 0; i < instance.items(); ++i) {
+    g[i] = instance.weights[i];
+  }
+  for (std::size_t j = 0; j < slack_coeff.size(); ++j) {
+    g[instance.items() + j] = slack_coeff[j];
+  }
+
+  ising::Qubo qubo(n);
+  const double a = static_cast<double>(penalty);
+  const double cap = static_cast<double>(instance.capacity);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double gk = static_cast<double>(g[k]);
+    double diag = a * gk * (gk - 2.0 * cap);
+    if (k < instance.items()) {
+      diag -= static_cast<double>(instance.values[k]);
+    }
+    qubo.add(static_cast<ising::SpinIndex>(k),
+             static_cast<ising::SpinIndex>(k), diag);
+    for (std::size_t l = k + 1; l < n; ++l) {
+      qubo.add(static_cast<ising::SpinIndex>(k),
+               static_cast<ising::SpinIndex>(l),
+               2.0 * a * gk * static_cast<double>(g[l]));
+    }
+  }
+
+  encoding.model = ising::GenericModel::from_qubo(instance.name, qubo);
+  encoding.model.add_offset(a * cap * cap);
+  return encoding;
+}
+
+KnapsackEncoding::Decoded KnapsackEncoding::decode(
+    const KnapsackInstance& instance,
+    std::span<const ising::Spin> spins) const {
+  CIM_REQUIRE(spins.size() == model.size(),
+              "knapsack decode: spin count mismatch");
+  Decoded decoded;
+  decoded.chosen.assign(items, 0);
+  for (std::size_t i = 0; i < items; ++i) {
+    if (spins[i] > 0) {
+      decoded.chosen[i] = 1;
+      decoded.value += instance.values[i];
+      decoded.weight += instance.weights[i];
+    }
+  }
+  decoded.feasible = decoded.weight <= instance.capacity;
+  return decoded;
+}
+
+long long brute_force_knapsack(const KnapsackInstance& instance) {
+  CIM_REQUIRE(instance.items() <= 24, "brute force knapsack: too many items");
+  long long best = 0;
+  const std::size_t n = instance.items();
+  for (std::uint32_t mask = 0; mask < (1U << n); ++mask) {
+    long long value = 0;
+    long long weight = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1U << i)) {
+        value += instance.values[i];
+        weight += instance.weights[i];
+      }
+    }
+    if (weight <= instance.capacity) best = std::max(best, value);
+  }
+  return best;
+}
+
+}  // namespace cim::qubo

@@ -1,0 +1,68 @@
+// 0/1 knapsack (the portfolio-selection prototype) as a penalty QUBO.
+//
+// Items with integer values v_i and weights w_i, capacity C. Binary
+// slack digits s_j turn the inequality Σ w x <= C into an equality:
+//
+//   minimise  −Σ_i v_i x_i + A·(Σ_i w_i x_i + Σ_j c_j s_j − C)²
+//
+// with c_j = 2^j for j < M−1 and c_{M−1} = C + 1 − 2^{M−1}, so the slack
+// register spans exactly 0..C (Lucas 2014 encoding). With A > max_i v_i
+// the optimum is always feasible and its energy is −(best value): a
+// state δ over capacity pays ≥ A·δ², while restoring feasibility drops
+// at most δ items (weights are ≥ 1) losing ≤ δ·max v < A·δ². The tight
+// default keeps coefficients small, so toy instances stay exact in the
+// 8-bit weight planes — a crisp integer oracle for the differential
+// harness. All coefficients are integers either way.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ising/generic.hpp"
+#include "ising/model.hpp"
+
+namespace cim::qubo {
+
+/// Construction-validated instance: >= 1 item, all values/weights >= 1,
+/// capacity >= 1 (ConfigError otherwise).
+struct KnapsackInstance {
+  std::string name;
+  std::vector<long long> values;
+  std::vector<long long> weights;
+  long long capacity = 0;
+
+  std::size_t items() const { return values.size(); }
+};
+
+KnapsackInstance make_knapsack(std::string name,
+                               std::vector<long long> values,
+                               std::vector<long long> weights,
+                               long long capacity);
+
+struct KnapsackEncoding {
+  ising::GenericModel model;  ///< items + slack_bits spins
+  std::size_t items = 0;
+  std::size_t slack_bits = 0;
+  long long penalty = 0;                 ///< A
+  std::vector<long long> slack_coeff;    ///< c_j
+
+  struct Decoded {
+    std::vector<std::uint8_t> chosen;  ///< per item
+    long long value = 0;
+    long long weight = 0;
+    bool feasible = false;  ///< weight <= capacity
+  };
+  Decoded decode(const KnapsackInstance& instance,
+                 std::span<const ising::Spin> spins) const;
+};
+
+/// Builds the encoding; `penalty` 0 selects the default max value + 1.
+KnapsackEncoding encode_knapsack(const KnapsackInstance& instance,
+                                 long long penalty = 0);
+
+/// Exact best feasible value by enumeration; items <= 24.
+long long brute_force_knapsack(const KnapsackInstance& instance);
+
+}  // namespace cim::qubo

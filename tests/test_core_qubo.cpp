@@ -1,0 +1,164 @@
+// CimSolver front-end entry points (solve_ising / solve_maxcut): spin
+// warm starts through the persistent store — cold solve, warm re-solve
+// keyed by content fingerprint, corrupt-record degradation to a cold
+// start — plus group-strategy plumbing from SolverConfig.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/solver.hpp"
+#include "ising/generic.hpp"
+#include "ising/maxcut.hpp"
+#include "qubo/coloring.hpp"
+#include "util/random.hpp"
+
+namespace cim::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Self-cleaning temp directory for a store.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() / ("cim_qubo_" + tag);
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+SolverConfig fast_config() {
+  SolverConfig config;
+  config.schedule.total_iterations = 120;
+  config.schedule.iterations_per_step = 20;
+  config.compute_reference = false;
+  config.compute_ppa = false;
+  return config;
+}
+
+ising::GenericModel test_model() {
+  ising::GenericModel model("core-ising", 20);
+  util::Rng rng(0xC0DE);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = i + 1; j < 20; ++j) {
+      if (rng.chance(0.25)) {
+        model.add_coupling(static_cast<ising::SpinIndex>(i),
+                           static_cast<ising::SpinIndex>(j),
+                           static_cast<double>(rng.range(-5, 5)));
+      }
+    }
+  }
+  model.add_field(3, 2.0);
+  model.add_field(11, -1.0);
+  return model;
+}
+
+TEST(CoreQubo, SolveIsingRunsWithoutStore) {
+  const auto model = test_model();
+  const CimSolver solver(fast_config());
+  const auto outcome = solver.solve_ising(model);
+  EXPECT_EQ(outcome.anneal.spins.size(), model.size());
+  EXPECT_FALSE(outcome.warm_started);
+  EXPECT_FALSE(outcome.warm_start.has_value());
+  EXPECT_EQ(outcome.energy_hw, outcome.anneal.best_energy_hw);
+  // Model-unit energy is derived from the same integers.
+  EXPECT_DOUBLE_EQ(outcome.energy, outcome.anneal.best_energy);
+}
+
+TEST(CoreQubo, SolveIsingWarmStartRoundTrip) {
+  const TempDir dir("ising");
+  const auto model = test_model();
+  auto config = fast_config();
+  config.warm_start_dir = dir.path.string();
+
+  const CimSolver solver(config);
+  const auto cold = solver.solve_ising(model);
+  EXPECT_FALSE(cold.warm_started);
+  ASSERT_TRUE(cold.warm_start.has_value());
+  EXPECT_EQ(cold.warm_start->misses, 1U);
+  EXPECT_EQ(cold.warm_start->stores, 1U);
+
+  // Second solve: the stored assignment seeds the anneal, and the final
+  // result can only match or improve the stored score.
+  const auto warm = solver.solve_ising(model);
+  EXPECT_TRUE(warm.warm_started);
+  ASSERT_TRUE(warm.warm_start.has_value());
+  EXPECT_EQ(warm.warm_start->hits, 1U);
+  EXPECT_LE(warm.energy_hw, cold.energy_hw);
+
+  // A different seed still hits the same fingerprint.
+  auto other = config;
+  other.seed = 9;
+  const auto reseeded = CimSolver(other).solve_ising(model);
+  EXPECT_TRUE(reseeded.warm_started);
+}
+
+TEST(CoreQubo, SolveIsingCorruptRecordDegradesToCold) {
+  const TempDir dir("corrupt");
+  const auto model = test_model();
+  auto config = fast_config();
+  config.warm_start_dir = dir.path.string();
+  const CimSolver solver(config);
+  (void)solver.solve_ising(model);
+
+  // Truncate every record file in the store.
+  std::size_t truncated = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir.path)) {
+    if (!entry.is_regular_file()) continue;
+    std::ofstream(entry.path(), std::ios::trunc);
+    ++truncated;
+  }
+  ASSERT_GT(truncated, 0U);
+
+  const auto degraded = solver.solve_ising(model);
+  EXPECT_FALSE(degraded.warm_started);  // cold start, no crash
+  ASSERT_TRUE(degraded.warm_start.has_value());
+  EXPECT_EQ(degraded.warm_start->hits, 0U);
+}
+
+TEST(CoreQubo, SolveMaxCutWarmStartRoundTrip) {
+  const TempDir dir("maxcut");
+  const auto problem = ising::random_maxcut(40, 0.15, 0x77, 3);
+  auto config = fast_config();
+  config.warm_start_dir = dir.path.string();
+  const CimSolver solver(config);
+
+  const auto cold = solver.solve_maxcut(problem);
+  EXPECT_FALSE(cold.warm_started);
+  EXPECT_EQ(cold.cut, cold.anneal.best_cut);
+
+  const auto warm = solver.solve_maxcut(problem);
+  EXPECT_TRUE(warm.warm_started);
+  ASSERT_TRUE(warm.warm_start.has_value());
+  EXPECT_EQ(warm.warm_start->hits, 1U);
+  EXPECT_GE(warm.cut, cold.anneal.cut);
+}
+
+TEST(CoreQubo, IsingAndMaxCutStoresDoNotCollide) {
+  // Same store directory, different fingerprints and record kinds: a
+  // maxcut solve must not consume the ising record or vice versa.
+  const TempDir dir("mixed");
+  auto config = fast_config();
+  config.warm_start_dir = dir.path.string();
+  const CimSolver solver(config);
+  (void)solver.solve_ising(test_model());
+  const auto maxcut_cold =
+      solver.solve_maxcut(ising::random_maxcut(30, 0.2, 0x55, 2));
+  EXPECT_FALSE(maxcut_cold.warm_started);
+}
+
+TEST(CoreQubo, GroupStrategyKnobIsWired) {
+  const auto model = test_model();
+  auto config = fast_config();
+  config.group_strategy = ising::GroupStrategy::kIndexBlocks;
+  config.group_block = 4;
+  const auto outcome = CimSolver(config).solve_ising(model);
+  EXPECT_FALSE(outcome.anneal.parallel_groups);
+  EXPECT_LE(outcome.anneal.max_group, 4U);
+  EXPECT_EQ(outcome.anneal.group_count, 5U);  // ceil(20 / 4)
+}
+
+}  // namespace
+}  // namespace cim::core

@@ -1,0 +1,292 @@
+// Differential harness for the problem-family mappings: every family's
+// encoded model is checked against a brute-force oracle over ALL
+// assignments — GenericModel::energy against the source formulation,
+// HardwareMapping::energy_hw against GenericModel::energy, and the
+// penalty encodings' global optima against combinatorial ground truth
+// (feasibility, optimal value).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ising/generic.hpp"
+#include "ising/maxcut.hpp"
+#include "ising/partition.hpp"
+#include "ising/qubo.hpp"
+#include "qubo/coloring.hpp"
+#include "qubo/io.hpp"
+#include "qubo/knapsack.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cim {
+namespace {
+
+std::vector<ising::Spin> spins_from_mask(std::uint32_t mask, std::size_t n) {
+  std::vector<ising::Spin> spins(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spins[i] = (mask >> i) & 1U ? 1 : -1;
+  }
+  return spins;
+}
+
+/// Minimum hardware-unit energy over all 2^n assignments, with the
+/// matching spins.
+std::pair<long long, std::vector<ising::Spin>> brute_force_hw(
+    const ising::HardwareMapping& mapping) {
+  const std::size_t n = mapping.size();
+  EXPECT_LE(n, 20U);
+  long long best = std::numeric_limits<long long>::max();
+  std::vector<ising::Spin> best_spins;
+  for (std::uint32_t mask = 0; mask < (1U << n); ++mask) {
+    const auto spins = spins_from_mask(mask, n);
+    const long long e = mapping.energy_hw(spins);
+    if (e < best) {
+      best = e;
+      best_spins = spins;
+    }
+  }
+  return {best, best_spins};
+}
+
+TEST(GenericModel, EnergyMatchesQuboOnAllAssignments) {
+  util::Rng rng(0xD1F1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.below(8);
+    ising::Qubo qubo(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        if (rng.chance(0.6)) {
+          qubo.add(static_cast<ising::SpinIndex>(i),
+                   static_cast<ising::SpinIndex>(j),
+                   static_cast<double>(rng.range(-9, 9)));
+        }
+      }
+    }
+    const auto model = ising::GenericModel::from_qubo("q", qubo);
+    for (std::uint32_t mask = 0; mask < (1U << n); ++mask) {
+      const auto spins = spins_from_mask(mask, n);
+      const auto x = ising::IsingImage::binary_from_spins(spins);
+      EXPECT_NEAR(model.energy(spins), qubo.value(x), 1e-9);
+    }
+  }
+}
+
+TEST(GenericModel, MaxCutImageRecoversCutsOnAllAssignments) {
+  const auto problem = ising::ring_maxcut(9);
+  const auto model = ising::GenericModel::from_maxcut(problem);
+  for (std::uint32_t mask = 0; mask < (1U << 9); ++mask) {
+    const auto spins = spins_from_mask(mask, 9);
+    // E = Σ w σσ (J = −w, no fields): cut = (W − E)/2.
+    const double energy = model.energy(spins);
+    EXPECT_NEAR(static_cast<double>(problem.cut_value(spins)),
+                (static_cast<double>(problem.total_weight()) - energy) / 2.0,
+                1e-9);
+  }
+  // Minimising the hardware image maximises the cut.
+  const auto mapping = ising::map_to_hardware(model);
+  const auto [best_hw, best_spins] = brute_force_hw(mapping);
+  EXPECT_EQ(problem.cut_value(best_spins), ising::brute_force_maxcut(problem));
+  EXPECT_EQ(best_hw, problem.total_weight() -
+                         2 * ising::brute_force_maxcut(problem));
+}
+
+TEST(HardwareMapping, AgreesWithModelEnergyOnAllAssignments) {
+  util::Rng rng(0xD1F2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.below(8);
+    ising::GenericModel model("hw", n);
+    for (std::size_t t = 0; t < 2 * n; ++t) {
+      const auto i = static_cast<ising::SpinIndex>(rng.below(n));
+      const auto j = static_cast<ising::SpinIndex>(rng.below(n));
+      // Quarter-integral coefficients: the exactness domain.
+      const double value = static_cast<double>(rng.range(-20, 20)) / 4.0;
+      if (i == j) {
+        model.add_field(i, value);
+      } else {
+        model.add_coupling(i, j, value);
+      }
+    }
+    model.add_offset(static_cast<double>(rng.range(-5, 5)));
+    const auto mapping = ising::map_to_hardware(model);
+    for (std::uint32_t mask = 0; mask < (1U << n); ++mask) {
+      const auto spins = spins_from_mask(mask, n);
+      EXPECT_NEAR(mapping.to_model_energy(mapping.energy_hw(spins),
+                                          model.offset()),
+                  model.energy(spins), 1e-9);
+    }
+  }
+}
+
+TEST(HardwareMapping, PicksTheSmallestSufficientMultiplier) {
+  ising::GenericModel ints("i", 2);
+  ints.add_coupling(0, 1, 3.0);
+  EXPECT_EQ(ising::map_to_hardware(ints).multiplier, 1);
+
+  ising::GenericModel halves("h", 2);
+  halves.add_coupling(0, 1, 1.5);
+  EXPECT_EQ(ising::map_to_hardware(halves).multiplier, 2);
+
+  ising::GenericModel quarters("q", 2);
+  quarters.add_coupling(0, 1, 0.75);
+  EXPECT_EQ(ising::map_to_hardware(quarters).multiplier, 4);
+}
+
+TEST(HardwareMapping, RejectsNonRepresentableModels) {
+  ising::GenericModel thirds("t", 2);
+  thirds.add_coupling(0, 1, 1.0 / 3.0);
+  EXPECT_THROW(ising::map_to_hardware(thirds), ConfigError);
+
+  ising::GenericModel huge("o", 2);
+  huge.add_coupling(0, 1, 1e18);
+  EXPECT_THROW(ising::map_to_hardware(huge), ConfigError);
+}
+
+TEST(Partition, EveryStrategyCoversEachSpinExactlyOnce) {
+  const auto model = ising::GenericModel::from_maxcut(
+      ising::random_maxcut(40, 0.2, 0x9a9a, 3, true));
+  for (const auto strategy : ising::all_group_strategies()) {
+    const auto partition = ising::build_partition(model, strategy, 8);
+    std::vector<int> seen(model.size(), 0);
+    for (const auto& group : partition.groups) {
+      for (const auto v : group) {
+        ASSERT_LT(v, model.size());
+        ++seen[v];
+      }
+    }
+    for (const int count : seen) EXPECT_EQ(count, 1);
+    if (strategy != ising::GroupStrategy::kChromatic) {
+      EXPECT_LE(partition.max_group(), 8U);
+      EXPECT_FALSE(partition.parallel_safe);
+    }
+  }
+}
+
+TEST(Partition, ChromaticGroupsAreIndependentSets) {
+  const auto problem = ising::random_maxcut(30, 0.3, 0x7b7b, 2, true);
+  const auto model = ising::GenericModel::from_maxcut(problem);
+  const auto partition =
+      ising::build_partition(model, ising::GroupStrategy::kChromatic);
+  EXPECT_TRUE(partition.parallel_safe);
+  std::vector<std::size_t> group_of(model.size());
+  for (std::size_t g = 0; g < partition.groups.size(); ++g) {
+    for (const auto v : partition.groups[g]) group_of[v] = g;
+  }
+  for (const auto& c : model.couplings()) {
+    EXPECT_NE(group_of[c.a], group_of[c.b]);
+  }
+}
+
+TEST(Coloring, EncodingOptimumIsZeroExactlyWhenColorable) {
+  const struct {
+    qubo::ColoringInstance instance;
+    bool colorable;
+  } cases[] = {
+      {qubo::ring_coloring(4, 2), true},   // even ring, 2 colours
+      {qubo::ring_coloring(5, 2), false},  // odd ring needs 3
+      {qubo::ring_coloring(5, 3), true},
+      {qubo::make_coloring("k4", 4, 3,
+                           {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}),
+       false},  // K4 needs 4 colours
+      {qubo::make_coloring("path", 3, 2, {{0, 1}, {1, 2}}), true},
+  };
+  for (const auto& test_case : cases) {
+    SCOPED_TRACE(test_case.instance.name);
+    EXPECT_EQ(qubo::brute_force_colorable(test_case.instance),
+              test_case.colorable);
+    const auto encoding = qubo::encode_coloring(test_case.instance);
+    const auto mapping = ising::map_to_hardware(encoding.model);
+    EXPECT_TRUE(mapping.exact_in_bits(8));
+    const auto [best_hw, best_spins] = brute_force_hw(mapping);
+    const double best_energy =
+        mapping.to_model_energy(best_hw, encoding.model.offset());
+    if (test_case.colorable) {
+      EXPECT_DOUBLE_EQ(best_energy, 0.0);
+      const auto decoded = encoding.decode(test_case.instance, best_spins);
+      EXPECT_TRUE(decoded.feasible);
+      EXPECT_EQ(decoded.one_hot_violations, 0U);
+      EXPECT_EQ(decoded.conflicts, 0U);
+    } else {
+      EXPECT_GT(best_energy, 0.0);
+    }
+  }
+}
+
+TEST(Coloring, DecodeCountsViolationsOfArbitraryStates) {
+  const auto instance = qubo::ring_coloring(4, 2);
+  const auto encoding = qubo::encode_coloring(instance);
+  // All spins down: every one-hot row empty.
+  std::vector<ising::Spin> spins(encoding.model.size(), -1);
+  auto decoded = encoding.decode(instance, spins);
+  EXPECT_EQ(decoded.one_hot_violations, 4U);
+  EXPECT_FALSE(decoded.feasible);
+  // Everyone colour 0: all one-hot rows fine, every edge monochromatic.
+  for (std::size_t v = 0; v < 4; ++v) spins[encoding.var(v, 0)] = 1;
+  decoded = encoding.decode(instance, spins);
+  EXPECT_EQ(decoded.one_hot_violations, 0U);
+  EXPECT_EQ(decoded.conflicts, 4U);
+  EXPECT_FALSE(decoded.feasible);
+}
+
+TEST(Coloring, InvalidInstancesAreRejected) {
+  EXPECT_THROW(qubo::make_coloring("x", 3, 1, {}), ConfigError);
+  EXPECT_THROW(qubo::make_coloring("x", 3, 2, {{0, 3}}), ConfigError);
+  EXPECT_THROW(qubo::make_coloring("x", 3, 2, {{1, 1}}), ConfigError);
+  EXPECT_THROW(qubo::make_coloring("x", 3, 2, {{0, 1}, {1, 0}}),
+               ConfigError);
+}
+
+TEST(Knapsack, EncodingOptimumIsMinusBestValue) {
+  const struct {
+    qubo::KnapsackInstance instance;
+  } cases[] = {
+      {qubo::make_knapsack("toy", {6, 5, 4}, {3, 2, 2}, 4)},
+      {qubo::make_knapsack("six", {7, 2, 5, 4, 3, 6}, {4, 1, 3, 2, 2, 5},
+                           9)},
+      {qubo::make_knapsack("tight", {10, 10}, {5, 5}, 10)},
+      {qubo::make_knapsack("loose", {1, 2, 3}, {1, 1, 1}, 7)},
+  };
+  for (const auto& test_case : cases) {
+    SCOPED_TRACE(test_case.instance.name);
+    const auto encoding = qubo::encode_knapsack(test_case.instance);
+    // Slack register spans exactly 0..capacity.
+    long long slack_total = 0;
+    for (const long long c : encoding.slack_coeff) slack_total += c;
+    EXPECT_EQ(slack_total, test_case.instance.capacity);
+
+    const auto mapping = ising::map_to_hardware(encoding.model);
+    const auto [best_hw, best_spins] = brute_force_hw(mapping);
+    const double best_energy =
+        mapping.to_model_energy(best_hw, encoding.model.offset());
+    const long long oracle =
+        qubo::brute_force_knapsack(test_case.instance);
+    EXPECT_DOUBLE_EQ(best_energy, -static_cast<double>(oracle));
+
+    const auto decoded = encoding.decode(test_case.instance, best_spins);
+    EXPECT_TRUE(decoded.feasible);
+    EXPECT_EQ(decoded.value, oracle);
+  }
+}
+
+TEST(Knapsack, InvalidInstancesAreRejected) {
+  EXPECT_THROW(qubo::make_knapsack("x", {}, {}, 5), ConfigError);
+  EXPECT_THROW(qubo::make_knapsack("x", {1, 2}, {1}, 5), ConfigError);
+  EXPECT_THROW(qubo::make_knapsack("x", {0}, {1}, 5), ConfigError);
+  EXPECT_THROW(qubo::make_knapsack("x", {1}, {0}, 5), ConfigError);
+  EXPECT_THROW(qubo::make_knapsack("x", {1}, {1}, 0), ConfigError);
+}
+
+TEST(Fingerprint, DependsOnContentNotName) {
+  ising::GenericModel a("alpha", 3);
+  a.add_coupling(0, 1, 2.0);
+  ising::GenericModel b("beta", 3);
+  b.add_coupling(0, 1, 2.0);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.add_field(2, 1.0);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint().rfind("sha256:", 0), 0U);
+}
+
+}  // namespace
+}  // namespace cim

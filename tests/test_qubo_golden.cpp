@@ -1,0 +1,113 @@
+// Golden regression pins for the QUBO/Ising front-end: fixed-seed
+// anneals of the fixture GSet instances and the small penalty families
+// must reproduce these exact values on every platform and under every
+// CIMANNEAL_THREADS setting (the qubo_golden_threads_* ctest variants
+// rerun this binary pinned to 1, 2 and 8 workers — the annealers are
+// host-thread-independent, so the pins must not move).
+#include <gtest/gtest.h>
+
+#include "anneal/generic_annealer.hpp"
+#include "anneal/maxcut_annealer.hpp"
+#include "ising/generic.hpp"
+#include "qubo/coloring.hpp"
+#include "qubo/io.hpp"
+#include "qubo/knapsack.hpp"
+
+namespace cim {
+namespace {
+
+const std::string kFixtureDir = QUBO_FIXTURE_DIR;
+
+anneal::MaxCutConfig maxcut_config(std::uint64_t seed) {
+  anneal::MaxCutConfig config;
+  config.schedule.total_iterations = 200;
+  config.schedule.iterations_per_step = 25;
+  config.seed = seed;
+  return config;
+}
+
+anneal::GenericAnnealConfig generic_config(std::uint64_t seed) {
+  anneal::GenericAnnealConfig config;
+  config.schedule.total_iterations = 200;
+  config.schedule.iterations_per_step = 25;
+  config.seed = seed;
+  return config;
+}
+
+TEST(QuboGolden, GsetBestCutsArePinned) {
+  const struct {
+    const char* file;
+    std::uint64_t seed;
+    long long optimum;   ///< brute-force maximum cut
+    long long best_cut;  ///< pinned annealed result at this seed
+  } cases[] = {
+      {"ring8.gset", 1, 8, 8},
+      {"petersen.gset", 1, 12, 12},
+      {"signed5.gset", 1, 10, 10},
+  };
+  for (const auto& test_case : cases) {
+    SCOPED_TRACE(test_case.file);
+    const auto problem =
+        qubo::load_gset_file(kFixtureDir + "/" + test_case.file);
+    EXPECT_EQ(ising::brute_force_maxcut(problem), test_case.optimum);
+    const auto result =
+        anneal::MaxCutAnnealer(maxcut_config(test_case.seed)).solve(problem);
+    EXPECT_EQ(result.best_cut, test_case.best_cut);
+    // The pin must be reproducible within the same process too.
+    const auto again =
+        anneal::MaxCutAnnealer(maxcut_config(test_case.seed)).solve(problem);
+    EXPECT_EQ(again.best_cut, result.best_cut);
+    EXPECT_EQ(again.spins, result.spins);
+  }
+}
+
+TEST(QuboGolden, ColoringReachesBruteForceOptimum) {
+  // Even 6-ring, 2 colours, 12 variables encoded — 2-colourable, so the
+  // pinned optimum is feasibility at energy exactly 0 (seed 8 is the
+  // first seed whose 200-sweep anneal lands there).
+  const auto instance = qubo::ring_coloring(6, 2);
+  ASSERT_TRUE(qubo::brute_force_colorable(instance));
+  const auto encoding = qubo::encode_coloring(instance);
+  const auto result =
+      anneal::GenericAnnealer(generic_config(8)).solve(encoding.model);
+  EXPECT_DOUBLE_EQ(result.best_energy, 0.0);
+  const auto decoded = encoding.decode(instance, result.best_spins);
+  EXPECT_TRUE(decoded.feasible);
+}
+
+TEST(QuboGolden, KnapsackReachesBruteForceOptimum) {
+  // 6 items + 4 slack digits, brute-force optimum 13 (items 1+2+4 at
+  // weight 7). The capacity-7 mapping overflows 8-bit weights, so the
+  // deterministic sign-descent mode plateaus on quantised dynamics —
+  // the Metropolis (kLfsr) mode at seed 6 is the pinned run that lands
+  // on the optimum.
+  const auto instance =
+      qubo::make_knapsack("golden6", {7, 2, 5, 4, 3, 6},
+                          {4, 1, 3, 2, 2, 5}, 7);
+  const long long oracle = qubo::brute_force_knapsack(instance);
+  EXPECT_EQ(oracle, 13);
+  const auto encoding = qubo::encode_knapsack(instance);
+  auto config = generic_config(6);
+  config.noise = anneal::NoiseMode::kLfsr;
+  const auto result = anneal::GenericAnnealer(config).solve(encoding.model);
+  EXPECT_DOUBLE_EQ(result.best_energy, -static_cast<double>(oracle));
+  const auto decoded = encoding.decode(instance, result.best_spins);
+  EXPECT_TRUE(decoded.feasible);
+  EXPECT_EQ(decoded.value, oracle);
+}
+
+TEST(QuboGolden, JhFixtureAnnealIsPinned) {
+  // chain4.jh: 4 spins, mixed couplings/fields — small enough that the
+  // anneal must land on the brute-force optimum; both the integer energy
+  // and the fingerprint are pinned.
+  const auto model = qubo::load_jh_file(kFixtureDir + "/chain4.jh");
+  EXPECT_EQ(model.fingerprint(),
+            "sha256:"
+            "ba84300c828933ab15696da40aa93e699e0967a44c2ada3a8fb97b9862e4251f");
+  const auto result =
+      anneal::GenericAnnealer(generic_config(1)).solve(model);
+  EXPECT_EQ(result.best_energy_hw, -11);  // exhaustive optimum over 4 spins
+}
+
+}  // namespace
+}  // namespace cim
